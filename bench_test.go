@@ -1,0 +1,241 @@
+// Benchmarks that regenerate every table and figure of the C3D paper at a
+// reduced ("quick") scale, plus micro-benchmarks of the simulator's building
+// blocks. Each experiment benchmark prints the headline metric it produces so
+// a bench run doubles as a smoke reproduction:
+//
+//	go test -bench=. -benchmem .
+//
+// Paper-scale numbers are produced by cmd/c3dexp and recorded in
+// EXPERIMENTS.md; the quick scale preserves the qualitative shape (who wins,
+// roughly by how much) while keeping each benchmark iteration to a few
+// seconds on one core.
+package c3d_test
+
+import (
+	"testing"
+
+	"c3d/internal/core"
+	"c3d/internal/experiments"
+	"c3d/internal/machine"
+	"c3d/internal/mc"
+	"c3d/internal/workload"
+)
+
+// benchConfig is the reduced configuration shared by the experiment
+// benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Workloads = []string{"streamcluster", "canneal", "nutch"}
+	return cfg
+}
+
+// BenchmarkTable1RemoteFraction regenerates Table I: the fraction of memory
+// accesses served by remote memory on the 4-socket baseline.
+func BenchmarkTable1RemoteFraction(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableI(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Average*100, "%remote")
+	}
+}
+
+// BenchmarkFig2NUMABottleneck regenerates Fig. 2: the speedup from removing
+// inter-socket latency versus removing bandwidth limits.
+func BenchmarkFig2NUMABottleneck(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Geomean["0_qpi_lat"], "x-zero-lat")
+		b.ReportMetric(res.Geomean["inf_mem_bw+inf_qpi_bw"], "x-inf-bw")
+	}
+}
+
+// BenchmarkFig3CacheCapacity regenerates Fig. 3: memory accesses versus LLC
+// capacity.
+func BenchmarkFig3CacheCapacity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Geomean[experiments.Fig3Capacities[3]], "norm-mem-1GB")
+	}
+}
+
+// BenchmarkFig6QuadSocket regenerates Fig. 6: the 4-socket performance
+// comparison.
+func BenchmarkFig6QuadSocket(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Geomean["c3d"], "x-c3d")
+		b.ReportMetric(res.Geomean["snoopy"], "x-snoopy")
+	}
+}
+
+// BenchmarkFig7DualSocket regenerates Fig. 7: the 2-socket comparison.
+func BenchmarkFig7DualSocket(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Geomean["c3d"], "x-c3d")
+	}
+}
+
+// BenchmarkFig8MemoryTraffic regenerates Fig. 8: C3D's remote memory traffic
+// normalised to the baseline.
+func BenchmarkFig8MemoryTraffic(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeomeanReads, "norm-reads")
+		b.ReportMetric(res.GeomeanWrites, "norm-writes")
+	}
+}
+
+// BenchmarkFig9InterSocketTraffic regenerates Fig. 9: inter-socket traffic
+// per design, normalised to the baseline.
+func BenchmarkFig9InterSocketTraffic(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Geomean["c3d"], "norm-c3d")
+		b.ReportMetric(res.Geomean["snoopy"], "norm-snoopy")
+	}
+}
+
+// BenchmarkFig10DRAMCacheLatency regenerates Fig. 10: sensitivity to the DRAM
+// cache latency.
+func BenchmarkFig10DRAMCacheLatency(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []string{"streamcluster", "canneal"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup[50]["c3d"], "x-c3d-50ns")
+	}
+}
+
+// BenchmarkFig11InterSocketLatency regenerates Fig. 11: sensitivity to the
+// inter-socket hop latency.
+func BenchmarkFig11InterSocketLatency(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []string{"streamcluster", "canneal"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup[30]["c3d"], "x-c3d-30ns")
+	}
+}
+
+// BenchmarkSec6CBroadcastFilter regenerates the §VI-C broadcast-filter study.
+func BenchmarkSec6CBroadcastFilter(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []string{"streamcluster"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sec6C(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PerWorkload["mcf"].BroadcastReduction*100, "%mcf-bcast-cut")
+	}
+}
+
+// BenchmarkProtocolModelCheck regenerates the §IV-C verification: an
+// exhaustive exploration of the 2-socket protocol configuration.
+func BenchmarkProtocolModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		model := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+		report := mc.Run(model, mc.Options{})
+		if !report.OK() {
+			b.Fatalf("verification failed: %s", report)
+		}
+		b.ReportMetric(float64(report.StatesExplored), "states")
+	}
+}
+
+// BenchmarkPrivateVsShared regenerates the §II-C organisation comparison.
+func BenchmarkPrivateVsShared(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []string{"streamcluster"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PrivateVsShared(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TrafficReduction["streamcluster"]["c3d"]*100, "%traffic-cut-private")
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation (clean property,
+// non-inclusive directory, miss predictor).
+func BenchmarkAblation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []string{"facesim"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CleanProperty["facesim"], "x-clean-property")
+	}
+}
+
+// --- micro-benchmarks of the simulator's building blocks ---
+
+// BenchmarkMachineSimulation measures raw simulation throughput
+// (accesses simulated per second) of the C3D machine.
+func BenchmarkMachineSimulation(b *testing.B) {
+	spec := workload.MustGet("streamcluster")
+	opts := workload.Options{Threads: 8, Scale: 512, AccessesPerThread: 5000}
+	tr := workload.MustGenerate(spec, opts)
+	accesses := tr.Accesses()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := machine.DefaultConfig(4, machine.C3D)
+		cfg.Scale = 512
+		cfg.CoresPerSocket = 2
+		m := machine.New(cfg)
+		if _, err := m.Run(tr, machine.DefaultRunOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(accesses*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkTraceGeneration measures synthetic trace generation throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec := workload.MustGet("canneal")
+	opts := workload.Options{Threads: 8, Scale: 64, AccessesPerThread: 20_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.SeedOffset = int64(i)
+		tr := workload.MustGenerate(spec, opts)
+		if tr.Accesses() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}

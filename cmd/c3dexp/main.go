@@ -1,0 +1,95 @@
+// Command c3dexp runs the paper-reproduction experiments: every table and
+// figure of the C3D evaluation, by id or all of them.
+//
+// Usage:
+//
+//	c3dexp -exp fig6                 # one experiment at paper scale
+//	c3dexp -exp all -quick           # the full set at smoke-test scale
+//	c3dexp -list                     # show available experiments
+//	c3dexp -exp fig8 -workloads streamcluster,canneal -accesses 60000
+//
+// Paper-scale runs (32 threads, 200k accesses/thread) take tens of seconds
+// to a few minutes per machine configuration on one host core; -quick or
+// -accesses trade precision for time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"c3d/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		quick     = flag.Bool("quick", false, "use the reduced quick configuration")
+		threads   = flag.Int("threads", 0, "override the number of workload threads")
+		accesses  = flag.Int("accesses", 0, "override accesses per thread")
+		scale     = flag.Int("scale", 0, "override the capacity/footprint scale factor")
+		sockets   = flag.Int("sockets", 0, "override the socket count (where the experiment allows it)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's nine)")
+		verbose   = flag.Bool("v", false, "print progress for every completed simulation")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %-9s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "c3dexp: -exp is required (use -list to see the choices)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *threads > 0 {
+		cfg.Threads = *threads
+	}
+	if *accesses > 0 {
+		cfg.AccessesPerThread = *accesses
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *sockets > 0 {
+		cfg.Sockets = *sockets
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	if *verbose {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		entry, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3dexp:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		result, err := entry.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c3dexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%s): %s ==\n", entry.ID, entry.Paper, entry.Description)
+		fmt.Print(result.Table().String())
+		fmt.Printf("-- completed in %v --\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

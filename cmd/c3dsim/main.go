@@ -1,0 +1,97 @@
+// Command c3dsim runs a single simulation: one workload on one machine
+// configuration under one coherence design, and prints the detailed
+// statistics the experiments aggregate.
+//
+// Usage:
+//
+//	c3dsim -workload streamcluster -design c3d -sockets 4
+//	c3dsim -workload nutch -design baseline -policy INT -accesses 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"c3d/internal/machine"
+	"c3d/internal/numa"
+	"c3d/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "streamcluster", "workload name (see c3dtrace -list)")
+		designName   = flag.String("design", "c3d", "coherence design: baseline, snoopy, full-dir, c3d, c3d-full-dir, shared")
+		sockets      = flag.Int("sockets", 4, "number of sockets (2 or 4)")
+		threads      = flag.Int("threads", 0, "workload threads (default: the workload's native count)")
+		accesses     = flag.Int("accesses", 0, "accesses per thread (default: the workload's native count)")
+		scale        = flag.Int("scale", workload.DefaultScale, "capacity/footprint scale factor")
+		policyName   = flag.String("policy", "", "NUMA placement policy: INT, FT1 or FT2 (default: the workload's preferred policy)")
+		warmup       = flag.Float64("warmup", 0.25, "fraction of each thread's stream used as cache warm-up")
+		filter       = flag.Bool("broadcast-filter", false, "enable the §IV-D private-page broadcast filter (C3D only)")
+	)
+	flag.Parse()
+
+	spec, err := workload.Get(*workloadName)
+	exitOn(err)
+	design, err := machine.ParseDesign(*designName)
+	exitOn(err)
+	policy := spec.PreferredPolicy
+	if *policyName != "" {
+		policy, err = numa.ParsePolicy(*policyName)
+		exitOn(err)
+	}
+
+	cfg := machine.DefaultConfig(*sockets, design)
+	cfg.Scale = *scale
+	cfg.MemPolicy = policy
+	cfg.EnableBroadcastFilter = *filter
+	threadCount := spec.DefaultThreads
+	if *threads > 0 {
+		threadCount = *threads
+	}
+	if threadCount > cfg.Cores() {
+		threadCount = cfg.Cores()
+	}
+
+	fmt.Printf("generating %s (threads=%d scale=%d)...\n", spec.Name, threadCount, *scale)
+	tr, err := workload.Generate(spec, workload.Options{
+		Threads:           threadCount,
+		Scale:             *scale,
+		AccessesPerThread: *accesses,
+	})
+	exitOn(err)
+	ts := tr.ComputeStats()
+	fmt.Printf("trace: %d accesses, %.1f%% reads, footprint %.1f MiB\n",
+		ts.Accesses, ts.ReadFraction()*100, float64(ts.FootprintBytes())/(1<<20))
+
+	m := machine.New(cfg)
+	start := time.Now()
+	res, err := m.Run(tr, machine.RunOptions{WarmupFraction: *warmup})
+	exitOn(err)
+
+	c := res.Counters
+	fmt.Printf("\n%s on %d-socket %s (policy %v), simulated in %v\n",
+		spec.Name, *sockets, design, policy, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  cycles                 %d\n", res.Cycles)
+	fmt.Printf("  aggregate IPC          %.3f\n", res.IPC())
+	fmt.Printf("  LLC miss rate          %.1f%%\n", c.LLCMissRate()*100)
+	if design.HasDRAMCache() {
+		fmt.Printf("  DRAM cache hit rate    %.1f%%\n", res.DRAMCacheHitRate*100)
+	}
+	fmt.Printf("  memory reads / writes  %d / %d\n", c.MemReads, c.MemWrites)
+	fmt.Printf("  remote memory fraction %.1f%%\n", c.RemoteMemFraction()*100)
+	fmt.Printf("  mean load latency      %.1f cycles\n", c.MeanLoadLatency)
+	fmt.Printf("  inter-socket traffic   %.2f MiB (%d messages)\n",
+		float64(res.InterSocketBytes)/(1<<20), res.InterSocketMessages)
+	fmt.Printf("  broadcasts             %d (avoided by filter: %d)\n", c.Broadcasts, res.BroadcastFilterElided)
+	fmt.Printf("  directory recalls      %d\n", c.DirRecalls)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3dsim:", err)
+		os.Exit(1)
+	}
+}

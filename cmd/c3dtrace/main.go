@@ -1,0 +1,104 @@
+// Command c3dtrace generates, inspects and converts the synthetic workload
+// traces that drive the simulator.
+//
+// Usage:
+//
+//	c3dtrace -list                                   # show the workload registry
+//	c3dtrace -workload canneal -summary              # generate and summarise
+//	c3dtrace -workload canneal -out canneal.c3dt     # write the binary trace
+//	c3dtrace -in canneal.c3dt -summary               # summarise an existing file
+//	c3dtrace -workload nutch -dump 20                # print the first records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c3d/internal/trace"
+	"c3d/internal/workload"
+)
+
+func main() {
+	var (
+		list         = flag.Bool("list", false, "list registered workloads and exit")
+		workloadName = flag.String("workload", "", "workload to generate")
+		inPath       = flag.String("in", "", "read an existing binary trace instead of generating")
+		outPath      = flag.String("out", "", "write the trace in the binary format")
+		threads      = flag.Int("threads", 0, "threads (default: the workload's native count)")
+		accesses     = flag.Int("accesses", 0, "accesses per thread (default: the workload's native count)")
+		scale        = flag.Int("scale", workload.DefaultScale, "footprint scale factor")
+		summary      = flag.Bool("summary", true, "print a summary of the trace")
+		dump         = flag.Int("dump", 0, "print the first N records of thread 0")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("registered workloads:")
+		for _, name := range workload.AllNames() {
+			spec := workload.MustGet(name)
+			fmt.Printf("  %-15s %-16s shared %5d MiB, %2d threads, read %.0f%%, comm %.0f%%\n",
+				name, spec.Class, spec.SharedBytes/(1<<20), spec.DefaultThreads,
+				spec.ReadFraction*100, spec.CommFraction*100)
+		}
+		return
+	}
+
+	var tr *trace.Trace
+	switch {
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		exitOn(err)
+		defer f.Close()
+		tr, err = trace.Decode(f)
+		exitOn(err)
+	case *workloadName != "":
+		spec, err := workload.Get(*workloadName)
+		exitOn(err)
+		tr, err = workload.Generate(spec, workload.Options{
+			Threads:           *threads,
+			Scale:             *scale,
+			AccessesPerThread: *accesses,
+		})
+		exitOn(err)
+	default:
+		fmt.Fprintln(os.Stderr, "c3dtrace: provide -workload or -in (or -list)")
+		os.Exit(2)
+	}
+
+	if *summary {
+		s := tr.ComputeStats()
+		fmt.Printf("trace %q\n", s.Name)
+		fmt.Printf("  threads            %d\n", s.Threads)
+		fmt.Printf("  init accesses      %d\n", s.InitAccesses)
+		fmt.Printf("  parallel accesses  %d\n", s.Accesses)
+		fmt.Printf("  read fraction      %.1f%%\n", s.ReadFraction()*100)
+		fmt.Printf("  footprint          %.1f MiB (%d pages)\n", float64(s.FootprintBytes())/(1<<20), s.FootprintPages)
+		fmt.Printf("  instructions (est) %d\n", s.InstructionEstimate)
+	}
+	if *dump > 0 && tr.Threads() > 0 {
+		n := *dump
+		if n > len(tr.Parallel[0]) {
+			n = len(tr.Parallel[0])
+		}
+		fmt.Printf("first %d records of thread 0:\n", n)
+		for i := 0; i < n; i++ {
+			r := tr.Parallel[0][i]
+			fmt.Printf("  %s %v gap=%d\n", r.Kind, r.Addr, r.Gap)
+		}
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		exitOn(err)
+		exitOn(tr.Encode(f))
+		exitOn(f.Close())
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3dtrace:", err)
+		os.Exit(1)
+	}
+}

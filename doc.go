@@ -1,0 +1,26 @@
+// Package c3d is a from-scratch Go reproduction of "C3D: Mitigating the NUMA
+// Bottleneck via Coherent DRAM Caches" (Huang, Kumar, Elver, Grot, Nagarajan;
+// MICRO 2016).
+//
+// The repository contains the complete system the paper describes and
+// evaluates: a trace-driven multi-socket NUMA simulator (cores, cache
+// hierarchy, die-stacked DRAM caches, interconnect, memory), the C3D
+// coherence protocol and the naive snoopy/full-directory alternatives, an
+// explicit-state model checker for the protocol, synthetic workload
+// generators standing in for the paper's PARSEC/CloudSuite traces, and an
+// experiment harness that regenerates every table and figure of the
+// evaluation.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and the paper-to-implementation mapping, and EXPERIMENTS.md for measured
+// results next to the paper's numbers. The benchmarks in bench_test.go
+// regenerate each experiment at a reduced scale:
+//
+//	go test -bench=. -benchmem .
+//
+// The public entry points live under internal/ because this is a research
+// artefact rather than a semver-stable library; the packages a user of the
+// simulator touches first are internal/machine (build and run a machine),
+// internal/workload (generate traces), internal/experiments (reproduce the
+// paper) and internal/core (the C3D protocol itself).
+package c3d

@@ -1,0 +1,41 @@
+// protocol-verify reproduces the §IV-C verification: it explores every
+// reachable state of the C3D coherence protocol for a small configuration
+// (the way the authors used Murϕ) and reports the invariants that hold:
+// Single-Writer-Multiple-Reader, the data-value invariant (loads observe the
+// most recent store; memory is never stale when no on-chip cache owns the
+// block), and deadlock freedom.
+//
+//	go run ./examples/protocol-verify
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"c3d/internal/core"
+	"c3d/internal/mc"
+)
+
+func main() {
+	configs := []core.ProtocolConfig{
+		{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1},
+		{Sockets: 2, LoadsPerCore: 2, StoresPerCore: 1},
+		{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1, TrackDRAMCache: true},
+	}
+	for _, cfg := range configs {
+		model := core.NewProtocolModel(cfg)
+		report := mc.Run(model, mc.Options{})
+		fmt.Println(report)
+		if !report.Passed() {
+			log.Fatal("verification failed")
+		}
+	}
+	fmt.Println()
+	fmt.Println("verified in every reachable state:")
+	fmt.Println("  * at most one socket holds a block Modified, and no other socket")
+	fmt.Println("    holds any copy while it does (SWMR)")
+	fmt.Println("  * every load returns the most recently written value")
+	fmt.Println("  * memory is up to date whenever no on-chip cache owns the block —")
+	fmt.Println("    the property the clean DRAM caches exist to provide")
+	fmt.Println("  * the protocol never deadlocks (every non-quiescent state can make progress)")
+}

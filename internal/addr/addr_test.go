@@ -1,0 +1,136 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantsConsistent(t *testing.T) {
+	if 1<<BlockShift != BlockBytes {
+		t.Fatalf("BlockShift %d does not match BlockBytes %d", BlockShift, BlockBytes)
+	}
+	if 1<<PageShift != PageBytes {
+		t.Fatalf("PageShift %d does not match PageBytes %d", PageShift, PageBytes)
+	}
+	if BlocksPerPage*BlockBytes != PageBytes {
+		t.Fatalf("BlocksPerPage %d inconsistent", BlocksPerPage)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want Block
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{127, 1},
+		{128, 2},
+		{4096, 64},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.a); got != c.want {
+			t.Errorf("BlockOf(%d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want Page
+	}{
+		{0, 0},
+		{4095, 0},
+		{4096, 1},
+		{8191, 1},
+		{8192, 2},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.a); got != c.want {
+			t.Errorf("PageOf(%d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestAlignments(t *testing.T) {
+	if got := BlockAlign(0x1234); got != 0x1200 {
+		t.Errorf("BlockAlign(0x1234) = %#x, want 0x1200", got)
+	}
+	if got := PageAlign(0x12345); got != 0x12000 {
+		t.Errorf("PageAlign(0x12345) = %#x, want 0x12000", got)
+	}
+	if got := BlockOffset(0x1234); got != 0x34 {
+		t.Errorf("BlockOffset(0x1234) = %#x, want 0x34", got)
+	}
+	if got := PageOffset(0x12345); got != 0x345 {
+		t.Errorf("PageOffset(0x12345) = %#x, want 0x345", got)
+	}
+}
+
+func TestBlockInPage(t *testing.T) {
+	if got := BlockInPage(BlockOf(0)); got != 0 {
+		t.Errorf("BlockInPage(block 0) = %d, want 0", got)
+	}
+	if got := BlockInPage(BlockOf(4096 - 64)); got != BlocksPerPage-1 {
+		t.Errorf("BlockInPage(last block of page) = %d, want %d", got, BlocksPerPage-1)
+	}
+	if got := BlockInPage(BlockOf(4096)); got != 0 {
+		t.Errorf("BlockInPage(first block of page 1) = %d, want 0", got)
+	}
+}
+
+// Property: block/page alignment is idempotent and never increases the address.
+func TestAlignmentProperties(t *testing.T) {
+	f := func(a uint64) bool {
+		x := Addr(a)
+		ba := BlockAlign(x)
+		pa := PageAlign(x)
+		return ba <= x && pa <= x &&
+			BlockAlign(ba) == ba && PageAlign(pa) == pa &&
+			x-ba < BlockBytes && x-pa < PageBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round-tripping a block/page id through its base address is identity.
+func TestRoundTripProperties(t *testing.T) {
+	f := func(a uint64) bool {
+		// Keep addresses within 2^58 so block ids survive the shift round trip.
+		x := Addr(a % (1 << 58))
+		return BlockOf(BlockAddr(BlockOf(x))) == BlockOf(x) &&
+			PageOf(PageAddr(PageOf(x))) == PageOf(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the page of a block equals the page of any address in that block.
+func TestPageOfBlockConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Addr(rng.Uint64() % (1 << 58))
+		if PageOfBlock(BlockOf(a)) != PageOf(a) {
+			t.Fatalf("PageOfBlock(BlockOf(%v)) mismatch", a)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Addr(0xdeadbec0).String(); s != "0x00000000deadbec0" {
+		t.Errorf("Addr.String() = %q", s)
+	}
+	if s := BlockOf(128).String(); s == "" {
+		t.Error("Block.String() empty")
+	}
+	if s := PageOf(8192).String(); s == "" {
+		t.Error("Page.String() empty")
+	}
+}

@@ -1,0 +1,309 @@
+// Package cache implements the set-associative cache model shared by every
+// level of the simulated hierarchy: the per-core L1s, the per-socket LLC, and
+// the tag array of the DRAM cache (which is simply a direct-mapped instance).
+//
+// The cache stores tags and per-line metadata only — the simulator is
+// trace-driven and never materialises data values. Each line carries a small
+// coherence state byte (interpreted by the owning protocol engine) and a
+// dirty bit. Replacement is true LRU within a set.
+package cache
+
+import (
+	"fmt"
+
+	"c3d/internal/addr"
+)
+
+// State is the per-line coherence state. The cache itself does not interpret
+// it beyond "zero means invalid"; protocol engines define their own meaning
+// for the non-zero values (see internal/coherence).
+type State uint8
+
+// StateInvalid is the only state the cache package interprets: a line whose
+// state is StateInvalid is not present.
+const StateInvalid State = 0
+
+// Config describes a cache structure.
+type Config struct {
+	// Name is used in diagnostics and stats output (e.g. "L1", "LLC",
+	// "dramcache").
+	Name string
+	// SizeBytes is the total data capacity. Must be a multiple of
+	// Ways*addr.BlockBytes.
+	SizeBytes uint64
+	// Ways is the associativity; 1 means direct-mapped.
+	Ways int
+}
+
+// Line is the metadata stored for one cached block.
+type Line struct {
+	Block addr.Block
+	State State
+	Dirty bool
+
+	valid bool
+	// lastUse is the LRU timestamp (a monotonically increasing access
+	// counter private to the cache).
+	lastUse uint64
+}
+
+// Victim describes a line evicted to make room for a fill.
+type Victim struct {
+	Block addr.Block
+	State State
+	Dirty bool
+	// Valid reports whether anything was actually evicted (false when the
+	// fill found an invalid way).
+	Valid bool
+}
+
+// Stats holds the access counters of one cache instance.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Evictions  uint64
+	DirtyEvict uint64
+	Invalidate uint64
+}
+
+// Accesses returns hits+misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns hits/(hits+misses), or 0 when the cache was never accessed.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(a)
+}
+
+// Cache is a set-associative tag/metadata array with LRU replacement.
+type Cache struct {
+	cfg     Config
+	sets    int
+	ways    int
+	lines   []Line // sets*ways entries, row-major by set
+	tick    uint64
+	stats   Stats
+	setMask uint64
+}
+
+// New builds a cache from cfg. It panics on invalid geometry, because a
+// malformed configuration invalidates every result derived from it.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive, got %d", cfg.Name, cfg.Ways))
+	}
+	lineCapacity := cfg.SizeBytes / addr.BlockBytes
+	if lineCapacity == 0 || cfg.SizeBytes%addr.BlockBytes != 0 {
+		panic(fmt.Sprintf("cache %s: size %d is not a positive multiple of the block size", cfg.Name, cfg.SizeBytes))
+	}
+	if lineCapacity%uint64(cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", cfg.Name, lineCapacity, cfg.Ways))
+	}
+	sets := int(lineCapacity / uint64(cfg.Ways))
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: number of sets %d must be a power of two", cfg.Name, sets))
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		ways:    cfg.Ways,
+		lines:   make([]Line, sets*cfg.Ways),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the data capacity in bytes.
+func (c *Cache) Capacity() uint64 { return c.cfg.SizeBytes }
+
+// Stats returns a snapshot of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without touching cache contents (used at the
+// warm-up/measurement boundary).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setOf(b addr.Block) int { return int(uint64(b) & c.setMask) }
+
+func (c *Cache) set(b addr.Block) []Line {
+	s := c.setOf(b)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup probes the cache for block b. On a hit it refreshes the line's LRU
+// position and returns a pointer to the line (which the caller may mutate,
+// e.g. to change its coherence state) and true. On a miss it returns nil and
+// false. Hit/miss statistics are updated.
+func (c *Cache) Lookup(b addr.Block) (*Line, bool) {
+	set := c.set(b)
+	for i := range set {
+		if set[i].valid && set[i].Block == b {
+			c.tick++
+			set[i].lastUse = c.tick
+			c.stats.Hits++
+			return &set[i], true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Probe is like Lookup but does not update LRU state or statistics. It is
+// used by coherence engines for snoops and invalidation checks that should
+// not perturb replacement behaviour.
+func (c *Cache) Probe(b addr.Block) (*Line, bool) {
+	set := c.set(b)
+	for i := range set {
+		if set[i].valid && set[i].Block == b {
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether block b is present (without touching LRU/stats).
+func (c *Cache) Contains(b addr.Block) bool {
+	_, ok := c.Probe(b)
+	return ok
+}
+
+// Fill inserts block b with the given state and dirty flag, evicting the LRU
+// line of the set if necessary. The evicted line (if any) is returned so the
+// caller can propagate write-backs or victim-cache fills. Filling a block
+// that is already present updates its state in place and returns an invalid
+// victim.
+func (c *Cache) Fill(b addr.Block, st State, dirty bool) Victim {
+	if st == StateInvalid {
+		panic(fmt.Sprintf("cache %s: Fill with invalid state", c.cfg.Name))
+	}
+	c.stats.Fills++
+	set := c.set(b)
+	// Already present: update in place.
+	for i := range set {
+		if set[i].valid && set[i].Block == b {
+			c.tick++
+			set[i].State = st
+			set[i].Dirty = set[i].Dirty || dirty
+			set[i].lastUse = c.tick
+			return Victim{}
+		}
+	}
+	// Free way?
+	victimIdx := -1
+	for i := range set {
+		if !set[i].valid {
+			victimIdx = i
+			break
+		}
+	}
+	var victim Victim
+	if victimIdx < 0 {
+		// Evict LRU.
+		victimIdx = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[victimIdx].lastUse {
+				victimIdx = i
+			}
+		}
+		v := set[victimIdx]
+		victim = Victim{Block: v.Block, State: v.State, Dirty: v.Dirty, Valid: true}
+		c.stats.Evictions++
+		if v.Dirty {
+			c.stats.DirtyEvict++
+		}
+	}
+	c.tick++
+	set[victimIdx] = Line{Block: b, State: st, Dirty: dirty, valid: true, lastUse: c.tick}
+	return victim
+}
+
+// Invalidate removes block b if present and returns its former metadata. The
+// returned Victim.Valid reports whether the block was present.
+func (c *Cache) Invalidate(b addr.Block) Victim {
+	set := c.set(b)
+	for i := range set {
+		if set[i].valid && set[i].Block == b {
+			v := set[i]
+			set[i] = Line{}
+			c.stats.Invalidate++
+			return Victim{Block: v.Block, State: v.State, Dirty: v.Dirty, Valid: true}
+		}
+	}
+	return Victim{}
+}
+
+// SetState changes the coherence state of block b if present, and reports
+// whether the block was found. Setting StateInvalid removes the block.
+func (c *Cache) SetState(b addr.Block, st State) bool {
+	if st == StateInvalid {
+		return c.Invalidate(b).Valid
+	}
+	set := c.set(b)
+	for i := range set {
+		if set[i].valid && set[i].Block == b {
+			set[i].State = st
+			return true
+		}
+	}
+	return false
+}
+
+// CleanBlock clears the dirty bit of block b if present and reports whether
+// the block was found. It is used by the clean (write-through) DRAM cache
+// policy and when an LLC write-back leaves a clean copy behind.
+func (c *Cache) CleanBlock(b addr.Block) bool {
+	set := c.set(b)
+	for i := range set {
+		if set[i].valid && set[i].Block == b {
+			set[i].Dirty = false
+			return true
+		}
+	}
+	return false
+}
+
+// ValidLines returns the number of currently valid lines. Intended for tests
+// and occupancy reporting, not for per-access hot paths.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every valid line. Intended for diagnostics and the
+// model checker's small configurations; not used on hot paths.
+func (c *Cache) ForEach(fn func(Line)) {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			fn(c.lines[i])
+		}
+	}
+}
+
+// Flush removes every line and returns the number of lines that were dirty.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].Dirty {
+			dirty++
+		}
+		c.lines[i] = Line{}
+	}
+	return dirty
+}

@@ -1,0 +1,315 @@
+package coherence
+
+import (
+	"fmt"
+
+	"c3d/internal/addr"
+	"c3d/internal/sim"
+)
+
+// Entry is one global-directory entry: the stable state of a block plus the
+// socket-grain sharing vector. Owner is only meaningful in DirModified and
+// names the single socket with write permission.
+type Entry struct {
+	State   DirState
+	Sharers SharerSet
+	Owner   int
+}
+
+// Owner socket as a sharer set (convenience for invalidation fan-out).
+func (e Entry) OwnerSet() SharerSet {
+	if e.State != DirModified {
+		return 0
+	}
+	return NewSharerSet(e.Owner)
+}
+
+// DirConfig describes one socket's slice of the global directory.
+type DirConfig struct {
+	// Name identifies the slice in diagnostics, e.g. "gdir0".
+	Name string
+	// Entries is the capacity of the slice. Zero means unlimited (the
+	// idealised full directory of §III-B / the c3d-full-dir design, which the
+	// paper models with "no recalls").
+	Entries int
+	// Ways is the associativity of a bounded directory. Ignored when
+	// Entries is zero. Table II models a sparse 2x, 32-way directory.
+	Ways int
+	// AccessLatency is charged by the protocol engines per directory lookup
+	// (10 cycles in Table II). The directory itself does not apply it; it is
+	// carried here so machine configuration stays in one place.
+	AccessLatency sim.Cycles
+}
+
+// DirStats counts directory activity.
+type DirStats struct {
+	Lookups     uint64
+	Hits        uint64
+	Misses      uint64
+	Allocations uint64
+	// Recalls counts entries evicted from a bounded (sparse) directory to
+	// make room for a new allocation. Each recall forces invalidation of the
+	// tracked copies, which the protocol engine must perform.
+	Recalls uint64
+	Updates uint64
+	Removes uint64
+}
+
+// Directory is one socket's slice of the global directory: a mapping from
+// block to Entry. With Entries == 0 it behaves as an unbounded full map
+// (no recalls); otherwise it is a sparse set-associative structure whose
+// evictions the caller must turn into recall invalidations.
+type Directory struct {
+	cfg   DirConfig
+	stats DirStats
+
+	// Unbounded storage.
+	unbounded map[addr.Block]Entry
+
+	// Bounded (sparse) storage.
+	sets    int
+	ways    int
+	setMask uint64
+	lines   []dirLine
+	tick    uint64
+
+	// stale, when set, reports whether a tracked block is no longer cached
+	// anywhere, letting the replacement policy victimise stale entries
+	// before live ones (see SetStalePredicate).
+	stale func(addr.Block) bool
+}
+
+type dirLine struct {
+	block   addr.Block
+	entry   Entry
+	valid   bool
+	lastUse uint64
+}
+
+// Recall describes an entry evicted from a sparse directory. The protocol
+// engine must invalidate the copies it tracks before reusing the slot.
+type Recall struct {
+	Block addr.Block
+	Entry Entry
+	Valid bool
+}
+
+// NewDirectory builds a directory slice from cfg. It panics on invalid
+// bounded geometry.
+func NewDirectory(cfg DirConfig) *Directory {
+	d := &Directory{cfg: cfg}
+	if cfg.Entries <= 0 {
+		d.unbounded = make(map[addr.Block]Entry)
+		return d
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("coherence: directory %s: ways must be positive", cfg.Name))
+	}
+	if cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("coherence: directory %s: %d entries not divisible by %d ways", cfg.Name, cfg.Entries, cfg.Ways))
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("coherence: directory %s: number of sets %d must be a power of two", cfg.Name, sets))
+	}
+	d.sets = sets
+	d.ways = cfg.Ways
+	d.setMask = uint64(sets - 1)
+	d.lines = make([]dirLine, sets*cfg.Ways)
+	return d
+}
+
+// Config returns the configuration the directory was built with.
+func (d *Directory) Config() DirConfig { return d.cfg }
+
+// SetStalePredicate installs a callback that reports whether a tracked block
+// has already left every cache covered by this directory. Caches evict clean
+// blocks silently, so a sparse directory accumulates entries for blocks that
+// are long gone; without help its LRU victim is frequently a *live* entry
+// whose recall needlessly invalidates cached data. Real designs mitigate this
+// with eviction hints or by probing before recalling — the predicate models
+// that ability. A nil predicate (the default) falls back to pure LRU.
+func (d *Directory) SetStalePredicate(fn func(addr.Block) bool) { d.stale = fn }
+
+// Unbounded reports whether the directory has unlimited capacity.
+func (d *Directory) Unbounded() bool { return d.unbounded != nil }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// ResetStats clears the activity counters without touching contents.
+func (d *Directory) ResetStats() { d.stats = DirStats{} }
+
+// Lookup returns the entry for block b and whether one exists. A missing
+// entry means DirInvalid.
+func (d *Directory) Lookup(b addr.Block) (Entry, bool) {
+	d.stats.Lookups++
+	if d.unbounded != nil {
+		e, ok := d.unbounded[b]
+		if ok {
+			d.stats.Hits++
+		} else {
+			d.stats.Misses++
+		}
+		return e, ok
+	}
+	set := d.set(b)
+	for i := range set {
+		if set[i].valid && set[i].block == b {
+			d.tick++
+			set[i].lastUse = d.tick
+			d.stats.Hits++
+			return set[i].entry, true
+		}
+	}
+	d.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe is like Lookup but does not update LRU order or statistics.
+func (d *Directory) Probe(b addr.Block) (Entry, bool) {
+	if d.unbounded != nil {
+		e, ok := d.unbounded[b]
+		return e, ok
+	}
+	set := d.set(b)
+	for i := range set {
+		if set[i].valid && set[i].block == b {
+			return set[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Update stores entry for block b, allocating a slot if necessary. If the
+// block is absent and the directory is sparse and the set is full, the LRU
+// entry is evicted and returned as a recall that the caller must act on.
+// Storing an entry in DirInvalid state removes the block instead.
+func (d *Directory) Update(b addr.Block, e Entry) Recall {
+	if e.State == DirInvalid {
+		d.Remove(b)
+		return Recall{}
+	}
+	d.stats.Updates++
+	if d.unbounded != nil {
+		if _, ok := d.unbounded[b]; !ok {
+			d.stats.Allocations++
+		}
+		d.unbounded[b] = e
+		return Recall{}
+	}
+	set := d.set(b)
+	// Present: update in place.
+	for i := range set {
+		if set[i].valid && set[i].block == b {
+			d.tick++
+			set[i].entry = e
+			set[i].lastUse = d.tick
+			return Recall{}
+		}
+	}
+	d.stats.Allocations++
+	// Free way?
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	var recall Recall
+	if victim < 0 {
+		// Prefer the least recently used *stale* entry (its block has left
+		// every cache, so no recall invalidation is needed); fall back to
+		// plain LRU when every entry is still live or no predicate is set.
+		lru, lruStale := 0, -1
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[lru].lastUse {
+				lru = i
+			}
+		}
+		if d.stale != nil {
+			for i := range set {
+				if d.stale(set[i].block) && (lruStale < 0 || set[i].lastUse < set[lruStale].lastUse) {
+					lruStale = i
+				}
+			}
+		}
+		if lruStale >= 0 {
+			victim = lruStale
+		} else {
+			victim = lru
+			recall = Recall{Block: set[victim].block, Entry: set[victim].entry, Valid: true}
+			d.stats.Recalls++
+		}
+	}
+	d.tick++
+	set[victim] = dirLine{block: b, entry: e, valid: true, lastUse: d.tick}
+	return recall
+}
+
+// Remove deletes the entry for block b if present and reports whether it was
+// present.
+func (d *Directory) Remove(b addr.Block) bool {
+	if d.unbounded != nil {
+		if _, ok := d.unbounded[b]; ok {
+			delete(d.unbounded, b)
+			d.stats.Removes++
+			return true
+		}
+		return false
+	}
+	set := d.set(b)
+	for i := range set {
+		if set[i].valid && set[i].block == b {
+			set[i] = dirLine{}
+			d.stats.Removes++
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns the number of valid entries currently stored. Intended for
+// tests and reporting.
+func (d *Directory) Entries() int {
+	if d.unbounded != nil {
+		return len(d.unbounded)
+	}
+	n := 0
+	for i := range d.lines {
+		if d.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every (block, entry) pair. Iteration order over an
+// unbounded directory is unspecified; tests that need determinism should use
+// a bounded directory or sort the results.
+func (d *Directory) ForEach(fn func(addr.Block, Entry)) {
+	if d.unbounded != nil {
+		for b, e := range d.unbounded {
+			fn(b, e)
+		}
+		return
+	}
+	for i := range d.lines {
+		if d.lines[i].valid {
+			fn(d.lines[i].block, d.lines[i].entry)
+		}
+	}
+}
+
+func (d *Directory) set(b addr.Block) []dirLine {
+	// XOR-fold the block number before masking. A home-sliced directory only
+	// ever sees blocks whose page-interleave bits match its socket, so using
+	// the raw low bits would leave most sets unused; folding higher bits in
+	// spreads the tracked blocks across every set.
+	h := uint64(b)
+	h ^= h >> 8
+	h ^= h >> 16
+	s := int(h & d.setMask)
+	return d.lines[s*d.ways : (s+1)*d.ways]
+}

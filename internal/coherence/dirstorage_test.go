@@ -1,0 +1,105 @@
+package coherence
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	mib = 1 << 20
+	gib = 1 << 30
+)
+
+// §III-B: "a 256MB DRAM cache, even with a minimally-provisioned (1x) sparse
+// directory, would require 16MB of directory storage per socket. For a
+// 2x-provisioned directory ... the storage costs increase to 32MB for a 256MB
+// cache or a whopping 128MB for a 1GB DRAM cache."
+func TestDirectoryStorageMatchesPaperNumbers(t *testing.T) {
+	cases := []struct {
+		name         string
+		capacity     uint64
+		provisioning float64
+		wantMB       float64
+	}{
+		{"256MB cache, 1x", 256 * mib, 1.0, 16},
+		{"256MB cache, 2x", 256 * mib, 2.0, 32},
+		{"1GB cache, 2x", 1 * gib, 2.0, 128},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultStorageParams(tc.capacity, 4, tc.provisioning)
+			got := p.StorageMB()
+			// The paper rounds to the nearest power-of-two-ish MB figure;
+			// allow 25% slack for the exact per-entry width assumed.
+			if math.Abs(got-tc.wantMB)/tc.wantMB > 0.25 {
+				t.Errorf("StorageMB() = %.1f, want about %.0f", got, tc.wantMB)
+			}
+		})
+	}
+}
+
+func TestEntryBitsRoundsToBytes(t *testing.T) {
+	p := StorageParams{TagBits: 41, StateBits: 3, Sockets: 4}
+	if got := p.EntryBits(); got%8 != 0 {
+		t.Errorf("EntryBits() = %d, want a multiple of 8", got)
+	}
+	if got := p.EntryBits(); got < 48 {
+		t.Errorf("EntryBits() = %d, want >= 48", got)
+	}
+}
+
+func TestEntriesRequiredScalesWithProvisioning(t *testing.T) {
+	base := DefaultStorageParams(256*mib, 4, 1.0).EntriesRequired()
+	doubled := DefaultStorageParams(256*mib, 4, 2.0).EntriesRequired()
+	if doubled != 2*base {
+		t.Errorf("2x provisioning entries = %d, want %d", doubled, 2*base)
+	}
+}
+
+func TestNonInclusiveDirectorySavings(t *testing.T) {
+	// C3D's directory covers only the 16MB LLC, not the 1GB DRAM cache. The
+	// storage savings versus an inclusive directory must exceed 95%.
+	savings := StorageSavings(1*gib, 16*mib, 4, 2.0)
+	if savings < 0.95 {
+		t.Errorf("StorageSavings = %.3f, want > 0.95", savings)
+	}
+	incl := InclusiveDirCost(1*gib, 16*mib, 4, 2.0)
+	noninc := NonInclusiveDirCost(16*mib, 4, 2.0)
+	if noninc >= incl {
+		t.Errorf("non-inclusive cost %d should be far below inclusive cost %d", noninc, incl)
+	}
+}
+
+func TestOwnerSet(t *testing.T) {
+	e := Entry{State: DirModified, Owner: 3}
+	if !e.OwnerSet().Only(3) {
+		t.Errorf("OwnerSet() = %v, want {3}", e.OwnerSet())
+	}
+	e = Entry{State: DirShared, Sharers: NewSharerSet(1, 2)}
+	if !e.OwnerSet().Empty() {
+		t.Errorf("OwnerSet() of a Shared entry = %v, want empty", e.OwnerSet())
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	if DirInvalid.String() != "I" || DirShared.String() != "S" || DirModified.String() != "M" {
+		t.Error("unexpected DirState names")
+	}
+	if LineStateName(LineInvalid) != "I" || LineStateName(LineShared) != "S" || LineStateName(LineModified) != "M" {
+		t.Error("unexpected line state names")
+	}
+}
+
+func TestMsgTypeProperties(t *testing.T) {
+	dataCarrying := map[MsgType]bool{
+		MsgPutX: true, MsgData: true, MsgDataMem: true, MsgWriteback: true,
+	}
+	for m := MsgType(0); int(m) < NumMsgTypes; m++ {
+		if got := m.CarriesData(); got != dataCarrying[m] {
+			t.Errorf("%v.CarriesData() = %v, want %v", m, got, dataCarrying[m])
+		}
+		if m.String() == "" {
+			t.Errorf("MsgType %d has no name", m)
+		}
+	}
+}

@@ -1,0 +1,810 @@
+package core
+
+// This file contains a message-level model of the C3D coherence protocol for
+// ONE cache block, suitable for exhaustive state-space exploration by
+// internal/mc. It mirrors the Murϕ verification described in §IV-C of the
+// paper: a global directory with three stable states, per-socket LLC and
+// DRAM-cache controllers, an unordered interconnect, and the write-back /
+// forwarding races that make directory protocols interesting.
+//
+// Modelling decisions (documented deviations from the timing engine):
+//
+//   - Upgrades are modelled as plain GetX requests (the paper treats them
+//     identically except that the response carries no data, a bandwidth
+//     optimisation with no protocol-state consequence).
+//   - The directory is blocking per address: while a GetS/GetX transaction is
+//     outstanding the directory defers further GetS/GetX for that block
+//     (they stay in the network). PutX, InvAck and Unblock are always
+//     deliverable, which is where the interesting races live.
+//   - Data values are small integers: every store writes lastWrite+1, so the
+//     checker can verify that loads observe the most recent write
+//     (per-location sequential consistency) and that memory is up to date
+//     whenever no on-chip cache holds the block Modified (the data-value
+//     invariant enabled by clean DRAM caches).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// llcState is the on-chip (LLC and above) controller state for the block.
+type llcState uint8
+
+const (
+	llcI   llcState = iota // not present
+	llcS                   // read-only copy
+	llcM                   // writable, possibly dirty copy
+	llcISd                 // load miss outstanding, waiting for data
+	llcIMa                 // store miss outstanding, waiting for data and acks
+	llcMIa                 // Modified eviction outstanding, waiting for write-back ack
+	llcIIa                 // lost ownership while evicting, waiting for write-back ack
+)
+
+func (s llcState) String() string {
+	return [...]string{"I", "S", "M", "IS_D", "IM_AD", "MI_A", "II_A"}[s]
+}
+
+// dcState is the DRAM-cache controller state for the block. Because C3D keeps
+// DRAM caches clean, the only states are "not present" and "holds a clean
+// copy".
+type dcState uint8
+
+const (
+	dcI dcState = iota
+	dcV
+)
+
+func (s dcState) String() string {
+	return [...]string{"I", "V"}[s]
+}
+
+// pendingOp is the core's outstanding memory operation, if any.
+type pendingOp uint8
+
+const (
+	opNone pendingOp = iota
+	opLoad
+	opStore
+)
+
+// msgKind enumerates the protocol messages of the model. They correspond to
+// the 15 message types of the paper's Murϕ model, folded slightly where a
+// distinction has no state consequence.
+type msgKind uint8
+
+const (
+	mGetS msgKind = iota
+	mGetX
+	mFwdGetS
+	mFwdGetX
+	mInv
+	mInvAck
+	mData        // block supplied by the previous owner
+	mDataMem     // block supplied by memory at the home socket
+	mPutX        // write-back of a Modified block (carries data)
+	mAck         // write-back acknowledgement
+	mUnblock     // transaction-complete notification from the requester
+	mUnblockData // transaction-complete notification carrying data for memory
+	numMsgKinds
+)
+
+func (k msgKind) String() string {
+	return [...]string{"GetS", "GetX", "FwdGetS", "FwdGetX", "Inv", "InvAck",
+		"Data", "DataMem", "PutX", "Ack", "Unblock", "UnblockData"}[k]
+}
+
+// message is one in-flight protocol message. Requester is carried by
+// forwarded/invalidate messages so the responder knows where to send data or
+// acks.
+type message struct {
+	Kind      msgKind
+	Src, Dst  int8
+	Requester int8
+	Data      uint8
+	Acks      int8
+}
+
+// socketState is the per-socket protocol state for the block.
+type socketState struct {
+	LLC     llcState
+	LLCData uint8
+	DC      dcState
+	DCData  uint8
+
+	Pending  pendingOp
+	HaveData bool
+	PendData uint8
+	AcksNeed int8
+	AcksGot  int8
+
+	LoadsLeft  uint8
+	StoresLeft uint8
+}
+
+// dirBusy records the transaction the blocking directory is serving.
+type dirBusy struct {
+	Busy        bool
+	Requester   int8
+	IsWrite     bool
+	ForwardedTo int8 // socket a Fwd* was sent to, or -1
+}
+
+// protoState is the complete system state for one block.
+type protoState struct {
+	Sockets []socketState
+	// Directory stable state, using the same vocabulary as the timing model.
+	DirState uint8 // 0=I, 1=S, 2=M
+	DirOwner int8
+	Sharers  uint8 // bitmask
+	Busy     dirBusy
+
+	Memory    uint8
+	LastWrite uint8
+
+	Msgs []message
+}
+
+const (
+	pdirI uint8 = iota
+	pdirS
+	pdirM
+)
+
+// ProtocolConfig parameterises the model.
+type ProtocolConfig struct {
+	// Sockets is the number of sockets (the paper verifies small
+	// configurations; 2 or 3 keeps the state space tractable).
+	Sockets int
+	// LoadsPerCore and StoresPerCore bound each core's operations.
+	LoadsPerCore  int
+	StoresPerCore int
+	// TrackDRAMCache selects the c3d-full-dir variant (GetS allocates
+	// directory entries, PutX downgrades to Shared, no broadcasts).
+	TrackDRAMCache bool
+}
+
+// DefaultProtocolConfig returns the configuration used by the verification
+// experiment: 3 sockets, each core doing one load and one store.
+func DefaultProtocolConfig() ProtocolConfig {
+	return ProtocolConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1}
+}
+
+// ProtocolModel is the explorable model; it implements the interface expected
+// by internal/mc (via duck typing — mc defines the interface).
+type ProtocolModel struct {
+	cfg  ProtocolConfig
+	home int8
+}
+
+// NewProtocolModel builds a model from cfg.
+func NewProtocolModel(cfg ProtocolConfig) *ProtocolModel {
+	if cfg.Sockets < 1 || cfg.Sockets > 8 {
+		panic(fmt.Sprintf("core: protocol model supports 1..8 sockets, got %d", cfg.Sockets))
+	}
+	return &ProtocolModel{cfg: cfg, home: 0}
+}
+
+// Name identifies the model in reports.
+func (m *ProtocolModel) Name() string {
+	variant := "c3d"
+	if m.cfg.TrackDRAMCache {
+		variant = "c3d-full-dir"
+	}
+	return fmt.Sprintf("%s/%d-socket/%dL%dS", variant, m.cfg.Sockets, m.cfg.LoadsPerCore, m.cfg.StoresPerCore)
+}
+
+// Initial returns the single initial state: everything invalid, memory holds
+// value 0.
+func (m *ProtocolModel) Initial() []string {
+	s := protoState{
+		Sockets:  make([]socketState, m.cfg.Sockets),
+		DirState: pdirI,
+		DirOwner: -1,
+		Busy:     dirBusy{ForwardedTo: -1},
+	}
+	for i := range s.Sockets {
+		s.Sockets[i].LoadsLeft = uint8(m.cfg.LoadsPerCore)
+		s.Sockets[i].StoresLeft = uint8(m.cfg.StoresPerCore)
+	}
+	return []string{encodeState(&s)}
+}
+
+// Quiescent reports whether the state has no outstanding work: no messages in
+// flight, no pending core operations and an idle directory. States without
+// successors must be quiescent, otherwise the system has deadlocked.
+func (m *ProtocolModel) Quiescent(enc string) bool {
+	s := decodeState(enc)
+	if len(s.Msgs) != 0 || s.Busy.Busy {
+		return false
+	}
+	for i := range s.Sockets {
+		if s.Sockets[i].Pending != opNone {
+			return false
+		}
+		switch s.Sockets[i].LLC {
+		case llcISd, llcIMa, llcMIa, llcIIa:
+			return false
+		}
+	}
+	return true
+}
+
+// Check verifies the state invariants:
+//
+//  1. Single-Writer-Multiple-Reader: at most one socket holds the block
+//     Modified on-chip, and while one does, no other socket holds any valid
+//     copy (LLC or DRAM cache).
+//  2. Clean DRAM caches: a DRAM cache never holds the block while the
+//     directory believes memory is the owner *and* the value differs from
+//     memory — checked in the quiescent-state data-value invariant below.
+//  3. Data-value invariant (quiescent states): if no on-chip cache is
+//     Modified, memory holds the most recent written value and every valid
+//     copy agrees with it; if a socket is Modified, that socket holds the
+//     most recent value.
+func (m *ProtocolModel) Check(enc string) error {
+	s := decodeState(enc)
+	owner := -1
+	for i := range s.Sockets {
+		if s.Sockets[i].LLC == llcM {
+			if owner >= 0 {
+				return fmt.Errorf("SWMR violated: sockets %d and %d both Modified", owner, i)
+			}
+			owner = i
+		}
+	}
+	if owner >= 0 {
+		for i := range s.Sockets {
+			if i == owner {
+				continue
+			}
+			if s.Sockets[i].LLC == llcS || s.Sockets[i].LLC == llcM {
+				return fmt.Errorf("SWMR violated: socket %d holds a copy while socket %d is Modified", i, owner)
+			}
+			if s.Sockets[i].DC == dcV {
+				return fmt.Errorf("stale-copy violation: socket %d DRAM cache holds the block while socket %d is Modified", i, owner)
+			}
+		}
+	}
+	if !m.Quiescent(enc) {
+		return nil
+	}
+	// Quiescent-state data-value checks.
+	if owner >= 0 {
+		if s.Sockets[owner].LLCData != s.LastWrite {
+			return fmt.Errorf("data-value violated: owner socket %d holds %d, last write was %d",
+				owner, s.Sockets[owner].LLCData, s.LastWrite)
+		}
+		return nil
+	}
+	if s.Memory != s.LastWrite {
+		return fmt.Errorf("data-value violated: memory holds %d, last write was %d (clean property broken)",
+			s.Memory, s.LastWrite)
+	}
+	for i := range s.Sockets {
+		// The observable copy of a socket is its LLC copy if valid, else its
+		// DRAM cache copy. A DRAM cache copy shadowed by a valid LLC copy may
+		// legitimately be stale (the paper notes this for Modified on-chip
+		// copies): every path that removes the LLC copy either refreshes the
+		// DRAM cache copy (eviction) or invalidates it (invalidation goes to
+		// the DRAM cache first), so the stale value is never observable.
+		switch {
+		case s.Sockets[i].LLC == llcS:
+			if s.Sockets[i].LLCData != s.LastWrite {
+				return fmt.Errorf("data-value violated: socket %d LLC holds stale value %d (last write %d)",
+					i, s.Sockets[i].LLCData, s.LastWrite)
+			}
+		case s.Sockets[i].DC == dcV:
+			if s.Sockets[i].DCData != s.LastWrite {
+				return fmt.Errorf("data-value violated: socket %d DRAM cache holds observable stale value %d (last write %d)",
+					i, s.Sockets[i].DCData, s.LastWrite)
+			}
+		}
+	}
+	return nil
+}
+
+// Successors enumerates every state reachable in one atomic step: a core
+// issuing an operation, a spontaneous eviction, or the delivery of one
+// in-flight message. It returns an error if a transition itself violates a
+// property (a load observing a stale value).
+func (m *ProtocolModel) Successors(enc string) ([]string, error) {
+	s := decodeState(enc)
+	var out []string
+	add := func(n *protoState) { out = append(out, encodeState(n)) }
+
+	// Core-initiated transitions. New operations issue only when the
+	// previous one has completed and the on-chip controller is in a stable
+	// state (an eviction write-back in flight also blocks the next access to
+	// this block, as it would in hardware where the MSHR is occupied).
+	for i := range s.Sockets {
+		sock := &s.Sockets[i]
+		stable := sock.LLC == llcI || sock.LLC == llcS || sock.LLC == llcM
+		if sock.Pending == opNone && stable && sock.LoadsLeft > 0 {
+			n, err := m.issueLoad(clone(s), i)
+			if err != nil {
+				return nil, err
+			}
+			add(n)
+		}
+		if sock.Pending == opNone && stable && sock.StoresLeft > 0 {
+			add(m.issueStore(clone(s), i))
+		}
+		// Spontaneous evictions model capacity pressure.
+		if sock.Pending == opNone && sock.LLC == llcS {
+			add(m.evictShared(clone(s), i))
+		}
+		if sock.Pending == opNone && sock.LLC == llcM {
+			add(m.evictModified(clone(s), i))
+		}
+		if sock.DC == dcV {
+			add(m.evictDRAMCache(clone(s), i))
+		}
+	}
+
+	// Message deliveries.
+	for idx := range s.Msgs {
+		msg := s.Msgs[idx]
+		if msg.Dst == m.home && (msg.Kind == mGetS || msg.Kind == mGetX) && s.Busy.Busy {
+			// Blocking directory: requests wait while a transaction is
+			// outstanding.
+			continue
+		}
+		if msg.Kind == mPutX && s.Busy.Busy && s.Busy.ForwardedTo == msg.Src {
+			// Write-back race: the directory has forwarded the in-flight
+			// transaction to this very socket. The write-back is deferred
+			// until the transaction completes, so exactly one party (the
+			// ex-owner, which still holds the data in MI_A) supplies the
+			// requester.
+			continue
+		}
+		n := clone(s)
+		n.Msgs = append(n.Msgs[:idx:idx], n.Msgs[idx+1:]...)
+		next, err := m.deliver(n, msg)
+		if err != nil {
+			return nil, err
+		}
+		if next != nil {
+			add(next)
+		}
+	}
+	return out, nil
+}
+
+// --- core-initiated transitions ---
+
+func (m *ProtocolModel) issueLoad(s *protoState, i int) (*protoState, error) {
+	sock := &s.Sockets[i]
+	switch sock.LLC {
+	case llcS, llcM:
+		// On-chip hit.
+		if err := checkLoadValue(s, i, sock.LLCData); err != nil {
+			return nil, err
+		}
+		sock.LoadsLeft--
+		return s, nil
+	case llcI:
+		if sock.DC == dcV {
+			// Local DRAM cache hit: the defining fast path of C3D. No
+			// messages leave the socket.
+			if err := checkLoadValue(s, i, sock.DCData); err != nil {
+				return nil, err
+			}
+			sock.LLC = llcS
+			sock.LLCData = sock.DCData
+			sock.LoadsLeft--
+			return s, nil
+		}
+		sock.LLC = llcISd
+		sock.Pending = opLoad
+		send(s, message{Kind: mGetS, Src: int8(i), Dst: m.home, Requester: int8(i)})
+		return s, nil
+	default:
+		panic(fmt.Sprintf("core: issueLoad in unexpected state %v", sock.LLC))
+	}
+}
+
+func (m *ProtocolModel) issueStore(s *protoState, i int) *protoState {
+	sock := &s.Sockets[i]
+	switch sock.LLC {
+	case llcM:
+		// Write hit.
+		s.LastWrite++
+		sock.LLCData = s.LastWrite
+		sock.StoresLeft--
+		return s
+	case llcS, llcI:
+		// Treat upgrades as GetX (see the file comment).
+		sock.LLC = llcIMa
+		sock.Pending = opStore
+		sock.HaveData = false
+		sock.AcksNeed = -1 // unknown until the directory answers
+		sock.AcksGot = 0
+		send(s, message{Kind: mGetX, Src: int8(i), Dst: m.home, Requester: int8(i)})
+		return s
+	default:
+		panic(fmt.Sprintf("core: issueStore in unexpected state %v", sock.LLC))
+	}
+}
+
+func (m *ProtocolModel) evictShared(s *protoState, i int) *protoState {
+	sock := &s.Sockets[i]
+	// Silent eviction; the victim is captured by the local DRAM cache
+	// (victim-cache organisation, §II-C), which stays clean.
+	sock.DC = dcV
+	sock.DCData = sock.LLCData
+	sock.LLC = llcI
+	return s
+}
+
+func (m *ProtocolModel) evictModified(s *protoState, i int) *protoState {
+	sock := &s.Sockets[i]
+	// Fig. 5 PutX path: the DRAM cache takes a clean copy of the data and
+	// forwards the write-back to the global directory; the LLC waits for the
+	// directory's ack.
+	sock.DC = dcV
+	sock.DCData = sock.LLCData
+	sock.LLC = llcMIa
+	send(s, message{Kind: mPutX, Src: int8(i), Dst: m.home, Requester: int8(i), Data: sock.LLCData})
+	return s
+}
+
+func (m *ProtocolModel) evictDRAMCache(s *protoState, i int) *protoState {
+	// Clean DRAM cache: evictions are silent and never produce write-backs.
+	s.Sockets[i].DC = dcI
+	return s
+}
+
+// --- message delivery ---
+
+func (m *ProtocolModel) deliver(s *protoState, msg message) (*protoState, error) {
+	switch msg.Kind {
+	case mGetS:
+		return m.dirGetS(s, msg), nil
+	case mGetX:
+		return m.dirGetX(s, msg), nil
+	case mPutX:
+		return m.dirPutX(s, msg), nil
+	case mUnblock, mUnblockData:
+		return m.dirUnblock(s, msg), nil
+	case mFwdGetS:
+		return m.sockFwdGetS(s, msg), nil
+	case mFwdGetX:
+		return m.sockFwdGetX(s, msg), nil
+	case mInv:
+		return m.sockInv(s, msg), nil
+	case mInvAck:
+		return m.sockInvAck(s, msg)
+	case mData, mDataMem:
+		return m.sockData(s, msg)
+	case mAck:
+		return m.sockAck(s, msg), nil
+	default:
+		panic(fmt.Sprintf("core: unknown message kind %v", msg.Kind))
+	}
+}
+
+func (m *ProtocolModel) dirGetS(s *protoState, msg message) *protoState {
+	req := msg.Requester
+	s.Busy = dirBusy{Busy: true, Requester: req, IsWrite: false, ForwardedTo: -1}
+	switch s.DirState {
+	case pdirI:
+		send(s, message{Kind: mDataMem, Src: int8(m.home), Dst: req, Data: s.Memory})
+		if m.cfg.TrackDRAMCache {
+			s.DirState = pdirS
+			s.Sharers = 1 << uint(req)
+		}
+		// Base C3D: the directory does NOT allocate an entry for a GetS in
+		// Invalid (non-inclusive directory, §IV-B).
+	case pdirS:
+		send(s, message{Kind: mDataMem, Src: int8(m.home), Dst: req, Data: s.Memory})
+		s.Sharers |= 1 << uint(req)
+	case pdirM:
+		owner := s.DirOwner
+		send(s, message{Kind: mFwdGetS, Src: int8(m.home), Dst: owner, Requester: req})
+		s.DirState = pdirS
+		s.Sharers = (1 << uint(owner)) | (1 << uint(req))
+		s.DirOwner = -1
+		s.Busy.ForwardedTo = owner
+	}
+	return s
+}
+
+func (m *ProtocolModel) dirGetX(s *protoState, msg message) *protoState {
+	req := msg.Requester
+	s.Busy = dirBusy{Busy: true, Requester: req, IsWrite: true, ForwardedTo: -1}
+	switch s.DirState {
+	case pdirI:
+		// Untracked block: broadcast invalidations to every other socket's
+		// DRAM cache (and on-chip hierarchy). The requester collects one
+		// InvAck per socket.
+		acks := int8(0)
+		for j := 0; j < m.cfg.Sockets; j++ {
+			if int8(j) == req {
+				continue
+			}
+			send(s, message{Kind: mInv, Src: int8(m.home), Dst: int8(j), Requester: req})
+			acks++
+		}
+		send(s, message{Kind: mDataMem, Src: int8(m.home), Dst: req, Data: s.Memory, Acks: acks})
+	case pdirS:
+		acks := int8(0)
+		for j := 0; j < m.cfg.Sockets; j++ {
+			if int8(j) == req || s.Sharers&(1<<uint(j)) == 0 {
+				continue
+			}
+			send(s, message{Kind: mInv, Src: int8(m.home), Dst: int8(j), Requester: req})
+			acks++
+		}
+		send(s, message{Kind: mDataMem, Src: int8(m.home), Dst: req, Data: s.Memory, Acks: acks})
+	case pdirM:
+		owner := s.DirOwner
+		send(s, message{Kind: mFwdGetX, Src: int8(m.home), Dst: owner, Requester: req})
+		s.Busy.ForwardedTo = owner
+	}
+	s.DirState = pdirM
+	s.DirOwner = req
+	s.Sharers = 1 << uint(req)
+	return s
+}
+
+func (m *ProtocolModel) dirPutX(s *protoState, msg message) *protoState {
+	from := msg.Src
+	if s.DirState == pdirM && s.DirOwner == from {
+		// Normal write-back: the clean property is maintained by writing the
+		// data through to memory. Base C3D drops the entry (Invalid);
+		// c3d-full-dir keeps it Shared.
+		s.Memory = msg.Data
+		if m.cfg.TrackDRAMCache {
+			s.DirState = pdirS
+			s.DirOwner = -1
+			s.Sharers = 1 << uint(from)
+		} else {
+			s.DirState = pdirI
+			s.DirOwner = -1
+			s.Sharers = 0
+		}
+	}
+	// A stale PutX (the socket already lost ownership) updates nothing.
+	send(s, message{Kind: mAck, Src: int8(m.home), Dst: from})
+	return s
+}
+
+func (m *ProtocolModel) dirUnblock(s *protoState, msg message) *protoState {
+	if msg.Kind == mUnblockData {
+		// The requester obtained the block from the previous owner on a
+		// GetS; memory is updated so the Shared state's "memory is not
+		// stale" invariant holds.
+		s.Memory = msg.Data
+	}
+	s.Busy = dirBusy{ForwardedTo: -1}
+	return s
+}
+
+func (m *ProtocolModel) sockFwdGetS(s *protoState, msg message) *protoState {
+	i := int(msg.Dst)
+	sock := &s.Sockets[i]
+	switch sock.LLC {
+	case llcM:
+		// Downgrade to Shared, forward the data to the requester. Memory is
+		// updated when the requester unblocks with the data.
+		sock.LLC = llcS
+		send(s, message{Kind: mData, Src: int8(i), Dst: msg.Requester, Data: sock.LLCData})
+	case llcMIa:
+		// Eviction in progress: the write-back is deferred at the directory
+		// (see Successors), so this socket still holds the data and is the
+		// one that must serve the requester. It stays in MI_A awaiting the
+		// (deferred) write-back acknowledgement.
+		send(s, message{Kind: mData, Src: int8(i), Dst: msg.Requester, Data: sock.LLCData})
+	default:
+		panic(fmt.Sprintf("core: socket %d received FwdGetS in state %v", i, sock.LLC))
+	}
+	return s
+}
+
+func (m *ProtocolModel) sockFwdGetX(s *protoState, msg message) *protoState {
+	i := int(msg.Dst)
+	sock := &s.Sockets[i]
+	switch sock.LLC {
+	case llcM:
+		send(s, message{Kind: mData, Src: int8(i), Dst: msg.Requester, Data: sock.LLCData})
+		sock.LLC = llcI
+		// Losing ownership invalidates the whole hierarchy, including the
+		// (possibly stale) DRAM cache copy.
+		sock.DC = dcI
+	case llcMIa:
+		// Eviction in progress (write-back deferred at the directory): serve
+		// the requester, drop every local copy, and keep waiting for the
+		// write-back acknowledgement.
+		send(s, message{Kind: mData, Src: int8(i), Dst: msg.Requester, Data: sock.LLCData})
+		sock.LLC = llcIIa
+		sock.DC = dcI
+	default:
+		panic(fmt.Sprintf("core: socket %d received FwdGetX in state %v", i, sock.LLC))
+	}
+	return s
+}
+
+func (m *ProtocolModel) sockInv(s *protoState, msg message) *protoState {
+	i := int(msg.Dst)
+	sock := &s.Sockets[i]
+	// Invalidations go to the DRAM cache first, then the LLC (§IV-C).
+	sock.DC = dcI
+	if sock.LLC == llcS {
+		sock.LLC = llcI
+	}
+	send(s, message{Kind: mInvAck, Src: int8(i), Dst: msg.Requester})
+	return s
+}
+
+func (m *ProtocolModel) sockInvAck(s *protoState, msg message) (*protoState, error) {
+	i := int(msg.Dst)
+	sock := &s.Sockets[i]
+	sock.AcksGot++
+	return m.maybeCompleteStore(s, i)
+}
+
+func (m *ProtocolModel) sockData(s *protoState, msg message) (*protoState, error) {
+	i := int(msg.Dst)
+	sock := &s.Sockets[i]
+	switch sock.LLC {
+	case llcISd:
+		if err := checkLoadValue(s, i, msg.Data); err != nil {
+			return nil, err
+		}
+		sock.LLC = llcS
+		sock.LLCData = msg.Data
+		sock.Pending = opNone
+		sock.LoadsLeft--
+		if msg.Kind == mData {
+			// Data came from the previous owner: carry it to memory with the
+			// unblock so the Shared state's invariant holds.
+			send(s, message{Kind: mUnblockData, Src: int8(i), Dst: m.home, Data: msg.Data})
+		} else {
+			send(s, message{Kind: mUnblock, Src: int8(i), Dst: m.home})
+		}
+		return s, nil
+	case llcIMa:
+		sock.HaveData = true
+		sock.PendData = msg.Data
+		if msg.Kind == mDataMem {
+			sock.AcksNeed = msg.Acks
+		} else {
+			// Data forwarded from the previous owner: no invalidation acks
+			// are outstanding.
+			sock.AcksNeed = 0
+		}
+		return m.maybeCompleteStore(s, i)
+	default:
+		return nil, fmt.Errorf("socket %d received %v in unexpected state %v", i, msg.Kind, sock.LLC)
+	}
+}
+
+func (m *ProtocolModel) maybeCompleteStore(s *protoState, i int) (*protoState, error) {
+	sock := &s.Sockets[i]
+	if sock.LLC != llcIMa || !sock.HaveData || sock.AcksNeed < 0 || sock.AcksGot < sock.AcksNeed {
+		return s, nil
+	}
+	// All invalidations acknowledged and data present: perform the write.
+	s.LastWrite++
+	sock.LLC = llcM
+	sock.LLCData = s.LastWrite
+	sock.Pending = opNone
+	sock.HaveData = false
+	sock.AcksNeed = -1
+	sock.AcksGot = 0
+	sock.StoresLeft--
+	send(s, message{Kind: mUnblock, Src: int8(i), Dst: m.home})
+	return s, nil
+}
+
+func (m *ProtocolModel) sockAck(s *protoState, msg message) *protoState {
+	i := int(msg.Dst)
+	sock := &s.Sockets[i]
+	if sock.LLC == llcMIa || sock.LLC == llcIIa {
+		sock.LLC = llcI
+	}
+	return s
+}
+
+// checkLoadValue verifies per-location sequential consistency: a completing
+// load must observe the most recent store's value.
+func checkLoadValue(s *protoState, socket int, value uint8) error {
+	if value != s.LastWrite {
+		return fmt.Errorf("socket %d load observed value %d, most recent write is %d", socket, value, s.LastWrite)
+	}
+	return nil
+}
+
+// --- state plumbing ---
+
+func send(s *protoState, msg message) { s.Msgs = append(s.Msgs, msg) }
+
+func clone(s *protoState) *protoState {
+	n := *s
+	n.Sockets = append([]socketState(nil), s.Sockets...)
+	n.Msgs = append([]message(nil), s.Msgs...)
+	return &n
+}
+
+// encodeState produces a canonical string encoding: the message multiset is
+// sorted so that states differing only in message ordering hash identically.
+func encodeState(s *protoState) string {
+	msgs := append([]message(nil), s.Msgs...)
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Requester != b.Requester {
+			return a.Requester < b.Requester
+		}
+		if a.Data != b.Data {
+			return a.Data < b.Data
+		}
+		return a.Acks < b.Acks
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "D%d:%d:%d|B%v:%d:%v:%d|M%d|W%d", s.DirState, s.DirOwner, s.Sharers,
+		s.Busy.Busy, s.Busy.Requester, s.Busy.IsWrite, s.Busy.ForwardedTo, s.Memory, s.LastWrite)
+	for i := range s.Sockets {
+		k := &s.Sockets[i]
+		fmt.Fprintf(&b, "|S%d:%d:%d:%d:%d:%d:%v:%d:%d:%d:%d:%d", k.LLC, k.LLCData, k.DC, k.DCData,
+			k.Pending, boolToInt(k.HaveData), k.PendData, k.AcksNeed, k.AcksGot, k.LoadsLeft, k.StoresLeft, i)
+	}
+	for _, msg := range msgs {
+		fmt.Fprintf(&b, "|m%d:%d:%d:%d:%d:%d", msg.Kind, msg.Src, msg.Dst, msg.Requester, msg.Data, msg.Acks)
+	}
+	return b.String()
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// decodeState parses the canonical encoding back into a state. The format is
+// internal to this package; mc treats states as opaque strings.
+func decodeState(enc string) *protoState {
+	parts := strings.Split(enc, "|")
+	s := &protoState{Busy: dirBusy{ForwardedTo: -1}}
+	mustSscan(parts[0], "D%d:%d:%d", &s.DirState, &s.DirOwner, &s.Sharers)
+	busyFields := strings.Split(strings.TrimPrefix(parts[1], "B"), ":")
+	s.Busy.Busy = busyFields[0] == "true"
+	mustSscan(busyFields[1], "%d", &s.Busy.Requester)
+	s.Busy.IsWrite = busyFields[2] == "true"
+	mustSscan(busyFields[3], "%d", &s.Busy.ForwardedTo)
+	mustSscan(parts[2], "M%d", &s.Memory)
+	mustSscan(parts[3], "W%d", &s.LastWrite)
+	for _, p := range parts[4:] {
+		switch {
+		case strings.HasPrefix(p, "S"):
+			var k socketState
+			var haveData int
+			var idx int
+			mustSscan(p, "S%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d", &k.LLC, &k.LLCData, &k.DC, &k.DCData,
+				&k.Pending, &haveData, &k.PendData, &k.AcksNeed, &k.AcksGot, &k.LoadsLeft, &k.StoresLeft, &idx)
+			k.HaveData = haveData == 1
+			s.Sockets = append(s.Sockets, k)
+		case strings.HasPrefix(p, "m"):
+			var msg message
+			mustSscan(p, "m%d:%d:%d:%d:%d:%d", &msg.Kind, &msg.Src, &msg.Dst, &msg.Requester, &msg.Data, &msg.Acks)
+			s.Msgs = append(s.Msgs, msg)
+		}
+	}
+	return s
+}
+
+func mustSscan(s, format string, args ...interface{}) {
+	if _, err := fmt.Sscanf(s, format, args...); err != nil {
+		panic(fmt.Sprintf("core: malformed protocol state %q: %v", s, err))
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProtocolModelInitial(t *testing.T) {
+	m := NewProtocolModel(DefaultProtocolConfig())
+	init := m.Initial()
+	if len(init) != 1 {
+		t.Fatalf("Initial returned %d states, want 1", len(init))
+	}
+	if !m.Quiescent(init[0]) {
+		t.Error("the initial state should be quiescent")
+	}
+	if err := m.Check(init[0]); err != nil {
+		t.Errorf("initial state violates invariants: %v", err)
+	}
+	if !strings.Contains(m.Name(), "c3d") {
+		t.Errorf("Name = %q, want it to identify the protocol", m.Name())
+	}
+}
+
+func TestProtocolStateEncodingRoundTrip(t *testing.T) {
+	m := NewProtocolModel(ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	init := m.Initial()[0]
+	// Take a couple of steps and re-encode each successor: encode(decode(s))
+	// must be the identity, otherwise the visited-set deduplication breaks.
+	states := []string{init}
+	for depth := 0; depth < 3; depth++ {
+		var next []string
+		for _, s := range states {
+			succ, err := m.Successors(s)
+			if err != nil {
+				t.Fatalf("Successors: %v", err)
+			}
+			next = append(next, succ...)
+		}
+		for _, s := range next {
+			if re := encodeState(decodeState(s)); re != s {
+				t.Fatalf("encoding not canonical:\n  in: %s\n out: %s", s, re)
+			}
+		}
+		states = next
+		if len(states) == 0 {
+			break
+		}
+	}
+}
+
+func TestProtocolSuccessorsFromInitial(t *testing.T) {
+	m := NewProtocolModel(ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	succ, err := m.Successors(m.Initial()[0])
+	if err != nil {
+		t.Fatalf("Successors: %v", err)
+	}
+	// From the initial state each of the 2 sockets can issue a load or a
+	// store: 4 successors, no evictions possible yet.
+	if len(succ) != 4 {
+		t.Errorf("initial state has %d successors, want 4", len(succ))
+	}
+}
+
+func TestProtocolSmallConfigExploresClean(t *testing.T) {
+	// A tiny exhaustive exploration inline (the full search lives in
+	// internal/mc): single socket, one load + one store must terminate
+	// without violations and reach quiescent states.
+	m := NewProtocolModel(ProtocolConfig{Sockets: 1, LoadsPerCore: 1, StoresPerCore: 1})
+	visited := map[string]bool{}
+	frontier := m.Initial()
+	quiescentSeen := 0
+	for len(frontier) > 0 {
+		next := []string{}
+		for _, s := range frontier {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if err := m.Check(s); err != nil {
+				t.Fatalf("invariant violation: %v", err)
+			}
+			succ, err := m.Successors(s)
+			if err != nil {
+				t.Fatalf("transition violation: %v", err)
+			}
+			if len(succ) == 0 {
+				if !m.Quiescent(s) {
+					t.Fatalf("deadlock: non-quiescent state has no successors: %s", s)
+				}
+				quiescentSeen++
+			}
+			next = append(next, succ...)
+		}
+		frontier = next
+	}
+	if quiescentSeen == 0 {
+		t.Error("exploration never reached a terminal quiescent state")
+	}
+	if len(visited) < 5 {
+		t.Errorf("explored only %d states; the model looks degenerate", len(visited))
+	}
+}
+
+func TestProtocolModelRejectsBadSocketCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("socket count 0 should panic")
+		}
+	}()
+	NewProtocolModel(ProtocolConfig{Sockets: 0})
+}
+
+func TestProtocolStateNames(t *testing.T) {
+	wantLLC := []string{"I", "S", "M", "IS_D", "IM_AD", "MI_A", "II_A"}
+	for i, want := range wantLLC {
+		if got := llcState(i).String(); got != want {
+			t.Errorf("llcState(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if dcI.String() != "I" || dcV.String() != "V" {
+		t.Error("unexpected DRAM-cache state names")
+	}
+	for k := msgKind(0); k < numMsgKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("message kind %d has no name", k)
+		}
+	}
+}

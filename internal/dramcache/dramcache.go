@@ -1,0 +1,378 @@
+// Package dramcache models a die-stacked (or on-package) DRAM cache: a
+// direct-mapped, block-based giga-cache with in-DRAM tags, a region-based
+// miss predictor, and bandwidth-regulated channels. Parameters default to
+// Table II of the C3D paper: 1 GB per socket, direct-mapped, 40 ns access
+// latency, eight 12.8 GB/s channels, and a 4K-entry miss predictor.
+//
+// The cache can operate in two write policies:
+//
+//   - Clean (write-through): the policy C3D relies on. The DRAM cache never
+//     holds the only up-to-date copy of a block; dirty LLC evictions are
+//     written through to memory while a clean copy is retained locally.
+//   - Dirty (write-back): the policy assumed by the naive snoopy and
+//     full-directory designs of §III, where the DRAM cache absorbs dirty LLC
+//     evictions and writes them back to memory only on eviction.
+//
+// The package provides tag-array bookkeeping and per-access timing; which
+// messages cross sockets as a consequence of hits, misses and evictions is
+// the protocol engines' business (internal/machine, internal/core).
+package dramcache
+
+import (
+	"fmt"
+
+	"c3d/internal/addr"
+	"c3d/internal/cache"
+	"c3d/internal/coherence"
+	"c3d/internal/sim"
+)
+
+// Policy selects the write policy of the DRAM cache.
+type Policy int
+
+const (
+	// Clean is the write-through policy used by C3D: blocks in the DRAM
+	// cache are never dirty.
+	Clean Policy = iota
+	// Dirty is the conventional write-back policy used by the naive designs.
+	Dirty
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Clean:
+		return "clean"
+	case Dirty:
+		return "dirty"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes one socket's DRAM cache.
+type Config struct {
+	// Name identifies the cache in stats output, e.g. "dram$0".
+	Name string
+	// SizeBytes is the data capacity (1 GB per socket in Table II).
+	SizeBytes uint64
+	// Ways is the associativity; the paper uses a direct-mapped organisation
+	// (1 way).
+	Ways int
+	// AccessLatency is the latency of one DRAM cache access (tags are stored
+	// in DRAM alongside data, so hit and miss detection cost the same).
+	// Table II models 40 ns, i.e. 20% faster than the 50 ns main memory.
+	AccessLatency sim.Cycles
+	// Channels is the number of independent DRAM cache channels.
+	Channels int
+	// ChannelBandwidthGBs is the per-channel bandwidth; zero or negative
+	// means infinite.
+	ChannelBandwidthGBs float64
+	// PredictorEntries is the size of the region-based miss predictor
+	// (0 disables prediction; Table II uses 4096).
+	PredictorEntries int
+	// Policy selects clean (write-through) or dirty (write-back) operation.
+	Policy Policy
+}
+
+// DefaultConfig returns the Table II DRAM cache configuration with the given
+// capacity and policy.
+func DefaultConfig(name string, sizeBytes uint64, policy Policy) Config {
+	return Config{
+		Name:                name,
+		SizeBytes:           sizeBytes,
+		Ways:                1,
+		AccessLatency:       sim.NsToCycles(40),
+		Channels:            8,
+		ChannelBandwidthGBs: 12.8,
+		PredictorEntries:    4096,
+		Policy:              policy,
+	}
+}
+
+// Stats aggregates DRAM cache activity.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	ReadHits    uint64
+	WriteHits   uint64
+	Fills       uint64
+	Evictions   uint64
+	DirtyEvicts uint64
+	Invalidates uint64
+	Predictor   PredictorStats
+}
+
+// Accesses returns reads+writes.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// HitRate returns the overall hit rate, or 0 when never accessed.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.ReadHits+s.WriteHits) / float64(a)
+}
+
+// AccessResult describes the outcome and timing of one DRAM cache access.
+type AccessResult struct {
+	// Hit reports whether the block was present with a usable state.
+	Hit bool
+	// Dirty reports whether the block was dirty at the time of the access
+	// (always false for a Clean-policy cache).
+	Dirty bool
+	// State is the coherence state of the line when hit.
+	State cache.State
+	// PredictedHit is what the miss predictor said before the tag check.
+	PredictedHit bool
+	// Done is when the DRAM cache access completes:
+	//   hit                        -> tag+data access latency (+ queueing)
+	//   miss, predicted miss       -> now (the next level can start at once;
+	//                                 the tag verification is off the path)
+	//   miss, predicted hit        -> tag access latency (+ queueing), because
+	//                                 the miss is only discovered afterwards
+	Done sim.Time
+}
+
+// Cache is one socket's DRAM cache instance.
+type Cache struct {
+	cfg       Config
+	tags      *cache.Cache
+	predictor *MissPredictor
+	channels  []*sim.Resource
+	stats     Stats
+}
+
+// New builds a DRAM cache from cfg. It panics on invalid geometry.
+func New(cfg Config) *Cache {
+	if cfg.Channels <= 0 {
+		panic(fmt.Sprintf("dramcache %s: need at least one channel", cfg.Name))
+	}
+	c := &Cache{
+		cfg: cfg,
+		tags: cache.New(cache.Config{
+			Name:      cfg.Name,
+			SizeBytes: cfg.SizeBytes,
+			Ways:      cfg.Ways,
+		}),
+	}
+	if cfg.PredictorEntries > 0 {
+		c.predictor = NewMissPredictor(cfg.PredictorEntries)
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		c.channels = append(c.channels, sim.NewResource(
+			fmt.Sprintf("%s.ch%d", cfg.Name, i),
+			sim.GBsToBytesPerCycle(cfg.ChannelBandwidthGBs)))
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the write policy.
+func (c *Cache) Policy() Policy { return c.cfg.Policy }
+
+// Capacity returns the data capacity in bytes.
+func (c *Cache) Capacity() uint64 { return c.cfg.SizeBytes }
+
+// Stats returns a snapshot of the counters (including tag-array and predictor
+// statistics).
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	if c.predictor != nil {
+		s.Predictor = c.predictor.Stats()
+	}
+	return s
+}
+
+// TagStats exposes the underlying tag-array counters (hits/misses as seen by
+// the cache structure itself).
+func (c *Cache) TagStats() cache.Stats { return c.tags.Stats() }
+
+// ResetStats clears counters and channel occupancy without evicting contents
+// (used at the warm-up boundary).
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.tags.ResetStats()
+	if c.predictor != nil {
+		c.predictor.ResetStats()
+	}
+	for _, ch := range c.channels {
+		ch.Reset()
+	}
+}
+
+func (c *Cache) channelOf(b addr.Block) *sim.Resource {
+	return c.channels[int(uint64(b)%uint64(len(c.channels)))]
+}
+
+// occupy reserves channel bandwidth for a block-sized transfer at now and
+// returns the completion time of the transfer.
+func (c *Cache) occupy(now sim.Time, b addr.Block) sim.Time {
+	_, done := c.channelOf(b).Acquire(now, addr.BlockBytes)
+	return done
+}
+
+// Access performs a read (isWrite=false) or write (isWrite=true) lookup at
+// time now and returns the outcome with timing. A write hit updates the line
+// and, under the Dirty policy, marks it dirty; under the Clean policy the
+// line stays clean (the protocol engine is responsible for writing through to
+// memory).
+func (c *Cache) Access(now sim.Time, b addr.Block, isWrite bool) AccessResult {
+	if isWrite {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	predictedHit := true
+	if c.predictor != nil {
+		predictedHit = c.predictor.Predict(b)
+	}
+	line, hit := c.tags.Lookup(b)
+	if c.predictor != nil {
+		c.predictor.Resolve(predictedHit, hit)
+	}
+	res := AccessResult{Hit: hit, PredictedHit: predictedHit}
+	if hit {
+		res.State = line.State
+		res.Dirty = line.Dirty
+		if isWrite {
+			c.stats.WriteHits++
+			if c.cfg.Policy == Dirty {
+				line.Dirty = true
+				line.State = coherence.LineModified
+			}
+		} else {
+			c.stats.ReadHits++
+		}
+		res.Done = c.occupy(now, b).Add(c.cfg.AccessLatency)
+		return res
+	}
+	// Miss.
+	if predictedHit {
+		// The miss is discovered only after the in-DRAM tag check.
+		res.Done = c.occupy(now, b).Add(c.cfg.AccessLatency)
+	} else {
+		// Correctly predicted miss: the next level starts immediately; the
+		// background tag verification does not occupy the critical path.
+		res.Done = now
+	}
+	return res
+}
+
+// Probe checks for block b without touching LRU, statistics or the predictor.
+// It is used by snoops and invalidation filters. The returned time is when
+// the probe completes (one DRAM cache access; snoops cannot use the miss
+// predictor because they must be authoritative).
+func (c *Cache) Probe(now sim.Time, b addr.Block) (line cache.Line, present bool, done sim.Time) {
+	l, ok := c.tags.Probe(b)
+	done = c.occupy(now, b).Add(c.cfg.AccessLatency)
+	if ok {
+		return *l, true, done
+	}
+	return cache.Line{}, false, done
+}
+
+// Contains reports whether block b is resident (no timing, no stats).
+func (c *Cache) Contains(b addr.Block) bool { return c.tags.Contains(b) }
+
+// FillResult describes the consequence of inserting a block.
+type FillResult struct {
+	// Victim is the evicted line, if any.
+	Victim cache.Victim
+	// Done is when the fill write completes (off the critical path; exposed
+	// so bandwidth accounting includes fills).
+	Done sim.Time
+}
+
+// Fill inserts block b at time now with the given coherence state. Under the
+// Clean policy the dirty flag is forced to false regardless of the argument —
+// that is the invariant the C3D protocol depends on. The evicted victim (if
+// any) is reported so the protocol engine can issue a write-back for dirty
+// victims of a Dirty-policy cache.
+func (c *Cache) Fill(now sim.Time, b addr.Block, st cache.State, dirty bool) FillResult {
+	if c.cfg.Policy == Clean {
+		dirty = false
+		if st == coherence.LineModified {
+			// A clean DRAM cache holds at most a Shared (possibly stale with
+			// respect to an on-chip Modified copy) version of the block.
+			st = coherence.LineShared
+		}
+	}
+	c.stats.Fills++
+	victim := c.tags.Fill(b, st, dirty)
+	if victim.Valid {
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.DirtyEvicts++
+		}
+		if c.predictor != nil {
+			c.predictor.BlockEvicted(victim.Block)
+		}
+	}
+	if c.predictor != nil {
+		c.predictor.BlockFilled(b)
+	}
+	return FillResult{Victim: victim, Done: c.occupy(now, b)}
+}
+
+// Invalidate removes block b if present and returns the removed line
+// metadata. The predictor is informed so future accesses to the region
+// predict correctly.
+func (c *Cache) Invalidate(b addr.Block) cache.Victim {
+	v := c.tags.Invalidate(b)
+	if v.Valid {
+		c.stats.Invalidates++
+		if c.predictor != nil {
+			c.predictor.BlockEvicted(b)
+		}
+	}
+	return v
+}
+
+// SetState changes the coherence state of a resident block and reports
+// whether it was present. Setting LineInvalid removes the block (and informs
+// the predictor).
+func (c *Cache) SetState(b addr.Block, st cache.State) bool {
+	if st == coherence.LineInvalid {
+		return c.Invalidate(b).Valid
+	}
+	return c.tags.SetState(b, st)
+}
+
+// CleanBlock clears the dirty bit of a resident block (used when a dirty
+// DRAM cache writes a block back but retains it).
+func (c *Cache) CleanBlock(b addr.Block) bool { return c.tags.CleanBlock(b) }
+
+// ValidLines returns the number of resident blocks (for tests/reporting).
+func (c *Cache) ValidLines() int { return c.tags.ValidLines() }
+
+// ForEach calls fn for every resident line (diagnostics only).
+func (c *Cache) ForEach(fn func(cache.Line)) { c.tags.ForEach(fn) }
+
+// HasDirtyBlocks reports whether any resident line is dirty. For a
+// Clean-policy cache this must always be false; the machine's invariant
+// checks call it after every run.
+func (c *Cache) HasDirtyBlocks() bool {
+	dirty := false
+	c.tags.ForEach(func(l cache.Line) {
+		if l.Dirty {
+			dirty = true
+		}
+	})
+	return dirty
+}
+
+// ChannelStats returns occupancy statistics for every channel.
+func (c *Cache) ChannelStats() []sim.ResourceStats {
+	out := make([]sim.ResourceStats, len(c.channels))
+	for i, ch := range c.channels {
+		out[i] = ch.Stats()
+	}
+	return out
+}
+
+// SetAccessLatency overrides the access latency (used by the Fig. 10
+// sensitivity study).
+func (c *Cache) SetAccessLatency(l sim.Cycles) { c.cfg.AccessLatency = l }

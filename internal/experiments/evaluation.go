@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+
+	"c3d/internal/machine"
+	"c3d/internal/stats"
+	"c3d/internal/workload"
+)
+
+// evaluatedDesigns are the DRAM-cache coherence designs compared against the
+// baseline in Figs. 6-9, in the paper's legend order.
+var evaluatedDesigns = []machine.Design{machine.Snoopy, machine.FullDir, machine.C3D, machine.C3DFullDir}
+
+// SpeedupResult is the shared shape of the Fig. 6 / Fig. 7 performance
+// comparisons: per-workload speedup of each design over the no-DRAM-cache
+// baseline.
+type SpeedupResult struct {
+	Sockets int
+	// Speedup maps workload -> design name -> speedup over baseline.
+	Speedup map[string]map[string]float64
+	// Geomean maps design name -> geometric-mean speedup.
+	Geomean map[string]float64
+}
+
+// Table renders the speedups in the paper's layout.
+func (r SpeedupResult) Table() *stats.Table {
+	headers := []string{"workload"}
+	for _, d := range evaluatedDesigns {
+		headers = append(headers, d.String())
+	}
+	t := stats.NewTable(headers...)
+	for _, name := range workload.Names() {
+		row, ok := r.Speedup[name]
+		if !ok {
+			continue
+		}
+		cells := []string{name}
+		for _, d := range evaluatedDesigns {
+			cells = append(cells, fmt.Sprintf("%.3f", row[d.String()]))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"geomean"}
+	for _, d := range evaluatedDesigns {
+		cells = append(cells, fmt.Sprintf("%.3f", r.Geomean[d.String()]))
+	}
+	t.AddRow(cells...)
+	return t
+}
+
+// designComparison runs every evaluated design plus the baseline on every
+// workload for the given socket count, returning the raw results keyed by
+// (workload, design).
+func designComparison(cfg Config, sockets int, tag string, mutate func(*machine.Config)) (map[string]machine.RunResult, error) {
+	cfg = cfg.withDefaults()
+	designs := append([]machine.Design{machine.Baseline}, evaluatedDesigns...)
+	var jobs []job
+	for _, name := range cfg.workloadNames() {
+		spec := workload.MustGet(name)
+		for _, d := range designs {
+			jobs = append(jobs, job{
+				key:    key(tag, name, d),
+				spec:   spec,
+				mcfg:   cfg.machineConfig(sockets, d, spec.PreferredPolicy),
+				mutate: mutate,
+			})
+		}
+	}
+	return cfg.runJobs(jobs)
+}
+
+func speedupsFrom(cfg Config, tag string, results map[string]machine.RunResult, sockets int) SpeedupResult {
+	out := SpeedupResult{
+		Sockets: sockets,
+		Speedup: make(map[string]map[string]float64),
+		Geomean: make(map[string]float64),
+	}
+	for _, name := range cfg.workloadNames() {
+		base := results[key(tag, name, machine.Baseline)]
+		row := make(map[string]float64)
+		for _, d := range evaluatedDesigns {
+			row[d.String()] = results[key(tag, name, d)].SpeedupOver(base)
+		}
+		out.Speedup[name] = row
+	}
+	for _, d := range evaluatedDesigns {
+		d := d
+		out.Geomean[d.String()] = geomeanOver(cfg.workloadNames(), func(name string) float64 {
+			return out.Speedup[name][d.String()]
+		})
+	}
+	return out
+}
+
+// Fig6 runs the 4-socket (8 cores/socket) performance comparison.
+func Fig6(cfg Config) (SpeedupResult, error) {
+	cfg = cfg.withDefaults()
+	results, err := designComparison(cfg, 4, "fig6", nil)
+	if err != nil {
+		return SpeedupResult{}, err
+	}
+	return speedupsFrom(cfg, "fig6", results, 4), nil
+}
+
+// Fig7 runs the 2-socket (16 cores/socket) performance comparison.
+func Fig7(cfg Config) (SpeedupResult, error) {
+	cfg = cfg.withDefaults()
+	results, err := designComparison(cfg, 2, "fig7", nil)
+	if err != nil {
+		return SpeedupResult{}, err
+	}
+	return speedupsFrom(cfg, "fig7", results, 2), nil
+}
+
+// --- Fig. 8: C3D memory traffic normalised to the baseline ---
+
+// Fig8Result reproduces Fig. 8: C3D's remote memory reads, writes and total
+// accesses normalised to the no-DRAM-cache baseline.
+type Fig8Result struct {
+	// Reads, Writes and Total map workload -> normalised traffic.
+	Reads  map[string]float64
+	Writes map[string]float64
+	Total  map[string]float64
+	// GeomeanReads/Writes/Total summarise across workloads.
+	GeomeanReads  float64
+	GeomeanWrites float64
+	GeomeanTotal  float64
+}
+
+// Table renders the three series.
+func (r Fig8Result) Table() *stats.Table {
+	t := stats.NewTable("workload", "reads", "writes", "total")
+	for _, name := range workload.Names() {
+		if _, ok := r.Total[name]; !ok {
+			continue
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", r.Reads[name]),
+			fmt.Sprintf("%.3f", r.Writes[name]),
+			fmt.Sprintf("%.3f", r.Total[name]))
+	}
+	t.AddRow("geomean",
+		fmt.Sprintf("%.3f", r.GeomeanReads),
+		fmt.Sprintf("%.3f", r.GeomeanWrites),
+		fmt.Sprintf("%.3f", r.GeomeanTotal))
+	return t
+}
+
+// Fig8 runs the memory-traffic study (4-socket, C3D versus baseline).
+func Fig8(cfg Config) (Fig8Result, error) {
+	cfg = cfg.withDefaults()
+	var jobs []job
+	for _, name := range cfg.workloadNames() {
+		spec := workload.MustGet(name)
+		for _, d := range []machine.Design{machine.Baseline, machine.C3D} {
+			jobs = append(jobs, job{
+				key:  key("fig8", name, d),
+				spec: spec,
+				mcfg: cfg.machineConfig(cfg.Sockets, d, spec.PreferredPolicy),
+			})
+		}
+	}
+	results, err := cfg.runJobs(jobs)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	out := Fig8Result{
+		Reads:  make(map[string]float64),
+		Writes: make(map[string]float64),
+		Total:  make(map[string]float64),
+	}
+	for _, name := range cfg.workloadNames() {
+		base := results[key("fig8", name, machine.Baseline)]
+		c3d := results[key("fig8", name, machine.C3D)]
+		out.Reads[name] = c3d.NormalizedRemoteMemReads(base)
+		out.Writes[name] = c3d.NormalizedRemoteMemWrites(base)
+		out.Total[name] = c3d.NormalizedRemoteMemAccesses(base)
+	}
+	names := cfg.workloadNames()
+	out.GeomeanReads = geomeanOver(names, func(n string) float64 { return out.Reads[n] })
+	out.GeomeanWrites = geomeanOver(names, func(n string) float64 { return out.Writes[n] })
+	out.GeomeanTotal = geomeanOver(names, func(n string) float64 { return out.Total[n] })
+	return out, nil
+}
+
+// --- Fig. 9: inter-socket traffic normalised to the baseline ---
+
+// Fig9Result reproduces Fig. 9: the bytes crossing the inter-socket fabric
+// under each design, normalised to the baseline.
+type Fig9Result struct {
+	// Normalized maps workload -> design name -> normalised traffic.
+	Normalized map[string]map[string]float64
+	// Geomean maps design name -> geometric mean.
+	Geomean map[string]float64
+}
+
+// Table renders the traffic comparison.
+func (r Fig9Result) Table() *stats.Table {
+	headers := []string{"workload"}
+	for _, d := range evaluatedDesigns {
+		headers = append(headers, d.String())
+	}
+	t := stats.NewTable(headers...)
+	for _, name := range workload.Names() {
+		row, ok := r.Normalized[name]
+		if !ok {
+			continue
+		}
+		cells := []string{name}
+		for _, d := range evaluatedDesigns {
+			cells = append(cells, fmt.Sprintf("%.3f", row[d.String()]))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"geomean"}
+	for _, d := range evaluatedDesigns {
+		cells = append(cells, fmt.Sprintf("%.3f", r.Geomean[d.String()]))
+	}
+	t.AddRow(cells...)
+	return t
+}
+
+// Fig9 runs the inter-socket traffic study. It reuses the same runs as
+// Fig. 6 (the paper derives both from one experiment campaign).
+func Fig9(cfg Config) (Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	results, err := designComparison(cfg, 4, "fig9", nil)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	out := Fig9Result{Normalized: make(map[string]map[string]float64), Geomean: make(map[string]float64)}
+	for _, name := range cfg.workloadNames() {
+		base := results[key("fig9", name, machine.Baseline)]
+		row := make(map[string]float64)
+		for _, d := range evaluatedDesigns {
+			row[d.String()] = results[key("fig9", name, d)].NormalizedInterSocketTraffic(base)
+		}
+		out.Normalized[name] = row
+	}
+	for _, d := range evaluatedDesigns {
+		d := d
+		out.Geomean[d.String()] = geomeanOver(cfg.workloadNames(), func(name string) float64 {
+			return out.Normalized[name][d.String()]
+		})
+	}
+	return out, nil
+}

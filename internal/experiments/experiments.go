@@ -1,0 +1,245 @@
+// Package experiments reproduces every table and figure of the C3D paper's
+// evaluation: the remote-access characterisation (Table I), the NUMA
+// bottleneck analysis (Fig. 2), the cache-capacity study (Fig. 3), the
+// 4-socket and 2-socket design comparisons (Figs. 6-7), the memory and
+// inter-socket traffic breakdowns (Figs. 8-9), the latency sensitivity
+// studies (Figs. 10-11), the broadcast-filter study (§VI-C), and the protocol
+// verification (§IV-C).
+//
+// Each experiment returns a structured result with the same rows/series the
+// paper reports plus a formatted table; cmd/c3dexp prints them, the
+// repository-level benchmarks regenerate them, and EXPERIMENTS.md records a
+// full-scale run next to the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"c3d/internal/machine"
+	"c3d/internal/numa"
+	"c3d/internal/stats"
+	"c3d/internal/trace"
+	"c3d/internal/workload"
+)
+
+// Config parameterises an experiment run. The zero value is not usable; start
+// from DefaultConfig (paper-scale workloads) or QuickConfig (minutes-scale).
+type Config struct {
+	// Sockets is the machine size for experiments that do not fix it
+	// themselves (Fig. 7 always uses 2, everything else 4).
+	Sockets int
+	// Threads is the number of workload threads (and cores used).
+	Threads int
+	// CoresPerSocket is derived from Threads/Sockets when zero.
+	CoresPerSocket int
+	// Scale divides cache capacities and workload footprints together.
+	Scale int
+	// AccessesPerThread overrides each workload's default when positive.
+	AccessesPerThread int
+	// WarmupFraction is the fraction of each thread's stream used to warm
+	// caches before measurement.
+	WarmupFraction float64
+	// Workloads restricts the workload set (nil means the paper's nine).
+	Workloads []string
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, if non-nil, receives a line per completed simulation.
+	Progress func(string)
+}
+
+// DefaultConfig reproduces the paper's setup: 32 threads, the full workload
+// suite, 200k accesses per thread, capacity scale 64.
+func DefaultConfig() Config {
+	return Config{
+		Sockets:        4,
+		Threads:        32,
+		Scale:          workload.DefaultScale,
+		WarmupFraction: 0.25,
+	}
+}
+
+// QuickConfig is a reduced configuration for tests, benchmarks and smoke
+// runs: 8 threads, short access streams and a more aggressive capacity scale
+// (so the short streams still exhibit the reuse that the full-scale runs
+// get from their length). The qualitative shape of every result is
+// preserved; absolute magnitudes are noisier.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Threads = 8
+	cfg.AccessesPerThread = 6000
+	cfg.Scale = 512
+	return cfg
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sockets <= 0 {
+		c.Sockets = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 32
+	}
+	if c.Scale <= 0 {
+		c.Scale = workload.DefaultScale
+	}
+	if c.WarmupFraction <= 0 {
+		c.WarmupFraction = 0.25
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// workloadNames returns the workload set for this config.
+func (c Config) workloadNames() []string {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return workload.Names()
+}
+
+// machineConfig builds the machine configuration for a design under this
+// experiment config.
+func (c Config) machineConfig(sockets int, design machine.Design, policy numa.Policy) machine.Config {
+	mc := machine.DefaultConfig(sockets, design)
+	mc.Scale = c.Scale
+	mc.MemPolicy = policy
+	if c.CoresPerSocket > 0 {
+		mc.CoresPerSocket = c.CoresPerSocket
+	} else {
+		mc.CoresPerSocket = (c.Threads + sockets - 1) / sockets
+	}
+	return mc
+}
+
+// traceCache memoises generated traces: several experiments run the same
+// workload through many machine configurations, and generation is a
+// measurable fraction of a quick run.
+type traceCache struct {
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+}
+
+var sharedTraces = &traceCache{traces: make(map[string]*trace.Trace)}
+
+func (tc *traceCache) get(spec workload.Spec, opts workload.Options) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d/%d", spec.Name, opts.Threads, opts.Scale, opts.AccessesPerThread, opts.SeedOffset)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tr, ok := tc.traces[key]; ok {
+		return tr, nil
+	}
+	tr, err := workload.Generate(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the cache so long experiment campaigns do not hold every trace
+	// alive at once.
+	if len(tc.traces) > 24 {
+		tc.traces = make(map[string]*trace.Trace)
+	}
+	tc.traces[key] = tr
+	return tr, nil
+}
+
+// job is one simulation: a workload run on one machine configuration.
+type job struct {
+	key      string
+	spec     workload.Spec
+	mcfg     machine.Config
+	mutate   func(*machine.Config)
+	seedOff  int64
+	accesses int
+}
+
+// runJobs executes the jobs with bounded parallelism and returns results
+// keyed by job key.
+func (c Config) runJobs(jobs []job) (map[string]machine.RunResult, error) {
+	c = c.withDefaults()
+	results := make(map[string]machine.RunResult, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, c.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := c.runOne(j)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiment job %s: %w", j.key, err)
+				}
+				return
+			}
+			results[j.key] = res
+			if c.Progress != nil {
+				c.Progress(fmt.Sprintf("done %-40s %s", j.key, res.String()))
+			}
+		}(j)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+func (c Config) runOne(j job) (machine.RunResult, error) {
+	accesses := c.AccessesPerThread
+	if j.accesses > 0 {
+		accesses = j.accesses
+	}
+	opts := workload.Options{
+		Threads:           c.Threads,
+		Scale:             c.Scale,
+		AccessesPerThread: accesses,
+		SeedOffset:        j.seedOff,
+	}
+	tr, err := sharedTraces.get(j.spec, opts)
+	if err != nil {
+		return machine.RunResult{}, err
+	}
+	mcfg := j.mcfg
+	if j.mutate != nil {
+		j.mutate(&mcfg)
+	}
+	m := machine.New(mcfg)
+	return m.Run(tr, machine.RunOptions{WarmupFraction: c.WarmupFraction})
+}
+
+// key builds a stable job key.
+func key(parts ...interface{}) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprint(p)
+	}
+	return s
+}
+
+// geomeanOver collects a metric over workloads and returns its geometric
+// mean.
+func geomeanOver(names []string, metric func(name string) float64) float64 {
+	vals := make([]float64, 0, len(names))
+	for _, n := range names {
+		vals = append(vals, metric(n))
+	}
+	return stats.Geomean(vals)
+}
+
+// sortedKeys returns map keys in sorted order (deterministic table output).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"c3d/internal/stats"
+)
+
+// Result is what every experiment produces: a structured value that can
+// render itself as the table/series the paper reports.
+type Result interface {
+	Table() *stats.Table
+}
+
+// Entry describes one runnable experiment.
+type Entry struct {
+	// ID is the identifier used by cmd/c3dexp (table1, fig2, ..., verify).
+	ID string
+	// Paper names the table or figure being reproduced.
+	Paper string
+	// Description is a one-line summary.
+	Description string
+	// Run executes the experiment.
+	Run func(Config) (Result, error)
+}
+
+var registry = []Entry{
+	{
+		ID: "table1", Paper: "Table I",
+		Description: "fraction of memory accesses satisfied by remote memory (4-socket baseline)",
+		Run:         func(c Config) (Result, error) { r, err := TableI(c); return r, err },
+	},
+	{
+		ID: "fig2", Paper: "Fig. 2",
+		Description: "NUMA bottleneck analysis: idealised latency/bandwidth configurations",
+		Run:         func(c Config) (Result, error) { r, err := Fig2(c); return r, err },
+	},
+	{
+		ID: "fig3", Paper: "Fig. 3",
+		Description: "memory accesses versus LLC capacity, normalised to a 16MB LLC",
+		Run:         func(c Config) (Result, error) { r, err := Fig3(c); return r, err },
+	},
+	{
+		ID: "fig6", Paper: "Fig. 6",
+		Description: "4-socket performance comparison of the coherence designs",
+		Run:         func(c Config) (Result, error) { r, err := Fig6(c); return r, err },
+	},
+	{
+		ID: "fig7", Paper: "Fig. 7",
+		Description: "2-socket performance comparison of the coherence designs",
+		Run:         func(c Config) (Result, error) { r, err := Fig7(c); return r, err },
+	},
+	{
+		ID: "fig8", Paper: "Fig. 8",
+		Description: "C3D remote memory traffic normalised to the baseline",
+		Run:         func(c Config) (Result, error) { r, err := Fig8(c); return r, err },
+	},
+	{
+		ID: "fig9", Paper: "Fig. 9",
+		Description: "inter-socket traffic of each design normalised to the baseline",
+		Run:         func(c Config) (Result, error) { r, err := Fig9(c); return r, err },
+	},
+	{
+		ID: "fig10", Paper: "Fig. 10",
+		Description: "sensitivity to DRAM cache latency (30/40/50ns)",
+		Run:         func(c Config) (Result, error) { r, err := Fig10(c); return r, err },
+	},
+	{
+		ID: "fig11", Paper: "Fig. 11",
+		Description: "sensitivity to inter-socket latency (5/10/20/30ns)",
+		Run:         func(c Config) (Result, error) { r, err := Fig11(c); return r, err },
+	},
+	{
+		ID: "sec6c", Paper: "§VI-C",
+		Description: "broadcast reduction from the TLB private-page filter (suite + mcf)",
+		Run:         func(c Config) (Result, error) { r, err := Sec6C(c); return r, err },
+	},
+	{
+		ID: "verify", Paper: "§IV-C",
+		Description: "model-check the C3D protocol (SWMR, data-value, deadlock freedom)",
+		Run: func(c Config) (Result, error) {
+			vc := DefaultVerifyConfig()
+			if c.AccessesPerThread > 0 && c.AccessesPerThread < 50_000 {
+				// Quick configurations bound the larger search.
+				vc.MaxStates = 200_000
+			}
+			return Verify(vc), nil
+		},
+	},
+	{
+		ID: "shared", Paper: "§II-C",
+		Description: "private versus shared DRAM cache organisation",
+		Run:         func(c Config) (Result, error) { r, err := PrivateVsShared(c); return r, err },
+	},
+	{
+		ID: "ablation", Paper: "DESIGN.md",
+		Description: "isolate the clean property, the non-inclusive directory and the miss predictor",
+		Run:         func(c Config) (Result, error) { r, err := Ablation(c); return r, err },
+	},
+}
+
+// IDs returns every experiment id in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Lookup returns the entry with the given id.
+func Lookup(id string) (Entry, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+}
+
+// All returns every entry in presentation order.
+func All() []Entry { return append([]Entry(nil), registry...) }

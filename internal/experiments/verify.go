@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"c3d/internal/core"
+	"c3d/internal/mc"
+	"c3d/internal/stats"
+)
+
+// --- §IV-C: protocol verification ---
+
+// VerifyConfig parameterises the model-checking experiment.
+type VerifyConfig struct {
+	// Sockets is the number of sockets in the verified configuration (the
+	// paper verifies small configurations exhaustively).
+	Sockets int
+	// LoadsPerCore and StoresPerCore bound each core's operations.
+	LoadsPerCore  int
+	StoresPerCore int
+	// MaxStates truncates the search (0 = exhaustive).
+	MaxStates int
+	// IncludeFullDirVariant also checks the c3d-full-dir protocol variant.
+	IncludeFullDirVariant bool
+}
+
+// DefaultVerifyConfig verifies 2-socket and 3-socket configurations with one
+// load and one store per core, for both protocol variants.
+func DefaultVerifyConfig() VerifyConfig {
+	return VerifyConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1, IncludeFullDirVariant: true}
+}
+
+// VerifyResult collects the model-checking reports.
+type VerifyResult struct {
+	Reports []mc.Report
+}
+
+// Passed reports whether every explored configuration satisfied every
+// invariant.
+func (r VerifyResult) Passed() bool {
+	for _, rep := range r.Reports {
+		if !rep.Passed() {
+			return false
+		}
+	}
+	return len(r.Reports) > 0
+}
+
+// Table summarises the reports.
+func (r VerifyResult) Table() *stats.Table {
+	t := stats.NewTable("model", "states", "transitions", "depth", "terminal", "result")
+	for _, rep := range r.Reports {
+		status := "PASS"
+		if !rep.Passed() {
+			status = "FAIL"
+		} else if rep.Truncated {
+			status = "PASS (bounded)"
+		}
+		t.AddRow(rep.Model,
+			fmt.Sprintf("%d", rep.StatesExplored),
+			fmt.Sprintf("%d", rep.TransitionsSeen),
+			fmt.Sprintf("%d", rep.MaxDepthReached),
+			fmt.Sprintf("%d", rep.QuiescentStates),
+			status)
+	}
+	return t
+}
+
+// Verify model-checks the C3D protocol the way §IV-C does: exhaustive
+// exploration of small configurations, checking SWMR, the data-value
+// invariant (per-location SC) and absence of deadlock.
+func Verify(cfg VerifyConfig) VerifyResult {
+	if cfg.Sockets <= 0 {
+		cfg = DefaultVerifyConfig()
+	}
+	var result VerifyResult
+	run := func(sockets int, trackDRAM bool) {
+		model := core.NewProtocolModel(core.ProtocolConfig{
+			Sockets:        sockets,
+			LoadsPerCore:   cfg.LoadsPerCore,
+			StoresPerCore:  cfg.StoresPerCore,
+			TrackDRAMCache: trackDRAM,
+		})
+		result.Reports = append(result.Reports, mc.Run(model, mc.Options{MaxStates: cfg.MaxStates}))
+	}
+	// Always include the 2-socket configuration (fast, exhaustive), then the
+	// configured size if larger.
+	run(2, false)
+	if cfg.IncludeFullDirVariant {
+		run(2, true)
+	}
+	if cfg.Sockets > 2 {
+		run(cfg.Sockets, false)
+		if cfg.IncludeFullDirVariant {
+			run(cfg.Sockets, true)
+		}
+	}
+	return result
+}

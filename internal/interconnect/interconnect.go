@@ -1,0 +1,328 @@
+// Package interconnect models the inter-socket fabric of a 2- or 4-socket
+// NUMA machine: a point-to-point link for two sockets and a ring for four,
+// with per-hop latency, per-link bandwidth, and packet-size accounting
+// matching Table II of the C3D paper (20 ns per hop, 25.6 GB/s per link,
+// 16-byte control packets and 80-byte data packets).
+//
+// The fabric is where the NUMA bottleneck lives: every remote-memory access,
+// directory lookup, forwarded block, snoop and invalidation crosses it, and
+// the experiments in Figs. 8–9 report precisely the byte counts this package
+// accumulates.
+package interconnect
+
+import (
+	"fmt"
+
+	"c3d/internal/sim"
+)
+
+// Topology selects the physical arrangement of sockets.
+type Topology int
+
+const (
+	// PointToPoint directly connects every pair of sockets (used for the
+	// 2-socket configuration; every pair is one hop apart).
+	PointToPoint Topology = iota
+	// Ring connects socket i to sockets (i±1) mod N (used for the
+	// 4-socket configuration, mirroring commodity AMD/Intel designs).
+	Ring
+)
+
+func (t Topology) String() string {
+	switch t {
+	case PointToPoint:
+		return "p2p"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// MessageClass distinguishes small control packets from data-carrying ones
+// for traffic accounting.
+type MessageClass int
+
+const (
+	// Control messages are requests, acknowledgements, invalidations:
+	// 16 bytes on the wire.
+	Control MessageClass = iota
+	// Data messages carry a 64-byte cache block plus header: 80 bytes.
+	Data
+)
+
+// Bytes returns the on-wire size of the message class.
+func (m MessageClass) Bytes() int {
+	switch m {
+	case Control:
+		return ControlBytes
+	case Data:
+		return DataBytes
+	default:
+		panic(fmt.Sprintf("interconnect: unknown message class %d", int(m)))
+	}
+}
+
+func (m MessageClass) String() string {
+	switch m {
+	case Control:
+		return "control"
+	case Data:
+		return "data"
+	default:
+		return fmt.Sprintf("MessageClass(%d)", int(m))
+	}
+}
+
+const (
+	// ControlBytes is the wire size of a control packet (Table II).
+	ControlBytes = 16
+	// DataBytes is the wire size of a data packet (Table II).
+	DataBytes = 80
+)
+
+// Config describes the fabric.
+type Config struct {
+	Sockets  int
+	Topology Topology
+	// HopLatency is the one-way latency per hop. Table II models 20 ns
+	// (the measured ~40-50 ns socket-to-socket round trip divided between
+	// the two directions).
+	HopLatency sim.Cycles
+	// LinkBandwidthGBs is the bandwidth of each directed link; zero or
+	// negative models infinite bandwidth (Fig. 2's "inf_qpi_bw").
+	LinkBandwidthGBs float64
+}
+
+// DefaultConfig returns the Table II fabric for the given socket count:
+// point-to-point for 2 sockets, ring for 4, 20 ns per hop, 25.6 GB/s links.
+func DefaultConfig(sockets int) Config {
+	topo := Ring
+	if sockets <= 2 {
+		topo = PointToPoint
+	}
+	return Config{
+		Sockets:          sockets,
+		Topology:         topo,
+		HopLatency:       sim.NsToCycles(20),
+		LinkBandwidthGBs: 25.6,
+	}
+}
+
+// Stats accumulates fabric traffic.
+type Stats struct {
+	Messages      uint64
+	ControlMsgs   uint64
+	DataMsgs      uint64
+	TotalBytes    uint64
+	ControlBytes  uint64
+	DataBytes     uint64
+	HopsTraversed uint64
+}
+
+// Fabric is the inter-socket interconnect instance.
+type Fabric struct {
+	cfg   Config
+	links map[linkKey]*sim.Resource
+	stats Stats
+	// zeroLatency models the Fig. 2 "0_qpi_lat" idealisation.
+	zeroLatency bool
+}
+
+type linkKey struct{ from, to int }
+
+// New builds a fabric from cfg. It panics if the socket count is not
+// supported by the topology (point-to-point needs >=2, ring needs >=3 to be
+// meaningful, and both need at least 1).
+func New(cfg Config) *Fabric {
+	if cfg.Sockets < 1 {
+		panic("interconnect: need at least one socket")
+	}
+	f := &Fabric{cfg: cfg, links: make(map[linkKey]*sim.Resource)}
+	bpc := sim.GBsToBytesPerCycle(cfg.LinkBandwidthGBs)
+	addLink := func(a, b int) {
+		k := linkKey{a, b}
+		if _, ok := f.links[k]; !ok {
+			f.links[k] = sim.NewResource(fmt.Sprintf("link%d-%d", a, b), bpc)
+		}
+	}
+	switch cfg.Topology {
+	case PointToPoint:
+		for i := 0; i < cfg.Sockets; i++ {
+			for j := 0; j < cfg.Sockets; j++ {
+				if i != j {
+					addLink(i, j)
+				}
+			}
+		}
+	case Ring:
+		for i := 0; i < cfg.Sockets; i++ {
+			next := (i + 1) % cfg.Sockets
+			addLink(i, next)
+			addLink(next, i)
+		}
+	default:
+		panic(fmt.Sprintf("interconnect: unknown topology %v", cfg.Topology))
+	}
+	return f
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Stats returns a snapshot of the accumulated traffic.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// ResetStats clears traffic counters and link occupancy.
+func (f *Fabric) ResetStats() {
+	f.stats = Stats{}
+	for _, l := range f.links {
+		l.Reset()
+	}
+}
+
+// SetZeroLatency removes the per-hop latency (Fig. 2 "0_qpi_lat").
+func (f *Fabric) SetZeroLatency() { f.zeroLatency = true }
+
+// SetInfiniteBandwidth removes link bandwidth limits (Fig. 2 "inf_qpi_bw").
+func (f *Fabric) SetInfiniteBandwidth() {
+	for _, l := range f.links {
+		l.SetInfinite()
+	}
+}
+
+// Hops returns the number of fabric hops between two sockets (0 if they are
+// the same socket).
+func (f *Fabric) Hops(from, to int) int {
+	if from == to {
+		return 0
+	}
+	switch f.cfg.Topology {
+	case PointToPoint:
+		return 1
+	case Ring:
+		d := from - to
+		if d < 0 {
+			d = -d
+		}
+		if wrap := f.cfg.Sockets - d; wrap < d {
+			d = wrap
+		}
+		return d
+	default:
+		panic("interconnect: unknown topology")
+	}
+}
+
+// path returns the sequence of sockets visited between from and to
+// (excluding from, including to). For the ring it walks the shorter
+// direction, breaking ties clockwise.
+func (f *Fabric) path(from, to int) []int {
+	if from == to {
+		return nil
+	}
+	if f.cfg.Topology == PointToPoint {
+		return []int{to}
+	}
+	n := f.cfg.Sockets
+	cw := (to - from + n) % n
+	ccw := (from - to + n) % n
+	step := 1
+	dist := cw
+	if ccw < cw {
+		step = n - 1 // i.e. -1 mod n
+		dist = ccw
+	}
+	var out []int
+	cur := from
+	for i := 0; i < dist; i++ {
+		cur = (cur + step) % n
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Send models one message travelling from socket `from` to socket `to`
+// starting at now. It returns the arrival time at the destination. Traffic
+// statistics account every link the message crosses; latency is per-hop
+// latency plus any queueing on each link. Sending to the local socket is
+// free and generates no traffic.
+func (f *Fabric) Send(now sim.Time, from, to int, class MessageClass) sim.Time {
+	if from == to {
+		return now
+	}
+	f.checkSocket(from)
+	f.checkSocket(to)
+	bytes := class.Bytes()
+	f.stats.Messages++
+	switch class {
+	case Control:
+		f.stats.ControlMsgs++
+	case Data:
+		f.stats.DataMsgs++
+	}
+	t := now
+	prev := from
+	for _, next := range f.path(from, to) {
+		f.stats.HopsTraversed++
+		f.stats.TotalBytes += uint64(bytes)
+		switch class {
+		case Control:
+			f.stats.ControlBytes += uint64(bytes)
+		case Data:
+			f.stats.DataBytes += uint64(bytes)
+		}
+		link := f.links[linkKey{prev, next}]
+		_, done := link.Acquire(t, bytes)
+		if !f.zeroLatency {
+			done = done.Add(f.cfg.HopLatency)
+		}
+		t = done
+		prev = next
+	}
+	return t
+}
+
+// RoundTrip models a request/response pair: a control request from `from` to
+// `to` followed by a response of the given class back to `from`. It returns
+// the time the response arrives.
+func (f *Fabric) RoundTrip(now sim.Time, from, to int, response MessageClass) sim.Time {
+	arrive := f.Send(now, from, to, Control)
+	return f.Send(arrive, to, from, response)
+}
+
+// Broadcast sends a control message from `from` to every other socket and
+// returns the time at which the last destination has received it, along with
+// the per-destination arrival times indexed by socket id (the entry for
+// `from` is now).
+func (f *Fabric) Broadcast(now sim.Time, from int, class MessageClass) (last sim.Time, arrivals []sim.Time) {
+	arrivals = make([]sim.Time, f.cfg.Sockets)
+	last = now
+	for s := 0; s < f.cfg.Sockets; s++ {
+		if s == from {
+			arrivals[s] = now
+			continue
+		}
+		t := f.Send(now, from, s, class)
+		arrivals[s] = t
+		if t > last {
+			last = t
+		}
+	}
+	return last, arrivals
+}
+
+// LinkStats returns occupancy statistics for every directed link.
+func (f *Fabric) LinkStats() []sim.ResourceStats {
+	out := make([]sim.ResourceStats, 0, len(f.links))
+	for _, l := range f.links {
+		out = append(out, l.Stats())
+	}
+	return out
+}
+
+func (f *Fabric) checkSocket(s int) {
+	if s < 0 || s >= f.cfg.Sockets {
+		panic(fmt.Sprintf("interconnect: socket %d out of range [0,%d)", s, f.cfg.Sockets))
+	}
+}

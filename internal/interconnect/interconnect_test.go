@@ -1,0 +1,266 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c3d/internal/sim"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c2 := DefaultConfig(2)
+	if c2.Topology != PointToPoint || c2.Sockets != 2 {
+		t.Errorf("2-socket default %+v", c2)
+	}
+	c4 := DefaultConfig(4)
+	if c4.Topology != Ring || c4.Sockets != 4 {
+		t.Errorf("4-socket default %+v", c4)
+	}
+	if c4.HopLatency != 60 {
+		t.Errorf("20ns hop should be 60 cycles, got %v", c4.HopLatency)
+	}
+}
+
+func TestMessageClassBytes(t *testing.T) {
+	if Control.Bytes() != 16 || Data.Bytes() != 80 {
+		t.Errorf("packet sizes %d/%d", Control.Bytes(), Data.Bytes())
+	}
+	if Control.String() != "control" || Data.String() != "data" {
+		t.Error("stringers")
+	}
+	if PointToPoint.String() != "p2p" || Ring.String() != "ring" {
+		t.Error("topology stringers")
+	}
+}
+
+func TestInvalidClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MessageClass(42).Bytes()
+}
+
+func TestNewPanicsOnBadSocketCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Sockets: 0, Topology: Ring})
+}
+
+func TestHopsP2P(t *testing.T) {
+	f := New(DefaultConfig(2))
+	if f.Hops(0, 0) != 0 || f.Hops(0, 1) != 1 || f.Hops(1, 0) != 1 {
+		t.Error("p2p hop counts wrong")
+	}
+}
+
+func TestHopsRing4(t *testing.T) {
+	f := New(DefaultConfig(4))
+	cases := []struct{ from, to, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 2}, {0, 3, 1},
+		{1, 3, 2}, {2, 0, 2}, {3, 0, 1}, {3, 1, 2},
+	}
+	for _, c := range cases {
+		if got := f.Hops(c.from, c.to); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestSendLocalIsFree(t *testing.T) {
+	f := New(DefaultConfig(4))
+	if got := f.Send(100, 2, 2, Data); got != 100 {
+		t.Errorf("local send took time: %v", got)
+	}
+	if f.Stats().Messages != 0 {
+		t.Error("local send should not count as traffic")
+	}
+}
+
+func TestSendOneHopLatency(t *testing.T) {
+	f := New(DefaultConfig(2))
+	got := f.Send(0, 0, 1, Control)
+	// 16 bytes at 25.6GB/s (~8.5 B/cyc) is ~2 cycles plus 60 cycles hop.
+	if got < 60 || got > 65 {
+		t.Errorf("one-hop control latency = %v, want ~62", got)
+	}
+	st := f.Stats()
+	if st.Messages != 1 || st.ControlMsgs != 1 || st.ControlBytes != 16 || st.HopsTraversed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSendTwoHopRing(t *testing.T) {
+	f := New(DefaultConfig(4))
+	one := f.Send(0, 0, 1, Data)
+	two := f.Send(0, 0, 2, Data)
+	if two <= one {
+		t.Errorf("2-hop message should take longer than 1-hop: %v vs %v", two, one)
+	}
+	// Two hops of 60 cycles each plus transfer times and queueing behind
+	// the first message on the shared 0->1 link.
+	if two < 120 || two > 155 {
+		t.Errorf("two-hop data latency = %v, want ~120-150", two)
+	}
+}
+
+func TestTrafficBytesAccountPerHop(t *testing.T) {
+	f := New(DefaultConfig(4))
+	f.Send(0, 0, 2, Data) // 2 hops x 80 bytes
+	if got := f.Stats().TotalBytes; got != 160 {
+		t.Errorf("total bytes = %d, want 160", got)
+	}
+	if got := f.Stats().DataBytes; got != 160 {
+		t.Errorf("data bytes = %d, want 160", got)
+	}
+}
+
+func TestZeroLatency(t *testing.T) {
+	f := New(DefaultConfig(4))
+	f.SetZeroLatency()
+	got := f.Send(0, 0, 2, Control)
+	// Only transfer occupancy remains (a few cycles).
+	if got > 10 {
+		t.Errorf("zero-latency send took %v", got)
+	}
+	if f.Stats().TotalBytes == 0 {
+		t.Error("zero latency must still account traffic")
+	}
+}
+
+func TestInfiniteBandwidthStillHasLatency(t *testing.T) {
+	f := New(DefaultConfig(2))
+	f.SetInfiniteBandwidth()
+	got := f.Send(0, 0, 1, Data)
+	if got != 60 {
+		t.Errorf("inf-bw one-hop latency = %v, want exactly 60", got)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	f := New(DefaultConfig(2))
+	// Saturate the 0->1 link with many data messages issued at time 0.
+	var last sim.Time
+	for i := 0; i < 200; i++ {
+		last = f.Send(0, 0, 1, Data)
+	}
+	single := New(DefaultConfig(2)).Send(0, 0, 1, Data)
+	if last < single*3 {
+		t.Errorf("no contention visible: last=%v single=%v", last, single)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := New(DefaultConfig(2))
+	done := f.RoundTrip(0, 0, 1, Data)
+	// Roughly two hop latencies plus transfer times.
+	if done < 120 || done > 145 {
+		t.Errorf("round trip = %v, want ~130", done)
+	}
+	st := f.Stats()
+	if st.Messages != 2 || st.ControlMsgs != 1 || st.DataMsgs != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	f := New(DefaultConfig(4))
+	last, arrivals := f.Broadcast(0, 1, Control)
+	if len(arrivals) != 4 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	if arrivals[1] != 0 {
+		t.Error("source should receive its own broadcast instantly")
+	}
+	for s, a := range arrivals {
+		if s != 1 && a == 0 {
+			t.Errorf("socket %d got broadcast at time 0", s)
+		}
+		if a > last {
+			t.Error("last is not the max arrival")
+		}
+	}
+	if f.Stats().ControlMsgs != 3 {
+		t.Errorf("broadcast should send 3 messages, sent %d", f.Stats().ControlMsgs)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	f := New(DefaultConfig(4))
+	f.Send(0, 0, 1, Data)
+	f.ResetStats()
+	if f.Stats() != (Stats{}) {
+		t.Errorf("stats not cleared")
+	}
+	if got := f.Send(0, 0, 1, Data); got > 125 {
+		t.Errorf("link occupancy survived reset: %v", got)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	f := New(DefaultConfig(2))
+	f.Send(0, 0, 1, Data)
+	ls := f.LinkStats()
+	if len(ls) != 2 {
+		t.Fatalf("2-socket p2p should have 2 directed links, got %d", len(ls))
+	}
+	var used int
+	for _, l := range ls {
+		if l.Transfers > 0 {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Errorf("exactly one link should have traffic, got %d", used)
+	}
+}
+
+func TestSendOutOfRangePanics(t *testing.T) {
+	f := New(DefaultConfig(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.Send(0, 0, 5, Control)
+}
+
+// Property: hop count is symmetric and bounded by N/2 on a ring.
+func TestHopsSymmetryProperty(t *testing.T) {
+	f := New(DefaultConfig(4))
+	fn := func(a, b uint8) bool {
+		from, to := int(a%4), int(b%4)
+		h := f.Hops(from, to)
+		return h == f.Hops(to, from) && h <= 2 && (h == 0) == (from == to)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a message never arrives before (hops * hopLatency) after issue,
+// and traffic bytes equal hops * class size.
+func TestSendLatencyLowerBoundProperty(t *testing.T) {
+	fn := func(a, b uint8, dataMsg bool) bool {
+		f := New(DefaultConfig(4))
+		from, to := int(a%4), int(b%4)
+		class := Control
+		if dataMsg {
+			class = Data
+		}
+		arr := f.Send(1000, from, to, class)
+		hops := f.Hops(from, to)
+		minArrival := sim.Time(1000).Add(sim.Cycles(hops) * f.Config().HopLatency)
+		if arr < minArrival {
+			return false
+		}
+		return f.Stats().TotalBytes == uint64(hops*class.Bytes())
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

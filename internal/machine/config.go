@@ -1,0 +1,308 @@
+// Package machine composes the substrates — cores, caches, DRAM caches,
+// directories, interconnect, memory — into a 2- or 4-socket NUMA machine and
+// runs workload traces through it under one of the evaluated coherence
+// designs (§V-A): the baseline without DRAM caches, the naive snoopy and
+// full-directory DRAM cache designs, C3D, the idealised c3d-full-dir, and a
+// shared (memory-side) DRAM cache organisation.
+//
+// The timing model follows the paper's own simulator: simple 1-IPC in-order
+// cores with blocking loads and a store queue, and a memory system whose
+// latency is composed from component latencies (Table II) plus queueing at
+// bandwidth-regulated resources. Coherence state changes are applied
+// atomically at the time a request is handled; the transient-state races are
+// verified separately by the protocol model checker (internal/core +
+// internal/mc).
+package machine
+
+import (
+	"fmt"
+
+	"c3d/internal/dramcache"
+	"c3d/internal/numa"
+	"c3d/internal/sim"
+)
+
+// Design selects the coherence design to evaluate.
+type Design int
+
+const (
+	// Baseline is the reference machine without DRAM caches (§V-A).
+	Baseline Design = iota
+	// Snoopy adds private dirty DRAM caches kept coherent by snooping every
+	// remote socket on a local miss (§III-A).
+	Snoopy
+	// FullDir adds private dirty DRAM caches tracked by an idealised
+	// inclusive full directory (§III-B).
+	FullDir
+	// C3D is the proposed design: clean private DRAM caches plus a
+	// non-inclusive directory with broadcast invalidations for untracked
+	// writes (§IV).
+	C3D
+	// C3DFullDir is C3D with an idealised full directory that also tracks
+	// DRAM cache blocks, eliminating broadcasts (§V-A).
+	C3DFullDir
+	// SharedDRAM places each DRAM cache in front of its socket's memory as a
+	// memory-side cache: no replication, no coherence, but also no reduction
+	// in off-socket traffic (§II-C).
+	SharedDRAM
+)
+
+var designNames = map[Design]string{
+	Baseline:   "baseline",
+	Snoopy:     "snoopy",
+	FullDir:    "full-dir",
+	C3D:        "c3d",
+	C3DFullDir: "c3d-full-dir",
+	SharedDRAM: "shared",
+}
+
+func (d Design) String() string {
+	if n, ok := designNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// ParseDesign converts a design name back into a Design.
+func ParseDesign(s string) (Design, error) {
+	for d, n := range designNames {
+		if n == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown design %q", s)
+}
+
+// Designs returns every design in evaluation order (the order of the paper's
+// figures).
+func Designs() []Design {
+	return []Design{Baseline, Snoopy, FullDir, C3D, C3DFullDir, SharedDRAM}
+}
+
+// EvaluatedDesigns returns the designs compared in Figs. 6-9: the baseline
+// plus the four DRAM cache coherence schemes.
+func EvaluatedDesigns() []Design {
+	return []Design{Baseline, Snoopy, FullDir, C3D, C3DFullDir}
+}
+
+// HasDRAMCache reports whether the design includes per-socket DRAM caches.
+func (d Design) HasDRAMCache() bool { return d != Baseline }
+
+// HasPrivateDRAMCache reports whether the DRAM caches are private to each
+// socket (and therefore need coherence).
+func (d Design) HasPrivateDRAMCache() bool {
+	return d == Snoopy || d == FullDir || d == C3D || d == C3DFullDir
+}
+
+// CleanDRAMCache reports whether the design keeps its DRAM caches clean
+// (write-through), which is C3D's defining property.
+func (d Design) CleanDRAMCache() bool { return d == C3D || d == C3DFullDir }
+
+// Config describes the simulated machine. All capacities are given at paper
+// scale (Table II); Scale divides them (and should divide the workload's
+// footprint identically — workload.Options.Scale) so the capacity ratios are
+// preserved while the simulation stays laptop-sized.
+type Config struct {
+	// Design selects the coherence scheme.
+	Design Design
+	// Sockets and CoresPerSocket shape the machine: 4×8 and 2×16 are the
+	// paper's two configurations (32 cores total either way).
+	Sockets        int
+	CoresPerSocket int
+	// MemPolicy is the NUMA page placement policy.
+	MemPolicy numa.Policy
+	// Scale divides LLC, DRAM cache and directory capacities.
+	Scale int
+
+	// Core parameters.
+	StoreQueueEntries int
+
+	// L1 parameters (private per core). The L1 is small enough that it is
+	// not scaled.
+	L1SizeBytes uint64
+	L1Ways      int
+	L1Latency   sim.Cycles
+
+	// LLC parameters (shared per socket).
+	LLCSizeBytes   uint64
+	LLCWays        int
+	LLCTagLatency  sim.Cycles
+	LLCDataLatency sim.Cycles
+
+	// Global directory parameters (per-socket slice). Provisioning is the
+	// sparse over-provisioning factor relative to the LLC capacity in
+	// blocks; 0 gives an unbounded directory.
+	DirProvisioning  float64
+	DirWays          int
+	GlobalDirLatency sim.Cycles
+
+	// DRAM cache parameters (per socket).
+	DRAMCacheSizeBytes    uint64
+	DRAMCacheLatencyNs    float64
+	DRAMCacheChannels     int
+	DRAMCacheBandwidthGBs float64
+	PredictorEntries      int
+
+	// Main memory parameters (per socket).
+	MemLatencyNs    float64
+	MemChannels     int
+	MemBandwidthGBs float64
+
+	// Interconnect parameters.
+	HopLatencyNs     float64
+	LinkBandwidthGBs float64
+
+	// §IV-D broadcast filter (only meaningful for the C3D design).
+	EnableBroadcastFilter bool
+
+	// Idealisation knobs for the Fig. 2 bottleneck analysis.
+	ZeroHopLatency     bool
+	InfiniteMemBW      bool
+	InfiniteLinkBW     bool
+	InfiniteDRAMCacheB bool
+}
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+	gib = 1 << 30
+)
+
+// DefaultConfig returns the Table II machine for the given socket count
+// (2 or 4) and design, at the default scale shared with
+// workload.DefaultScale.
+func DefaultConfig(sockets int, design Design) Config {
+	coresPerSocket := 8
+	if sockets == 2 {
+		coresPerSocket = 16
+	}
+	return Config{
+		Design:         design,
+		Sockets:        sockets,
+		CoresPerSocket: coresPerSocket,
+		MemPolicy:      numa.FirstTouch2,
+		Scale:          64,
+
+		StoreQueueEntries: 32,
+
+		L1SizeBytes: 64 * kib,
+		L1Ways:      8,
+		L1Latency:   3,
+
+		LLCSizeBytes:   16 * mib,
+		LLCWays:        16,
+		LLCTagLatency:  7,
+		LLCDataLatency: 13,
+
+		DirProvisioning:  2,
+		DirWays:          32,
+		GlobalDirLatency: 10,
+
+		DRAMCacheSizeBytes:    1 * gib,
+		DRAMCacheLatencyNs:    40,
+		DRAMCacheChannels:     8,
+		DRAMCacheBandwidthGBs: 12.8,
+		PredictorEntries:      4096,
+
+		MemLatencyNs:    50,
+		MemChannels:     2,
+		MemBandwidthGBs: 12.8,
+
+		HopLatencyNs:     20,
+		LinkBandwidthGBs: 25.6,
+	}
+}
+
+// Validate checks that the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Sockets < 1:
+		return fmt.Errorf("machine: need at least one socket, got %d", c.Sockets)
+	case c.CoresPerSocket < 1:
+		return fmt.Errorf("machine: need at least one core per socket, got %d", c.CoresPerSocket)
+	case c.Scale < 1:
+		return fmt.Errorf("machine: scale must be >= 1, got %d", c.Scale)
+	case c.L1SizeBytes == 0 || c.LLCSizeBytes == 0:
+		return fmt.Errorf("machine: cache sizes must be non-zero")
+	case c.Design.HasDRAMCache() && c.DRAMCacheSizeBytes == 0:
+		return fmt.Errorf("machine: design %v needs a DRAM cache size", c.Design)
+	case c.DirProvisioning < 0:
+		return fmt.Errorf("machine: negative directory provisioning")
+	}
+	return nil
+}
+
+// Cores returns the total core count.
+func (c Config) Cores() int { return c.Sockets * c.CoresPerSocket }
+
+// ScaledLLCSize returns the LLC capacity after applying the scale factor.
+func (c Config) ScaledLLCSize() uint64 { return scaleCapacity(c.LLCSizeBytes, c.Scale) }
+
+// ScaledL1Size returns the per-core L1 capacity. The L1 is small enough that
+// it is left at its native size for scales up to the default 64; beyond that
+// it shrinks proportionally (with a 4 KiB floor) so the hierarchy ordering
+// L1 < LLC < DRAM cache is preserved at aggressive scales.
+func (c Config) ScaledL1Size() uint64 {
+	if c.Scale <= 64 {
+		return c.L1SizeBytes
+	}
+	scaled := c.L1SizeBytes * 64 / uint64(c.Scale)
+	const floor = 4 * kib
+	if scaled < floor {
+		scaled = floor
+	}
+	// Keep a power of two for valid cache geometry.
+	p := uint64(1)
+	for p*2 <= scaled {
+		p *= 2
+	}
+	return p
+}
+
+// ScaledDRAMCacheSize returns the DRAM cache capacity after scaling.
+func (c Config) ScaledDRAMCacheSize() uint64 { return scaleCapacity(c.DRAMCacheSizeBytes, c.Scale) }
+
+// scaleCapacity divides a capacity, keeping it a power-of-two multiple of the
+// block size so cache geometry stays valid, and never below 16 KiB.
+func scaleCapacity(bytes uint64, scale int) uint64 {
+	s := bytes / uint64(scale)
+	const floor = 16 * kib
+	if s < floor {
+		s = floor
+	}
+	// Round down to a power of two (cache geometry requires power-of-two
+	// sets; with power-of-two ways any power-of-two capacity works).
+	p := uint64(1)
+	for p*2 <= s {
+		p *= 2
+	}
+	return p
+}
+
+// DirEntries returns the number of global-directory entries per socket slice
+// after scaling (0 means unbounded).
+func (c Config) DirEntries() int {
+	if c.DirProvisioning <= 0 {
+		return 0
+	}
+	llcBlocks := c.ScaledLLCSize() / 64
+	entries := int(float64(llcBlocks) * c.DirProvisioning)
+	// Round down to a multiple of DirWays with a power-of-two set count.
+	ways := c.DirWays
+	if ways <= 0 {
+		ways = 1
+	}
+	sets := 1
+	for sets*2*ways <= entries {
+		sets *= 2
+	}
+	return sets * ways
+}
+
+// dramCachePolicy maps the design to the DRAM cache write policy.
+func (c Config) dramCachePolicy() dramcache.Policy {
+	if c.Design.CleanDRAMCache() {
+		return dramcache.Clean
+	}
+	return dramcache.Dirty
+}

@@ -1,0 +1,414 @@
+package machine
+
+import (
+	"fmt"
+
+	"c3d/internal/addr"
+	"c3d/internal/cache"
+	"c3d/internal/coherence"
+	"c3d/internal/core"
+	"c3d/internal/interconnect"
+	"c3d/internal/numa"
+	"c3d/internal/sim"
+	"c3d/internal/stats"
+	"c3d/internal/tlb"
+	"c3d/internal/workload"
+)
+
+// accessCounters aggregates machine-level accounting that is not owned by a
+// single component.
+type accessCounters struct {
+	loads  uint64
+	stores uint64
+
+	llcMisses      uint64
+	llcAccesses    uint64
+	remoteAccesses uint64 // LLC misses whose home is a remote socket
+
+	memReads        uint64
+	memWrites       uint64
+	remoteMemReads  uint64
+	remoteMemWrites uint64
+
+	broadcasts        uint64
+	broadcastsAvoided uint64
+	dirRecalls        uint64
+	remoteDRAMProbes  uint64 // probes of remote DRAM caches (snoopy/full-dir pathology)
+
+	loadLatency stats.LatencyAccumulator
+}
+
+// Machine is the complete simulated NUMA system.
+type Machine struct {
+	cfg     Config
+	sockets []*Socket
+	fabric  *interconnect.Fabric
+
+	pageTable  *numa.PageTable
+	classifier *tlb.Classifier
+	filter     *core.BroadcastFilter
+
+	engine engine
+
+	counters accessCounters
+}
+
+// engine is the per-design coherence behaviour. ReadMiss and WriteMiss handle
+// requests that missed the requesting socket's on-chip hierarchy and return
+// the time the data (for reads) or the ownership grant (for writes) reaches
+// the requesting core. LLCEvict handles an LLC victim.
+type engine interface {
+	Name() string
+	ReadMiss(now sim.Time, sock *Socket, coreID int, b addr.Block) sim.Time
+	WriteMiss(now sim.Time, sock *Socket, coreID int, b addr.Block, upgrade bool) sim.Time
+	LLCEvict(now sim.Time, sock *Socket, victim cache.Victim)
+}
+
+// New builds a machine from cfg. It panics on an invalid configuration
+// (construction happens at experiment-setup time where misconfiguration
+// should fail loudly).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{cfg: cfg}
+	for s := 0; s < cfg.Sockets; s++ {
+		m.sockets = append(m.sockets, newSocket(s, cfg))
+	}
+	icCfg := interconnect.DefaultConfig(cfg.Sockets)
+	icCfg.HopLatency = sim.NsToCycles(cfg.HopLatencyNs)
+	icCfg.LinkBandwidthGBs = cfg.LinkBandwidthGBs
+	m.fabric = interconnect.New(icCfg)
+	if cfg.ZeroHopLatency {
+		m.fabric.SetZeroLatency()
+	}
+	if cfg.InfiniteLinkBW {
+		m.fabric.SetInfiniteBandwidth()
+	}
+	m.pageTable = numa.NewPageTable(cfg.Sockets, cfg.MemPolicy)
+	m.classifier = tlb.NewClassifier()
+	m.filter = core.NewBroadcastFilter(m.classifier, cfg.EnableBroadcastFilter)
+
+	// Sparse directory slices prefer to victimise entries whose block has
+	// already left every on-chip cache (the LLCs are inclusive of the L1s,
+	// so probing the LLCs is sufficient).
+	uncached := func(b addr.Block) bool {
+		for _, s := range m.sockets {
+			if s.llc.Contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range m.sockets {
+		if s.dir != nil {
+			s.dir.SetStalePredicate(uncached)
+		}
+		if s.c3dDir != nil {
+			s.c3dDir.SetStalePredicate(uncached)
+		}
+	}
+
+	switch cfg.Design {
+	case Baseline:
+		m.engine = &baselineEngine{m: m}
+	case Snoopy:
+		m.engine = &snoopyEngine{m: m}
+	case FullDir:
+		m.engine = &fullDirEngine{m: m}
+	case C3D, C3DFullDir:
+		m.engine = &c3dEngine{m: m}
+	case SharedDRAM:
+		m.engine = &sharedEngine{m: m}
+	default:
+		panic(fmt.Sprintf("machine: unknown design %v", cfg.Design))
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Sockets returns the machine's sockets.
+func (m *Machine) Sockets() []*Socket { return m.sockets }
+
+// Fabric returns the inter-socket interconnect.
+func (m *Machine) Fabric() *interconnect.Fabric { return m.fabric }
+
+// PageTable returns the NUMA page table.
+func (m *Machine) PageTable() *numa.PageTable { return m.pageTable }
+
+// Classifier returns the OS page classifier used by the §IV-D filter.
+func (m *Machine) Classifier() *tlb.Classifier { return m.classifier }
+
+// EngineName returns the name of the active coherence engine.
+func (m *Machine) EngineName() string { return m.engine.Name() }
+
+// socketOf returns the socket owning the given global core id.
+func (m *Machine) socketOf(coreID int) *Socket {
+	return m.sockets[coreID/m.cfg.CoresPerSocket]
+}
+
+// home returns the home socket of a block according to the page table.
+func (m *Machine) home(b addr.Block) *Socket {
+	return m.sockets[m.pageTable.HomeOfBlock(b)]
+}
+
+// --- cpu.MemorySystem implementation ---
+
+// Read performs a load issued by coreID at time now.
+func (m *Machine) Read(now sim.Time, coreID int, a addr.Addr) sim.Time {
+	sock := m.socketOf(coreID)
+	b := addr.BlockOf(a)
+	m.counters.loads++
+	m.classify(coreID, a)
+
+	// L1.
+	l1 := sock.l1Of(coreID)
+	t := now.Add(m.cfg.L1Latency)
+	if _, hit := l1.Lookup(b); hit {
+		m.counters.loadLatency.Observe(uint64(t.Sub(now)))
+		return t
+	}
+	// LLC (the local directory lookup is part of the LLC tag access).
+	m.counters.llcAccesses++
+	if _, hit := sock.llc.Lookup(b); hit {
+		t = t.Add(m.cfg.LLCTagLatency).Add(m.cfg.LLCDataLatency)
+		m.fillL1(sock, coreID, b, coherence.LineShared)
+		m.counters.loadLatency.Observe(uint64(t.Sub(now)))
+		return t
+	}
+	t = t.Add(m.cfg.LLCTagLatency)
+	m.counters.llcMisses++
+	if m.home(b) != sock {
+		m.counters.remoteAccesses++
+	}
+	done := m.engine.ReadMiss(t, sock, coreID, b)
+	m.fillLLC(done, sock, coreID, b, coherence.LineShared, false)
+	m.fillL1(sock, coreID, b, coherence.LineShared)
+	m.counters.loadLatency.Observe(uint64(done.Sub(now)))
+	return done
+}
+
+// Write performs a store issued by coreID at time now and returns the time
+// the store is globally performed.
+func (m *Machine) Write(now sim.Time, coreID int, a addr.Addr) sim.Time {
+	sock := m.socketOf(coreID)
+	b := addr.BlockOf(a)
+	m.counters.stores++
+	m.classify(coreID, a)
+
+	l1 := sock.l1Of(coreID)
+	t := now.Add(m.cfg.L1Latency)
+	if line, hit := l1.Lookup(b); hit && line.State == coherence.LineModified {
+		// Write hit with ownership already held by this core.
+		m.markLLCDirty(sock, b)
+		return t
+	}
+	// LLC lookup: a Modified LLC line means the socket already owns the
+	// block; within-socket sharing is resolved by the local directory
+	// (modelled as the LLC tag+data latency).
+	m.counters.llcAccesses++
+	line, hit := sock.llc.Lookup(b)
+	if hit && line.State == coherence.LineModified {
+		t = t.Add(m.cfg.LLCTagLatency).Add(m.cfg.LLCDataLatency)
+		line.Dirty = true
+		sock.invalidateL1sExcept(coreID, b)
+		m.fillL1(sock, coreID, b, coherence.LineModified)
+		return t
+	}
+	t = t.Add(m.cfg.LLCTagLatency)
+	upgrade := hit && line.State == coherence.LineShared
+	m.counters.llcMisses++
+	if m.home(b) != sock {
+		m.counters.remoteAccesses++
+	}
+	done := m.engine.WriteMiss(t, sock, coreID, b, upgrade)
+	m.fillLLC(done, sock, coreID, b, coherence.LineModified, true)
+	sock.invalidateL1sExcept(coreID, b)
+	m.fillL1(sock, coreID, b, coherence.LineModified)
+	return done
+}
+
+// classify records the access with the OS page classifier (used by the §IV-D
+// broadcast filter) and the core's TLB (miss statistics only).
+func (m *Machine) classify(coreID int, a addr.Addr) {
+	page := addr.PageOf(a)
+	sock := m.socketOf(coreID)
+	sock.tlbOf(coreID).Access(page)
+	// Threads are pinned in this simulator, so the thread id equals the core
+	// id and migrations never occur.
+	m.classifier.Access(page, coreID, coreID)
+}
+
+// fillL1 installs the block in the requesting core's L1. L1 victims are
+// dropped silently: the L1s are write-through into the LLC, so no data is
+// lost and the LLC inclusive copy keeps intra-socket coherence simple.
+func (m *Machine) fillL1(sock *Socket, coreID int, b addr.Block, st cache.State) {
+	sock.l1Of(coreID).Fill(b, st, false)
+}
+
+// markLLCDirty marks the block dirty in the LLC (stores are write-through
+// from the L1 into the LLC so the LLC dirty bit is authoritative).
+func (m *Machine) markLLCDirty(sock *Socket, b addr.Block) {
+	if line, ok := sock.llc.Probe(b); ok {
+		line.Dirty = true
+		line.State = coherence.LineModified
+	}
+}
+
+// fillLLC installs the block in the socket's LLC and routes the victim (if
+// any) to the engine's eviction handler.
+func (m *Machine) fillLLC(now sim.Time, sock *Socket, coreID int, b addr.Block, st cache.State, dirty bool) {
+	victim := sock.llc.Fill(b, st, dirty)
+	if victim.Valid {
+		// The victim also disappears from the L1s (inclusive hierarchy).
+		for _, l1 := range sock.l1s {
+			l1.Invalidate(victim.Block)
+		}
+		m.engine.LLCEvict(now, sock, victim)
+	}
+}
+
+// --- shared helpers used by the design engines ---
+
+// sendControl models a 16-byte control packet between sockets and returns its
+// arrival time.
+func (m *Machine) sendControl(now sim.Time, from, to *Socket) sim.Time {
+	return m.fabric.Send(now, from.id, to.id, interconnect.Control)
+}
+
+// sendData models an 80-byte data packet between sockets and returns its
+// arrival time.
+func (m *Machine) sendData(now sim.Time, from, to *Socket) sim.Time {
+	return m.fabric.Send(now, from.id, to.id, interconnect.Data)
+}
+
+// memRead reads the block from its home memory and accounts whether the
+// requester was remote.
+func (m *Machine) memRead(now sim.Time, homeSock *Socket, requester *Socket, b addr.Block) sim.Time {
+	m.counters.memReads++
+	if homeSock != requester {
+		m.counters.remoteMemReads++
+	}
+	return homeSock.mem.Read(now, b)
+}
+
+// memWrite writes the block to its home memory and accounts whether the
+// writer was remote.
+func (m *Machine) memWrite(now sim.Time, homeSock *Socket, requester *Socket, b addr.Block) sim.Time {
+	m.counters.memWrites++
+	if homeSock != requester {
+		m.counters.remoteMemWrites++
+	}
+	return homeSock.mem.Write(now, b)
+}
+
+// dirLatency returns the global directory access latency.
+func (m *Machine) dirLatency() sim.Cycles { return m.cfg.GlobalDirLatency }
+
+// Counters exposes a snapshot of the machine-level counters (used by tests
+// and the runner). Broadcast counts are aggregated from the C3D directory
+// slices; they are zero for the other designs.
+func (m *Machine) Counters() Counters {
+	c := m.counters
+	out := Counters{
+		Loads:            c.loads,
+		Stores:           c.stores,
+		LLCAccesses:      c.llcAccesses,
+		LLCMisses:        c.llcMisses,
+		RemoteLLCMisses:  c.remoteAccesses,
+		MemReads:         c.memReads,
+		MemWrites:        c.memWrites,
+		RemoteMemReads:   c.remoteMemReads,
+		RemoteMemWrites:  c.remoteMemWrites,
+		DirRecalls:       c.dirRecalls,
+		RemoteDRAMProbes: c.remoteDRAMProbes,
+		MeanLoadLatency:  c.loadLatency.Mean(),
+	}
+	for _, s := range m.sockets {
+		if s.c3dDir != nil {
+			ds := s.c3dDir.Stats()
+			out.Broadcasts += ds.Broadcasts
+			out.BroadcastsAvoided += ds.BroadcastsAvd
+		}
+	}
+	return out
+}
+
+// Counters is the exported snapshot of machine-level accounting.
+type Counters struct {
+	Loads             uint64
+	Stores            uint64
+	LLCAccesses       uint64
+	LLCMisses         uint64
+	RemoteLLCMisses   uint64
+	MemReads          uint64
+	MemWrites         uint64
+	RemoteMemReads    uint64
+	RemoteMemWrites   uint64
+	Broadcasts        uint64
+	BroadcastsAvoided uint64
+	DirRecalls        uint64
+	RemoteDRAMProbes  uint64
+	MeanLoadLatency   float64
+}
+
+// MemAccesses returns total memory accesses.
+func (c Counters) MemAccesses() uint64 { return c.MemReads + c.MemWrites }
+
+// RemoteMemAccesses returns memory accesses served by a remote socket's
+// memory.
+func (c Counters) RemoteMemAccesses() uint64 { return c.RemoteMemReads + c.RemoteMemWrites }
+
+// RemoteMemFraction returns the Table I metric: the fraction of memory
+// accesses satisfied by a remote socket's memory.
+func (c Counters) RemoteMemFraction() float64 {
+	total := c.MemAccesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RemoteMemAccesses()) / float64(total)
+}
+
+// LLCMissRate returns LLC misses per LLC access.
+func (c Counters) LLCMissRate() float64 {
+	if c.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(c.LLCAccesses)
+}
+
+// resetStats clears every statistic in the machine (cores excepted — the
+// runner resets those) without touching cache or directory contents.
+func (m *Machine) resetStats() {
+	m.counters = accessCounters{}
+	m.fabric.ResetStats()
+	for _, s := range m.sockets {
+		s.resetStats()
+	}
+	m.classifier.ResetStats()
+	m.filter.ResetStats()
+}
+
+// CheckInvariants verifies cross-cutting invariants after a run; it returns
+// an error describing the first violation. The headline check is the clean
+// property: a C3D machine must never hold a dirty block in any DRAM cache.
+func (m *Machine) CheckInvariants() error {
+	for _, s := range m.sockets {
+		if s.dramCache == nil {
+			continue
+		}
+		if m.cfg.Design.CleanDRAMCache() && s.dramCache.HasDirtyBlocks() {
+			return fmt.Errorf("machine: socket %d DRAM cache holds dirty blocks under the clean policy", s.id)
+		}
+	}
+	return nil
+}
+
+// workloadOptions returns the workload generation options matching this
+// machine's scale and core count, so experiments cannot accidentally mismatch
+// the two.
+func (m *Machine) workloadOptions() workload.Options {
+	return workload.Options{Threads: m.cfg.Cores(), Scale: m.cfg.Scale}
+}

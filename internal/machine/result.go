@@ -1,0 +1,111 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"c3d/internal/cpu"
+	"c3d/internal/dramcache"
+	"c3d/internal/numa"
+	"c3d/internal/stats"
+)
+
+// RunResult is the outcome of running one workload trace on one machine
+// configuration. All counters cover the measured region only (after warm-up).
+type RunResult struct {
+	Design   Design
+	Workload string
+	Sockets  int
+	Cores    int
+	Policy   numa.Policy
+
+	// Cycles is the execution time of the measured region: the largest
+	// per-core completion time, stores drained.
+	Cycles uint64
+	// Instructions is the total instruction count across cores (memory
+	// accesses plus gap instructions).
+	Instructions uint64
+
+	// Machine-level counters.
+	Counters Counters
+
+	// InterSocketBytes is the total traffic that crossed the inter-socket
+	// fabric, split by packet class.
+	InterSocketBytes        uint64
+	InterSocketControlBytes uint64
+	InterSocketDataBytes    uint64
+	InterSocketMessages     uint64
+
+	// DRAMCacheHitRate is the aggregate hit rate across all private DRAM
+	// caches (0 for the baseline design).
+	DRAMCacheHitRate float64
+	// DRAMCacheStats aggregates per-socket DRAM cache counters.
+	DRAMCacheStats dramcache.Stats
+
+	// PerCore holds each core's execution statistics.
+	PerCore []cpu.Stats
+
+	// PageStats describes the NUMA placement that the run used.
+	PageStats numa.Stats
+
+	// BroadcastFilterElided counts broadcasts removed by the §IV-D filter
+	// (only non-zero when the filter is enabled).
+	BroadcastFilterElided uint64
+}
+
+// IPC returns aggregate instructions per cycle (instructions across all
+// cores divided by the parallel execution time).
+func (r RunResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// SpeedupOver returns this result's speedup relative to a reference run of
+// the same workload (reference cycles / these cycles).
+func (r RunResult) SpeedupOver(ref RunResult) float64 {
+	return stats.Speedup(ref.Cycles, r.Cycles)
+}
+
+// NormalizedInterSocketTraffic returns this run's fabric bytes divided by the
+// reference run's (Fig. 9's metric).
+func (r RunResult) NormalizedInterSocketTraffic(ref RunResult) float64 {
+	return stats.Normalized(float64(r.InterSocketBytes), float64(ref.InterSocketBytes))
+}
+
+// NormalizedRemoteMemReads returns remote memory reads relative to the
+// reference run (Fig. 8's read series).
+func (r RunResult) NormalizedRemoteMemReads(ref RunResult) float64 {
+	return stats.Normalized(float64(r.Counters.RemoteMemReads), float64(ref.Counters.RemoteMemReads))
+}
+
+// NormalizedRemoteMemWrites returns remote memory writes relative to the
+// reference run (Fig. 8's write series).
+func (r RunResult) NormalizedRemoteMemWrites(ref RunResult) float64 {
+	return stats.Normalized(float64(r.Counters.RemoteMemWrites), float64(ref.Counters.RemoteMemWrites))
+}
+
+// NormalizedRemoteMemAccesses returns total remote memory accesses relative
+// to the reference run (Fig. 8's total series).
+func (r RunResult) NormalizedRemoteMemAccesses(ref RunResult) float64 {
+	return stats.Normalized(float64(r.Counters.RemoteMemAccesses()), float64(ref.Counters.RemoteMemAccesses()))
+}
+
+// NormalizedMemAccesses returns total memory accesses relative to the
+// reference run (Fig. 3's metric).
+func (r RunResult) NormalizedMemAccesses(ref RunResult) float64 {
+	return stats.Normalized(float64(r.Counters.MemAccesses()), float64(ref.Counters.MemAccesses()))
+}
+
+// String renders a one-line summary useful in logs and examples.
+func (r RunResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s %d-socket: %d cycles, IPC %.3f, LLC miss %.1f%%, remote mem %.1f%%",
+		r.Workload, r.Design, r.Sockets, r.Cycles, r.IPC(),
+		r.Counters.LLCMissRate()*100, r.Counters.RemoteMemFraction()*100)
+	if r.Design.HasDRAMCache() {
+		fmt.Fprintf(&b, ", DRAM$ hit %.1f%%", r.DRAMCacheHitRate*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package machine
+
+import (
+	"fmt"
+
+	"c3d/internal/addr"
+	"c3d/internal/cpu"
+	"c3d/internal/sim"
+	"c3d/internal/trace"
+)
+
+// RunOptions control trace execution.
+type RunOptions struct {
+	// WarmupFraction is the fraction of each thread's parallel-region
+	// accesses executed before statistics are reset and timing restarts
+	// (mirroring the paper's warm-up of DRAM caches before measurement).
+	WarmupFraction float64
+}
+
+// DefaultRunOptions uses a 25% warm-up, enough to populate the scaled caches
+// without dominating run time.
+func DefaultRunOptions() RunOptions { return RunOptions{WarmupFraction: 0.25} }
+
+// Run executes the trace's parallel region on the machine and returns the
+// measured-region results. The trace's init section is used only for page
+// placement (FT1) — it is not executed for timing, matching the paper's
+// methodology of fast-forwarding to the parallel region.
+func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
+	if tr.Threads() == 0 {
+		return RunResult{}, fmt.Errorf("machine: trace %q has no threads", tr.Name)
+	}
+	if tr.Threads() > m.cfg.Cores() {
+		return RunResult{}, fmt.Errorf("machine: trace %q has %d threads but the machine has %d cores",
+			tr.Name, tr.Threads(), m.cfg.Cores())
+	}
+	if opts.WarmupFraction < 0 || opts.WarmupFraction >= 1 {
+		return RunResult{}, fmt.Errorf("machine: warm-up fraction %f outside [0,1)", opts.WarmupFraction)
+	}
+
+	m.placePages(tr)
+
+	// Gather the cores that execute threads (thread t runs on core t).
+	cores := make([]*coreRunner, tr.Threads())
+	for t := 0; t < tr.Threads(); t++ {
+		sock := m.socketOf(t)
+		cores[t] = &coreRunner{
+			core:    sock.cores[t-sock.id*m.cfg.CoresPerSocket],
+			records: tr.Parallel[t],
+		}
+	}
+
+	// Warm-up phase.
+	warmup := int(opts.WarmupFraction * float64(maxRecords(cores)))
+	if warmup > 0 {
+		m.execute(cores, warmup)
+		for _, cr := range cores {
+			cr.core.Drain()
+			cr.core.ResetTiming()
+		}
+		m.resetStats()
+	}
+
+	// Measured phase.
+	m.execute(cores, -1)
+	var cycles sim.Time
+	instructions := uint64(0)
+	res := RunResult{}
+	perCore := res.PerCore
+	for _, cr := range cores {
+		done := cr.core.Drain()
+		if done > cycles {
+			cycles = done
+		}
+		st := cr.core.Stats()
+		instructions += st.Instructions
+		perCore = append(perCore, st)
+	}
+
+	res = m.collectResult(tr.Name, uint64(cycles), instructions)
+	res.PerCore = perCore
+	if err := m.CheckInvariants(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// MustRun is Run for callers that treat failures as programming errors
+// (benchmarks, examples).
+func (m *Machine) MustRun(tr *trace.Trace, opts RunOptions) RunResult {
+	res, err := m.Run(tr, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// coreRunner tracks one core's progress through its access stream.
+type coreRunner struct {
+	core    *cpu.Core
+	records []trace.Record
+	next    int
+}
+
+func maxRecords(cores []*coreRunner) int {
+	max := 0
+	for _, cr := range cores {
+		if len(cr.records) > max {
+			max = len(cr.records)
+		}
+	}
+	return max
+}
+
+// placePages performs the placement pre-pass: init-section touches first
+// (relevant to FT1), then the parallel sections interleaved round-robin so
+// that concurrent first touches spread across sockets the way they would in
+// a live run.
+func (m *Machine) placePages(tr *trace.Trace) {
+	for _, rec := range tr.Init {
+		m.pageTable.Touch(addr.PageOf(rec.Addr), 0, false)
+	}
+	pos := 0
+	for {
+		progressed := false
+		for t := 0; t < tr.Threads(); t++ {
+			recs := tr.Parallel[t]
+			if pos >= len(recs) {
+				continue
+			}
+			progressed = true
+			socket := t / m.cfg.CoresPerSocket
+			m.pageTable.Touch(addr.PageOf(recs[pos].Addr), socket, true)
+		}
+		if !progressed {
+			return
+		}
+		pos++
+	}
+}
+
+// execute advances the cores through their records, always stepping the core
+// with the smallest local time so that bandwidth contention and inter-thread
+// interactions happen in a plausible global order. A non-negative limit stops
+// each core after that many records (used for the warm-up phase).
+func (m *Machine) execute(cores []*coreRunner, limit int) {
+	for {
+		var pick *coreRunner
+		for _, cr := range cores {
+			bound := len(cr.records)
+			if limit >= 0 && limit < bound {
+				bound = limit
+			}
+			if cr.next >= bound {
+				continue
+			}
+			if pick == nil || cr.core.Now() < pick.core.Now() {
+				pick = cr
+			}
+		}
+		if pick == nil {
+			return
+		}
+		pick.core.Execute(pick.records[pick.next], m)
+		pick.next++
+	}
+}
+
+// collectResult assembles a RunResult from the machine's current statistics.
+func (m *Machine) collectResult(name string, cycles, instructions uint64) RunResult {
+	res := RunResult{
+		Design:       m.cfg.Design,
+		Workload:     name,
+		Sockets:      m.cfg.Sockets,
+		Cores:        m.cfg.Cores(),
+		Policy:       m.cfg.MemPolicy,
+		Cycles:       cycles,
+		Instructions: instructions,
+		Counters:     m.Counters(),
+		PageStats:    m.pageTable.Stats(),
+	}
+	fs := m.fabric.Stats()
+	res.InterSocketBytes = fs.TotalBytes
+	res.InterSocketControlBytes = fs.ControlBytes
+	res.InterSocketDataBytes = fs.DataBytes
+	res.InterSocketMessages = fs.Messages
+	if m.cfg.Design.HasDRAMCache() {
+		var agg struct {
+			hits, accesses uint64
+		}
+		for _, s := range m.sockets {
+			ds := s.dramCache.Stats()
+			agg.hits += ds.ReadHits + ds.WriteHits
+			agg.accesses += ds.Accesses()
+			res.DRAMCacheStats.Reads += ds.Reads
+			res.DRAMCacheStats.Writes += ds.Writes
+			res.DRAMCacheStats.ReadHits += ds.ReadHits
+			res.DRAMCacheStats.WriteHits += ds.WriteHits
+			res.DRAMCacheStats.Fills += ds.Fills
+			res.DRAMCacheStats.Evictions += ds.Evictions
+			res.DRAMCacheStats.DirtyEvicts += ds.DirtyEvicts
+			res.DRAMCacheStats.Invalidates += ds.Invalidates
+		}
+		if agg.accesses > 0 {
+			res.DRAMCacheHitRate = float64(agg.hits) / float64(agg.accesses)
+		}
+	}
+	res.BroadcastFilterElided = m.filter.Elided()
+	return res
+}

@@ -1,0 +1,175 @@
+// Package mc is a small explicit-state model checker in the spirit of Murϕ,
+// used to verify the C3D coherence protocol the way §IV-C of the paper does:
+// exhaustive breadth-first enumeration of the reachable states of a
+// message-level protocol model, checking safety invariants in every state and
+// absence of deadlock (every state without successors must be quiescent).
+//
+// The checker is generic: it explores any Model whose states are encoded as
+// canonical strings. The C3D protocol model lives in internal/core.
+package mc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model is a finite-state transition system with invariants.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Initial returns the initial states.
+	Initial() []string
+	// Successors returns every state reachable in one step from state. It
+	// returns an error if the transition itself violates a property (for
+	// example a load observing a stale value).
+	Successors(state string) ([]string, error)
+	// Check verifies state invariants, returning an error describing the
+	// first violation.
+	Check(state string) error
+	// Quiescent reports whether the state has no outstanding work. States
+	// without successors must be quiescent; otherwise the system deadlocked.
+	Quiescent(state string) bool
+}
+
+// Options bound the search.
+type Options struct {
+	// MaxStates aborts the search after this many distinct states
+	// (0 = unlimited).
+	MaxStates int
+	// MaxDepth bounds the BFS depth (0 = unlimited).
+	MaxDepth int
+	// Progress, if non-nil, is called periodically with the number of states
+	// explored so far.
+	Progress func(states int)
+}
+
+// Violation describes a property violation found during the search.
+type Violation struct {
+	// Kind is "invariant", "transition" or "deadlock".
+	Kind string
+	// State is the canonical encoding of the offending state.
+	State string
+	// Depth is the BFS depth at which the state was found.
+	Depth int
+	// Err is the underlying error (nil for deadlocks).
+	Err error
+}
+
+func (v Violation) String() string {
+	if v.Err != nil {
+		return fmt.Sprintf("%s violation at depth %d: %v", v.Kind, v.Depth, v.Err)
+	}
+	return fmt.Sprintf("%s at depth %d: %s", v.Kind, v.Depth, v.State)
+}
+
+// Report summarises a model-checking run.
+type Report struct {
+	Model           string
+	StatesExplored  int
+	TransitionsSeen int
+	MaxDepthReached int
+	QuiescentStates int
+	Violations      []Violation
+	Truncated       bool
+	Elapsed         time.Duration
+}
+
+// OK reports whether the run completed without violations and without
+// truncation.
+func (r Report) OK() bool { return len(r.Violations) == 0 && !r.Truncated }
+
+// Passed reports whether no violations were found (the search may still have
+// been truncated by the options).
+func (r Report) Passed() bool { return len(r.Violations) == 0 }
+
+// String renders a one-paragraph summary.
+func (r Report) String() string {
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	} else if r.Truncated {
+		status = "PASS (truncated)"
+	}
+	s := fmt.Sprintf("%s: %s — %d states, %d transitions, depth %d, %d terminal states, %v",
+		r.Model, status, r.StatesExplored, r.TransitionsSeen, r.MaxDepthReached, r.QuiescentStates, r.Elapsed.Round(time.Millisecond))
+	for _, v := range r.Violations {
+		s += "\n  " + v.String()
+	}
+	return s
+}
+
+// Run explores the model breadth-first and returns the report. The search
+// stops at the first violation (matching Murϕ's default behaviour) or when
+// the state space is exhausted or the options' bounds are hit.
+func Run(m Model, opts Options) Report {
+	start := time.Now()
+	report := Report{Model: m.Name()}
+	// seen marks states that have been enqueued, so each distinct state is
+	// processed exactly once and duplicate successors never inflate the
+	// frontier.
+	seen := make(map[string]struct{})
+	type node struct {
+		state string
+		depth int
+	}
+	var frontier []node
+	for _, s := range m.Initial() {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		frontier = append(frontier, node{state: s, depth: 0})
+	}
+
+	fail := func(kind, state string, depth int, err error) Report {
+		report.Violations = append(report.Violations, Violation{Kind: kind, State: state, Depth: depth, Err: err})
+		report.Elapsed = time.Since(start)
+		return report
+	}
+
+	for len(frontier) > 0 {
+		var next []node
+		for _, n := range frontier {
+			report.StatesExplored++
+			if n.depth > report.MaxDepthReached {
+				report.MaxDepthReached = n.depth
+			}
+			if opts.Progress != nil && report.StatesExplored%100000 == 0 {
+				opts.Progress(report.StatesExplored)
+			}
+			if err := m.Check(n.state); err != nil {
+				return fail("invariant", n.state, n.depth, err)
+			}
+			if opts.MaxStates > 0 && report.StatesExplored >= opts.MaxStates {
+				report.Truncated = true
+				report.Elapsed = time.Since(start)
+				return report
+			}
+			succ, err := m.Successors(n.state)
+			if err != nil {
+				return fail("transition", n.state, n.depth, err)
+			}
+			report.TransitionsSeen += len(succ)
+			if len(succ) == 0 {
+				if !m.Quiescent(n.state) {
+					return fail("deadlock", n.state, n.depth, nil)
+				}
+				report.QuiescentStates++
+				continue
+			}
+			if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
+				report.Truncated = true
+				continue
+			}
+			for _, s := range succ {
+				if _, dup := seen[s]; !dup {
+					seen[s] = struct{}{}
+					next = append(next, node{state: s, depth: n.depth + 1})
+				}
+			}
+		}
+		frontier = next
+	}
+	report.Elapsed = time.Since(start)
+	return report
+}

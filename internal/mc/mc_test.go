@@ -1,0 +1,201 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"c3d/internal/core"
+)
+
+// chainModel is a trivial model: states "0" .. "n", each with a single
+// successor, optionally with a violation or deadlock planted along the way.
+type chainModel struct {
+	length      int
+	badState    int // Check fails at this state (-1 = never)
+	badTrans    int // Successors fails leaving this state (-1 = never)
+	deadlockAt  int // state with no successors that is NOT quiescent (-1 = never)
+	quiescentAt int // terminal state that IS quiescent (defaults to the last)
+}
+
+func (c chainModel) Name() string      { return "chain" }
+func (c chainModel) Initial() []string { return []string{"0"} }
+
+func (c chainModel) parse(s string) int {
+	var i int
+	fmt.Sscanf(s, "%d", &i)
+	return i
+}
+
+func (c chainModel) Successors(s string) ([]string, error) {
+	i := c.parse(s)
+	if i == c.badTrans {
+		return nil, errors.New("planted transition failure")
+	}
+	if i >= c.length || i == c.deadlockAt {
+		return nil, nil
+	}
+	return []string{fmt.Sprintf("%d", i+1)}, nil
+}
+
+func (c chainModel) Check(s string) error {
+	if c.parse(s) == c.badState {
+		return errors.New("planted invariant failure")
+	}
+	return nil
+}
+
+func (c chainModel) Quiescent(s string) bool {
+	i := c.parse(s)
+	return i != c.deadlockAt && (i >= c.length)
+}
+
+func cleanChain(n int) chainModel {
+	return chainModel{length: n, badState: -1, badTrans: -1, deadlockAt: -1}
+}
+
+func TestRunCleanChain(t *testing.T) {
+	r := Run(cleanChain(10), Options{})
+	if !r.OK() {
+		t.Fatalf("clean chain reported violations: %v", r)
+	}
+	if r.StatesExplored != 11 {
+		t.Errorf("StatesExplored = %d, want 11", r.StatesExplored)
+	}
+	if r.MaxDepthReached != 10 {
+		t.Errorf("MaxDepthReached = %d, want 10", r.MaxDepthReached)
+	}
+	if r.QuiescentStates != 1 {
+		t.Errorf("QuiescentStates = %d, want 1", r.QuiescentStates)
+	}
+	if !strings.Contains(r.String(), "PASS") {
+		t.Errorf("report should say PASS: %s", r)
+	}
+}
+
+func TestRunDetectsInvariantViolation(t *testing.T) {
+	m := cleanChain(10)
+	m.badState = 5
+	r := Run(m, Options{})
+	if r.Passed() {
+		t.Fatal("planted invariant violation not detected")
+	}
+	v := r.Violations[0]
+	if v.Kind != "invariant" || v.Depth != 5 {
+		t.Errorf("violation = %+v; want invariant at depth 5", v)
+	}
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Errorf("report should say FAIL: %s", r)
+	}
+}
+
+func TestRunDetectsTransitionViolation(t *testing.T) {
+	m := cleanChain(10)
+	m.badTrans = 3
+	r := Run(m, Options{})
+	if r.Passed() || r.Violations[0].Kind != "transition" {
+		t.Fatalf("planted transition violation not detected: %v", r)
+	}
+}
+
+func TestRunDetectsDeadlock(t *testing.T) {
+	m := cleanChain(10)
+	m.deadlockAt = 7
+	r := Run(m, Options{})
+	if r.Passed() || r.Violations[0].Kind != "deadlock" {
+		t.Fatalf("planted deadlock not detected: %v", r)
+	}
+	if r.Violations[0].Depth != 7 {
+		t.Errorf("deadlock depth = %d, want 7", r.Violations[0].Depth)
+	}
+}
+
+func TestRunRespectsMaxStates(t *testing.T) {
+	r := Run(cleanChain(1000), Options{MaxStates: 10})
+	if !r.Truncated {
+		t.Error("search should report truncation")
+	}
+	if r.OK() {
+		t.Error("a truncated run must not claim OK")
+	}
+	if !r.Passed() {
+		t.Error("a truncated run without violations should still pass")
+	}
+	if r.StatesExplored > 10 {
+		t.Errorf("explored %d states, want <= 10", r.StatesExplored)
+	}
+}
+
+func TestRunRespectsMaxDepth(t *testing.T) {
+	r := Run(cleanChain(1000), Options{MaxDepth: 5})
+	if !r.Truncated {
+		t.Error("depth-bounded search should report truncation")
+	}
+	if r.MaxDepthReached > 5 {
+		t.Errorf("MaxDepthReached = %d, want <= 5", r.MaxDepthReached)
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	called := 0
+	// The callback fires every 100k states; a long chain triggers it.
+	r := Run(cleanChain(200_001), Options{Progress: func(int) { called++ }})
+	if !r.Passed() {
+		t.Fatalf("unexpected violations: %v", r)
+	}
+	if called == 0 {
+		t.Error("progress callback never invoked")
+	}
+}
+
+// The headline verification: the C3D protocol model explored exhaustively for
+// small configurations, as in §IV-C of the paper. Two sockets with one load
+// and one store per core is small enough for an ordinary test run; the
+// 3-socket configuration is exercised by the verification experiment and the
+// benchmark.
+func TestC3DProtocolTwoSockets(t *testing.T) {
+	m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	r := Run(m, Options{})
+	if !r.OK() {
+		t.Fatalf("C3D protocol verification failed:\n%s", r)
+	}
+	if r.StatesExplored < 1000 {
+		t.Errorf("explored only %d states; the model looks under-constrained", r.StatesExplored)
+	}
+	if r.QuiescentStates == 0 {
+		t.Error("no terminal quiescent states reached")
+	}
+}
+
+func TestC3DFullDirVariantTwoSockets(t *testing.T) {
+	m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1, TrackDRAMCache: true})
+	r := Run(m, Options{})
+	if !r.OK() {
+		t.Fatalf("c3d-full-dir protocol verification failed:\n%s", r)
+	}
+}
+
+func TestC3DProtocolThreeSocketsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-socket exploration is slow; run without -short")
+	}
+	m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1})
+	// Bound the search so the unit test stays fast; the c3dcheck command runs
+	// it exhaustively.
+	r := Run(m, Options{MaxStates: 60_000})
+	if !r.Passed() {
+		t.Fatalf("C3D protocol verification failed:\n%s", r)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "deadlock", State: "s", Depth: 3}
+	if !strings.Contains(v.String(), "deadlock") {
+		t.Errorf("Violation.String() = %q", v.String())
+	}
+	v = Violation{Kind: "invariant", State: "s", Depth: 1, Err: errors.New("boom")}
+	if !strings.Contains(v.String(), "boom") {
+		t.Errorf("Violation.String() = %q", v.String())
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import "container/heap"
+
+// EventFunc is the action executed when an event fires. It receives the
+// simulated time at which the event fires.
+type EventFunc func(now Time)
+
+// event is an entry in the event queue. seq breaks ties so that events
+// scheduled at the same cycle fire in FIFO order, which keeps simulations
+// deterministic regardless of heap internals.
+type event struct {
+	at  Time
+	seq uint64
+	fn  EventFunc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine: a time-ordered queue of
+// events plus the current simulated time. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule enqueues fn to run at time at. Scheduling in the past panics: a
+// component asking for time travel is always a bug.
+func (e *Engine) Schedule(at Time, fn EventFunc) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter enqueues fn to run d cycles from now.
+func (e *Engine) ScheduleAfter(d Cycles, fn EventFunc) {
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// Step pops and executes the earliest event. It reports whether an event was
+// executed (false means the queue is empty).
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with firing time <= deadline and returns the time
+// of the last executed event (or the deadline if the queue drained earlier).
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,244 @@
+// Package stats provides the counters, aggregates and formatting helpers used
+// to report the C3D experiments: memory-access breakdowns, average memory
+// access time (AMAT), traffic accounting, normalised comparisons and geometric
+// means, plus a small fixed-width table writer for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a simple monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds v to the counter.
+func (c *Counter) Add(v uint64) { c.n += v }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// LatencyAccumulator accumulates (count, total latency) pairs so that average
+// latencies such as AMAT can be computed at the end of a run.
+type LatencyAccumulator struct {
+	count uint64
+	total uint64
+	max   uint64
+}
+
+// Observe records one completed access with the given latency in cycles.
+func (l *LatencyAccumulator) Observe(latency uint64) {
+	l.count++
+	l.total += latency
+	if latency > l.max {
+		l.max = latency
+	}
+}
+
+// Count returns the number of observations.
+func (l *LatencyAccumulator) Count() uint64 { return l.count }
+
+// Total returns the sum of all observed latencies.
+func (l *LatencyAccumulator) Total() uint64 { return l.total }
+
+// Max returns the largest observed latency.
+func (l *LatencyAccumulator) Max() uint64 { return l.max }
+
+// Mean returns the average latency, or zero if nothing was observed.
+func (l *LatencyAccumulator) Mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return float64(l.total) / float64(l.count)
+}
+
+// Reset clears the accumulator.
+func (l *LatencyAccumulator) Reset() { *l = LatencyAccumulator{} }
+
+// Histogram is a fixed-bucket latency histogram. Buckets are upper bounds in
+// cycles; observations above the last bound land in an overflow bucket.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds.
+func NewHistogram(bounds ...uint64) *Histogram {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic("stats: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe adds a value to the histogram.
+func (h *Histogram) Observe(v uint64) {
+	h.total++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Bucket returns the count in bucket i (the last index is the overflow
+// bucket).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Quantile returns an approximate quantile (0..1) using bucket upper bounds.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.MaxUint64
+		}
+	}
+	return math.MaxUint64
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Speedup returns baseline/design expressed as a speedup factor (>1 means the
+// design is faster), or 0 if the design time is zero.
+func Speedup(baselineCycles, designCycles uint64) float64 {
+	if designCycles == 0 {
+		return 0
+	}
+	return float64(baselineCycles) / float64(designCycles)
+}
+
+// Normalized returns value/reference, or 0 when the reference is zero. It is
+// the helper behind every "normalised to baseline" figure in the paper.
+func Normalized(value, reference float64) float64 {
+	if reference == 0 {
+		return 0
+	}
+	return value / reference
+}
+
+// Geomean returns the geometric mean of xs, ignoring non-positive entries
+// (which cannot participate in a geometric mean). It returns 0 for an empty
+// or all-non-positive slice.
+func Geomean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percent formats a fraction (0..1) as a percentage string like "74.6%".
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Table is a minimal fixed-width text table used by the experiment harness to
+// print rows that mirror the paper's tables and figures.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"c3d/internal/addr"
+)
+
+// Binary trace format
+//
+//	magic   [4]byte  "C3DT"
+//	version uint8    (1)
+//	name    uvarint length + bytes
+//	init    uvarint count + records
+//	threads uvarint count
+//	  per thread: uvarint count + records
+//
+// Each record is encoded as:
+//
+//	kindAndGap uvarint  (gap<<1 | kind)
+//	addrDelta  varint   (zig-zag delta from the previous address in the same
+//	                     stream, block-aligned deltas compress well)
+//
+// The format is self-contained and endian-independent; it exists so traces
+// can be generated once (cmd/c3dtrace) and replayed by the simulator and the
+// benchmarks without regeneration cost.
+
+var magic = [4]byte{'C', '3', 'D', 'T'}
+
+const formatVersion = 1
+
+// Encode serialises the trace to w in the binary format.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(t.Name)))
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	writeRecords(bw, t.Init)
+	writeUvarint(bw, uint64(len(t.Parallel)))
+	for _, recs := range t.Parallel {
+		writeRecords(bw, recs)
+	}
+	return bw.Flush()
+}
+
+func writeRecords(bw *bufio.Writer, recs []Record) {
+	writeUvarint(bw, uint64(len(recs)))
+	prev := uint64(0)
+	for _, r := range recs {
+		writeUvarint(bw, uint64(r.Gap)<<1|uint64(r.Kind))
+		delta := int64(uint64(r.Addr)) - int64(prev)
+		writeVarint(bw, delta)
+		prev = uint64(r.Addr)
+	}
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // bufio.Writer errors surface at Flush
+}
+
+func writeVarint(bw *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // bufio.Writer errors surface at Flush
+}
+
+// Decode parses a trace in the binary format.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", version)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	t := &Trace{Name: string(nameBuf)}
+	if t.Init, err = readRecords(br); err != nil {
+		return nil, fmt.Errorf("trace: reading init section: %w", err)
+	}
+	threads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+	}
+	t.Parallel = make([][]Record, threads)
+	for i := range t.Parallel {
+		if t.Parallel[i], err = readRecords(br); err != nil {
+			return nil, fmt.Errorf("trace: reading thread %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+func readRecords(br *bufio.Reader) ([]Record, error) {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	recs := make([]Record, count)
+	prev := uint64(0)
+	for i := range recs {
+		kindAndGap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		cur := uint64(int64(prev) + delta)
+		recs[i] = Record{
+			Kind: Kind(kindAndGap & 1),
+			Gap:  uint32(kindAndGap >> 1),
+			Addr: addr.Addr(cur),
+		}
+		prev = cur
+	}
+	return recs, nil
+}

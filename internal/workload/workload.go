@@ -1,0 +1,404 @@
+// Package workload provides the synthetic workload generators that stand in
+// for the paper's Pin/Simics traces of PARSEC 3.0 and CloudSuite (§V). The
+// real traces are not available, so each workload is described by a small set
+// of aggregate parameters — working-set sizes, shared fraction, read mix,
+// locality skew, inter-thread communication intensity — whose values are
+// chosen so that the simulated machine reproduces the *shape* of the paper's
+// per-workload results (remote-access fraction, DRAM-cache fit, sensitivity
+// to coherence design). DESIGN.md documents this substitution.
+//
+// Generated traces are deterministic for a given (spec, options) pair: every
+// thread derives its own seeded random stream, so generation is reproducible
+// and independent of thread iteration order.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"c3d/internal/addr"
+	"c3d/internal/numa"
+	"c3d/internal/trace"
+)
+
+// Class labels the suite a workload comes from; the evaluation discusses
+// PARSEC (parallel) and CloudSuite (server) workloads separately because
+// their communication behaviour differs.
+type Class int
+
+const (
+	// Parallel marks PARSEC-style workloads with substantial inter-thread
+	// communication.
+	Parallel Class = iota
+	// Server marks CloudSuite-style workloads with little inter-thread
+	// communication.
+	Server
+	// Graph marks the graph-analytics workload (tunkrank).
+	Graph
+	// SingleThreaded marks the SPEC-style single-threaded workload (mcf)
+	// used in §VI-C.
+	SingleThreaded
+)
+
+func (c Class) String() string {
+	switch c {
+	case Parallel:
+		return "parsec"
+	case Server:
+		return "server"
+	case Graph:
+		return "graph"
+	case SingleThreaded:
+		return "single-threaded"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Spec describes a synthetic workload at paper scale (1 GB DRAM caches,
+// 16 MB LLCs). Byte sizes are divided by Options.Scale at generation time.
+type Spec struct {
+	// Name is the workload name as used in the paper's figures.
+	Name string
+	// Class is the suite the workload models.
+	Class Class
+
+	// SharedBytes is the size of the data shared by all threads.
+	SharedBytes uint64
+	// PrivateBytesPerThread is the size of each thread's private data.
+	PrivateBytesPerThread uint64
+	// MailboxBytesPerThread is the size of each thread's producer/consumer
+	// communication region. Writes to the local mailbox and reads of a
+	// neighbour's mailbox model inter-thread communication; making the
+	// region larger than the LLC means communicated data is dirty in the
+	// producer's DRAM cache under write-back designs, which is exactly the
+	// pathology §III describes.
+	MailboxBytesPerThread uint64
+
+	// SharedFraction is the probability that a non-communication access
+	// targets the shared region (the rest go to the thread's private data).
+	SharedFraction float64
+	// CommFraction is the probability that an access is a producer/consumer
+	// mailbox access.
+	CommFraction float64
+	// ReadFraction is the probability that a data access is a load.
+	ReadFraction float64
+	// LocalitySkew shapes temporal locality within a region: an access
+	// targets block floor(N * u^LocalitySkew) for u uniform in [0,1). Skew 1
+	// is uniform; larger values concentrate accesses near the start of the
+	// region, so a cache of size C captures roughly (C/N)^(1/skew) of
+	// accesses.
+	LocalitySkew float64
+	// SpatialRun is the mean number of consecutive blocks touched after a
+	// random region access before the next random jump (geometrically
+	// distributed). Real programs sweep arrays and structures, which is what
+	// makes page-grain structures — NUMA placement, the §IV-D classifier and
+	// the region-based miss predictor — effective. 0 or 1 disables runs.
+	SpatialRun int
+	// MeanGap is the mean number of non-memory instructions between memory
+	// accesses (1-IPC core model).
+	MeanGap int
+
+	// AccessesPerThread is the default length of each thread's parallel
+	// stream before scaling.
+	AccessesPerThread int
+	// InitFraction is the size of the serial initialisation section relative
+	// to one thread's parallel stream. The init section touches pages so
+	// that the FT1 policy exhibits its serial-touch pathology.
+	InitFraction float64
+
+	// DefaultThreads is the thread count the paper used (32 for everything
+	// except mcf).
+	DefaultThreads int
+	// PreferredPolicy is the best-performing placement policy from the
+	// paper-style profiling run; experiments use it unless told otherwise.
+	PreferredPolicy numa.Policy
+	// Seed is the base seed for deterministic generation.
+	Seed int64
+}
+
+// Validate checks that the spec's probabilities and sizes are usable.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: spec has no name")
+	case s.SharedFraction < 0 || s.SharedFraction > 1:
+		return fmt.Errorf("workload %s: SharedFraction %f out of [0,1]", s.Name, s.SharedFraction)
+	case s.CommFraction < 0 || s.CommFraction > 1:
+		return fmt.Errorf("workload %s: CommFraction %f out of [0,1]", s.Name, s.CommFraction)
+	case s.ReadFraction < 0 || s.ReadFraction > 1:
+		return fmt.Errorf("workload %s: ReadFraction %f out of [0,1]", s.Name, s.ReadFraction)
+	case s.LocalitySkew < 1:
+		return fmt.Errorf("workload %s: LocalitySkew %f must be >= 1", s.Name, s.LocalitySkew)
+	case s.SharedBytes == 0 && s.PrivateBytesPerThread == 0:
+		return fmt.Errorf("workload %s: no data regions", s.Name)
+	case s.AccessesPerThread <= 0:
+		return fmt.Errorf("workload %s: AccessesPerThread must be positive", s.Name)
+	case s.DefaultThreads <= 0:
+		return fmt.Errorf("workload %s: DefaultThreads must be positive", s.Name)
+	}
+	return nil
+}
+
+// Options control trace generation.
+type Options struct {
+	// Threads overrides the spec's default thread count when positive.
+	Threads int
+	// Scale divides every byte size in the spec; 1 reproduces paper-scale
+	// footprints (slow), DefaultScale keeps the full suite laptop-sized
+	// while preserving the capacity ratios that determine hit rates.
+	Scale int
+	// AccessesPerThread overrides the spec's default when positive.
+	AccessesPerThread int
+	// SeedOffset perturbs the spec seed (used to generate independent
+	// traces of the same workload).
+	SeedOffset int64
+}
+
+// DefaultScale is the default capacity divisor: 1 GB DRAM caches become
+// 16 MB, 16 MB LLCs become 256 KB, and workload footprints shrink by the same
+// factor, preserving every capacity ratio the results depend on.
+const DefaultScale = 64
+
+// withDefaults fills in zero fields.
+func (o Options) withDefaults(s Spec) Options {
+	if o.Threads <= 0 {
+		o.Threads = s.DefaultThreads
+	}
+	if s.Class == SingleThreaded {
+		o.Threads = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = DefaultScale
+	}
+	if o.AccessesPerThread <= 0 {
+		o.AccessesPerThread = s.AccessesPerThread
+	}
+	return o
+}
+
+// Layout describes where the generator placed each region in the physical
+// address space. It is exported so tests and experiments can reason about
+// which pages belong to which region.
+type Layout struct {
+	SharedBase   addr.Addr
+	SharedBytes  uint64
+	MailboxBase  addr.Addr
+	MailboxBytes uint64 // per thread
+	PrivateBase  addr.Addr
+	PrivateBytes uint64 // per thread
+	Threads      int
+}
+
+// TotalBytes returns the footprint implied by the layout.
+func (l Layout) TotalBytes() uint64 {
+	return l.SharedBytes + uint64(l.Threads)*(l.MailboxBytes+l.PrivateBytes)
+}
+
+// PrivateRegion returns the base address and size of a thread's private
+// region.
+func (l Layout) PrivateRegion(thread int) (addr.Addr, uint64) {
+	return l.PrivateBase + addr.Addr(uint64(thread)*l.PrivateBytes), l.PrivateBytes
+}
+
+// MailboxRegion returns the base address and size of a thread's mailbox.
+func (l Layout) MailboxRegion(thread int) (addr.Addr, uint64) {
+	return l.MailboxBase + addr.Addr(uint64(thread)*l.MailboxBytes), l.MailboxBytes
+}
+
+func scaleBytes(b uint64, scale int) uint64 {
+	s := b / uint64(scale)
+	if b > 0 && s < addr.PageBytes {
+		// Never scale a region below one page: the region exists for a
+		// behavioural reason and must remain addressable.
+		s = addr.PageBytes
+	}
+	// Round to whole pages so placement policies see page-aligned regions.
+	return s &^ (addr.PageBytes - 1)
+}
+
+// BuildLayout computes the address-space layout for a spec under the given
+// options.
+func BuildLayout(s Spec, o Options) Layout {
+	o = o.withDefaults(s)
+	l := Layout{Threads: o.Threads}
+	l.SharedBytes = scaleBytes(s.SharedBytes, o.Scale)
+	l.MailboxBytes = scaleBytes(s.MailboxBytesPerThread, o.Scale)
+	l.PrivateBytes = scaleBytes(s.PrivateBytesPerThread, o.Scale)
+	l.SharedBase = 0
+	l.MailboxBase = addr.Addr(l.SharedBytes)
+	l.PrivateBase = l.MailboxBase + addr.Addr(uint64(o.Threads)*l.MailboxBytes)
+	return l
+}
+
+// Generate produces a deterministic trace for the spec under the given
+// options.
+func Generate(s Spec, o Options) (*trace.Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults(s)
+	layout := BuildLayout(s, o)
+
+	tr := &trace.Trace{
+		Name:     s.Name,
+		Parallel: make([][]trace.Record, o.Threads),
+	}
+	tr.Init = generateInit(s, o, layout)
+	for th := 0; th < o.Threads; th++ {
+		tr.Parallel[th] = generateThread(s, o, layout, th)
+	}
+	return tr, nil
+}
+
+// MustGenerate is Generate for specs known to be valid (the built-in
+// registry); it panics on error.
+func MustGenerate(s Spec, o Options) *trace.Trace {
+	tr, err := Generate(s, o)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// generateInit builds the serial initialisation section: thread 0 streams
+// through the shared region (and a sample of the private regions) writing
+// every page once, the way a sequential loader or input parser would. Only
+// page placement (FT1) and cache warm-up observe this section.
+func generateInit(s Spec, o Options, layout Layout) []trace.Record {
+	n := int(float64(o.AccessesPerThread) * s.InitFraction)
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(s.Seed ^ o.SeedOffset ^ 0x1717))
+	recs := make([]trace.Record, 0, n)
+	// Stride through the whole footprint page by page, wrapping if the init
+	// section is longer than the number of pages.
+	total := layout.TotalBytes()
+	if total == 0 {
+		return nil
+	}
+	pages := total / addr.PageBytes
+	for i := 0; i < n; i++ {
+		page := uint64(i) % pages
+		offset := uint64(rng.Intn(addr.BlocksPerPage)) * addr.BlockBytes
+		recs = append(recs, trace.Record{
+			Kind: trace.Write,
+			Addr: addr.Addr(page*addr.PageBytes + offset),
+			Gap:  uint32(rng.Intn(2*s.MeanGap + 1)),
+		})
+	}
+	return recs
+}
+
+// generateThread builds one thread's parallel-region access stream.
+func generateThread(s Spec, o Options, layout Layout, thread int) []trace.Record {
+	rng := rand.New(rand.NewSource(s.Seed ^ o.SeedOffset ^ (int64(thread)+1)*0x9E3779B9))
+	recs := make([]trace.Record, 0, o.AccessesPerThread)
+
+	privBase, privSize := layout.PrivateRegion(thread)
+	ownBox, boxSize := layout.MailboxRegion(thread)
+	neighbour := (thread + 1) % layout.Threads
+	neighbourBox, _ := layout.MailboxRegion(neighbour)
+	// produceCursor walks this thread's mailbox cyclically. Consumption reads
+	// a random, already-produced position of the neighbour's mailbox: by
+	// symmetry the neighbour has produced roughly as many blocks as this
+	// thread, and picking an older position means the data has usually been
+	// pushed out of the producer's LLC already — the situation that exposes
+	// the dirty-remote-cache pathology of §III in the write-back designs.
+	var produceCursor uint64
+	boxBlocks := boxSize / addr.BlockBytes
+
+	// Spatial-run state: when a run is active, successive region accesses
+	// touch consecutive blocks instead of jumping.
+	var runLeft int
+	var runNext addr.Addr
+	var runLimit addr.Addr
+
+	for i := 0; i < o.AccessesPerThread; i++ {
+		gap := uint32(rng.Intn(2*s.MeanGap + 1))
+		r := rng.Float64()
+		var rec trace.Record
+		switch {
+		case layout.Threads > 1 && boxSize > 0 && r < s.CommFraction:
+			// Producer/consumer communication: alternate between writing the
+			// local mailbox and reading the neighbour's.
+			if i%2 == 0 {
+				rec = trace.Record{
+					Kind: trace.Write,
+					Addr: ownBox + addr.Addr(produceCursor%boxSize),
+				}
+				produceCursor += addr.BlockBytes
+			} else {
+				produced := uint64(float64(i) * s.CommFraction / 2)
+				if produced == 0 {
+					produced = 1
+				}
+				if produced > boxBlocks {
+					produced = boxBlocks
+				}
+				slot := uint64(rng.Int63n(int64(produced)))
+				rec = trace.Record{
+					Kind: trace.Read,
+					Addr: neighbourBox + addr.Addr(slot*addr.BlockBytes),
+				}
+			}
+		case runLeft > 0 && runNext < runLimit:
+			// Continue the current spatial run.
+			kind := trace.Write
+			if rng.Float64() < s.ReadFraction {
+				kind = trace.Read
+			}
+			rec = trace.Record{Kind: kind, Addr: runNext}
+			runNext += addr.BlockBytes
+			runLeft--
+		case layout.SharedBytes > 0 && r < s.CommFraction+s.SharedFraction:
+			rec = regionAccess(rng, s, layout.SharedBase, layout.SharedBytes)
+			runLeft, runNext, runLimit = startRun(rng, s, rec.Addr, layout.SharedBase, layout.SharedBytes)
+		case privSize > 0:
+			rec = regionAccess(rng, s, privBase, privSize)
+			runLeft, runNext, runLimit = startRun(rng, s, rec.Addr, privBase, privSize)
+		default:
+			rec = regionAccess(rng, s, layout.SharedBase, layout.SharedBytes)
+			runLeft, runNext, runLimit = startRun(rng, s, rec.Addr, layout.SharedBase, layout.SharedBytes)
+		}
+		rec.Gap = gap
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// startRun decides whether the access at a begins a spatial run and, if so,
+// returns the number of follow-on blocks and the address bounds of the run.
+func startRun(rng *rand.Rand, s Spec, a, base addr.Addr, size uint64) (left int, next, limit addr.Addr) {
+	if s.SpatialRun <= 1 {
+		return 0, 0, 0
+	}
+	// Geometric run length with the configured mean.
+	p := 1.0 / float64(s.SpatialRun)
+	left = 0
+	for rng.Float64() >= p && left < 4*s.SpatialRun {
+		left++
+	}
+	return left, a + addr.BlockBytes, base + addr.Addr(size)
+}
+
+// regionAccess picks a block inside [base, base+size) with the spec's
+// locality skew and read/write mix.
+func regionAccess(rng *rand.Rand, s Spec, base addr.Addr, size uint64) trace.Record {
+	blocks := size / addr.BlockBytes
+	if blocks == 0 {
+		blocks = 1
+	}
+	u := rng.Float64()
+	blockIdx := uint64(math.Pow(u, s.LocalitySkew) * float64(blocks))
+	if blockIdx >= blocks {
+		blockIdx = blocks - 1
+	}
+	kind := trace.Write
+	if rng.Float64() < s.ReadFraction {
+		kind = trace.Read
+	}
+	return trace.Record{Kind: kind, Addr: base + addr.Addr(blockIdx*addr.BlockBytes)}
+}
