@@ -1,0 +1,47 @@
+# Make targets mirror .github/workflows/ci.yml exactly, so a green `make ci`
+# locally means a green CI run — the two cannot drift because CI calls these
+# targets.
+
+GO ?= go
+
+.PHONY: all build test race lint lint-fmt vet bench bench-smoke determinism ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint: lint-fmt vet
+
+# gofmt -l prints offending files; fail if any.
+lint-fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark run (minutes): every paper artefact plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches hot-path regressions that panic,
+# error or allocate wildly, without paying for statistically stable numbers.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
+
+# Byte-identical sweep output across parallelism levels, exercised through
+# the real CLI.
+determinism:
+	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json -parallel 1 > /tmp/c3d-sweep-p1.json
+	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json > /tmp/c3d-sweep-pN.json
+	cmp /tmp/c3d-sweep-p1.json /tmp/c3d-sweep-pN.json
+	@echo "sweep output bit-identical across parallelism levels"
+
+ci: lint build race bench-smoke determinism

@@ -12,12 +12,14 @@
 package c3d_test
 
 import (
+	"fmt"
 	"testing"
 
 	"c3d/internal/core"
 	"c3d/internal/experiments"
 	"c3d/internal/machine"
 	"c3d/internal/mc"
+	"c3d/internal/sweep"
 	"c3d/internal/workload"
 )
 
@@ -32,6 +34,7 @@ func benchConfig() experiments.Config {
 // BenchmarkTable1RemoteFraction regenerates Table I: the fraction of memory
 // accesses served by remote memory on the 4-socket baseline.
 func BenchmarkTable1RemoteFraction(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.TableI(cfg)
@@ -45,6 +48,7 @@ func BenchmarkTable1RemoteFraction(b *testing.B) {
 // BenchmarkFig2NUMABottleneck regenerates Fig. 2: the speedup from removing
 // inter-socket latency versus removing bandwidth limits.
 func BenchmarkFig2NUMABottleneck(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig2(cfg)
@@ -59,6 +63,7 @@ func BenchmarkFig2NUMABottleneck(b *testing.B) {
 // BenchmarkFig3CacheCapacity regenerates Fig. 3: memory accesses versus LLC
 // capacity.
 func BenchmarkFig3CacheCapacity(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig3(cfg)
@@ -72,6 +77,7 @@ func BenchmarkFig3CacheCapacity(b *testing.B) {
 // BenchmarkFig6QuadSocket regenerates Fig. 6: the 4-socket performance
 // comparison.
 func BenchmarkFig6QuadSocket(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig6(cfg)
@@ -85,6 +91,7 @@ func BenchmarkFig6QuadSocket(b *testing.B) {
 
 // BenchmarkFig7DualSocket regenerates Fig. 7: the 2-socket comparison.
 func BenchmarkFig7DualSocket(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig7(cfg)
@@ -98,6 +105,7 @@ func BenchmarkFig7DualSocket(b *testing.B) {
 // BenchmarkFig8MemoryTraffic regenerates Fig. 8: C3D's remote memory traffic
 // normalised to the baseline.
 func BenchmarkFig8MemoryTraffic(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig8(cfg)
@@ -112,6 +120,7 @@ func BenchmarkFig8MemoryTraffic(b *testing.B) {
 // BenchmarkFig9InterSocketTraffic regenerates Fig. 9: inter-socket traffic
 // per design, normalised to the baseline.
 func BenchmarkFig9InterSocketTraffic(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig9(cfg)
@@ -126,6 +135,7 @@ func BenchmarkFig9InterSocketTraffic(b *testing.B) {
 // BenchmarkFig10DRAMCacheLatency regenerates Fig. 10: sensitivity to the DRAM
 // cache latency.
 func BenchmarkFig10DRAMCacheLatency(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster", "canneal"}
 	for i := 0; i < b.N; i++ {
@@ -140,6 +150,7 @@ func BenchmarkFig10DRAMCacheLatency(b *testing.B) {
 // BenchmarkFig11InterSocketLatency regenerates Fig. 11: sensitivity to the
 // inter-socket hop latency.
 func BenchmarkFig11InterSocketLatency(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster", "canneal"}
 	for i := 0; i < b.N; i++ {
@@ -153,6 +164,7 @@ func BenchmarkFig11InterSocketLatency(b *testing.B) {
 
 // BenchmarkSec6CBroadcastFilter regenerates the §VI-C broadcast-filter study.
 func BenchmarkSec6CBroadcastFilter(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster"}
 	for i := 0; i < b.N; i++ {
@@ -167,6 +179,7 @@ func BenchmarkSec6CBroadcastFilter(b *testing.B) {
 // BenchmarkProtocolModelCheck regenerates the §IV-C verification: an
 // exhaustive exploration of the 2-socket protocol configuration.
 func BenchmarkProtocolModelCheck(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		model := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
 		report := mc.Run(model, mc.Options{})
@@ -179,6 +192,7 @@ func BenchmarkProtocolModelCheck(b *testing.B) {
 
 // BenchmarkPrivateVsShared regenerates the §II-C organisation comparison.
 func BenchmarkPrivateVsShared(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster"}
 	for i := 0; i < b.N; i++ {
@@ -193,6 +207,7 @@ func BenchmarkPrivateVsShared(b *testing.B) {
 // BenchmarkAblation regenerates the design-choice ablation (clean property,
 // non-inclusive directory, miss predictor).
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Workloads = []string{"facesim"}
 	for i := 0; i < b.N; i++ {
@@ -209,6 +224,7 @@ func BenchmarkAblation(b *testing.B) {
 // BenchmarkMachineSimulation measures raw simulation throughput
 // (accesses simulated per second) of the C3D machine.
 func BenchmarkMachineSimulation(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.MustGet("streamcluster")
 	opts := workload.Options{Threads: 8, Scale: 512, AccessesPerThread: 5000}
 	tr := workload.MustGenerate(spec, opts)
@@ -228,6 +244,7 @@ func BenchmarkMachineSimulation(b *testing.B) {
 
 // BenchmarkTraceGeneration measures synthetic trace generation throughput.
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.MustGet("canneal")
 	opts := workload.Options{Threads: 8, Scale: 64, AccessesPerThread: 20_000}
 	b.ResetTimer()
@@ -236,6 +253,50 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		tr := workload.MustGenerate(spec, opts)
 		if tr.Accesses() == 0 {
 			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkMachineSimulationManyCores measures scheduler scalability: the
+// "pick the earliest core" structure is exercised with 64 cores, where the
+// old O(cores) linear scan dominated. Reported accesses/s should stay in the
+// same ballpark as the 8-thread benchmark rather than collapsing.
+func BenchmarkMachineSimulationManyCores(b *testing.B) {
+	b.ReportAllocs()
+	spec := workload.MustGet("streamcluster")
+	opts := workload.Options{Threads: 64, Scale: 512, AccessesPerThread: 1000}
+	tr := workload.MustGenerate(spec, opts)
+	accesses := tr.Accesses()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := machine.DefaultConfig(4, machine.C3D)
+		cfg.Scale = 512
+		cfg.CoresPerSocket = 16
+		m := machine.New(cfg)
+		if _, err := m.Run(tr, machine.DefaultRunOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(accesses*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkSweepOverhead measures the sweep harness itself (job dispatch,
+// seeding, result collection) with trivial jobs, so harness regressions are
+// visible independently of simulation cost.
+func BenchmarkSweepOverhead(b *testing.B) {
+	b.ReportAllocs()
+	jobs := make([]sweep.Job[int], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = sweep.Job[int]{
+			Key: fmt.Sprintf("job-%d", i),
+			Run: func(seed int64) (int, error) { return i + int(seed%3), nil },
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Run(jobs, sweep.Options{Parallelism: 4}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

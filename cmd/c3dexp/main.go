@@ -7,13 +7,17 @@
 //	c3dexp -exp all -quick           # the full set at smoke-test scale
 //	c3dexp -list                     # show available experiments
 //	c3dexp -exp fig8 -workloads streamcluster,canneal -accesses 60000
+//	c3dexp -exp fig6 -quick -json    # machine-readable output for CI tooling
+//	c3dexp -exp all -quick -parallel 4
 //
 // Paper-scale runs (32 threads, 200k accesses/thread) take tens of seconds
 // to a few minutes per machine configuration on one host core; -quick or
-// -accesses trade precision for time.
+// -accesses trade precision for time. Results are deterministic: the same
+// flags produce byte-identical -json output at any -parallel value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,14 @@ import (
 
 	"c3d/internal/experiments"
 )
+
+// jsonResult is the machine-readable record emitted per experiment.
+type jsonResult struct {
+	ID          string      `json:"id"`
+	Paper       string      `json:"paper"`
+	Description string      `json:"description"`
+	Table       interface{} `json:"table"`
+}
 
 func main() {
 	var (
@@ -33,6 +45,10 @@ func main() {
 		scale     = flag.Int("scale", 0, "override the capacity/footprint scale factor")
 		sockets   = flag.Int("sockets", 0, "override the socket count (where the experiment allows it)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's nine)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS; results identical at any value)")
+		seed      = flag.Int64("seed", 0, "workload generation seed (0 reproduces the default runs)")
+		asJSON    = flag.Bool("json", false, "emit a JSON array of results instead of text tables")
+		asCSV     = flag.Bool("csv", false, "emit each result table as CSV instead of text")
 		verbose   = flag.Bool("v", false, "print progress for every completed simulation")
 	)
 	flag.Parse()
@@ -46,6 +62,16 @@ func main() {
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "c3dexp: -exp is required (use -list to see the choices)")
+		os.Exit(2)
+	}
+	if *asJSON && *asCSV {
+		fmt.Fprintln(os.Stderr, "c3dexp: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
+	if *asCSV && *exp == "all" {
+		// Tables have different column sets, so concatenating them would be
+		// malformed CSV; -json handles multi-experiment output.
+		fmt.Fprintln(os.Stderr, "c3dexp: -csv needs a single experiment (use -json for -exp all)")
 		os.Exit(2)
 	}
 
@@ -68,6 +94,8 @@ func main() {
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
+	cfg.Parallelism = *parallel
+	cfg.Seed = *seed
 	if *verbose {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -76,6 +104,7 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	var jsonOut []jsonResult
 	for _, id := range ids {
 		entry, err := experiments.Lookup(id)
 		if err != nil {
@@ -88,8 +117,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "c3dexp: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s (%s): %s ==\n", entry.ID, entry.Paper, entry.Description)
-		fmt.Print(result.Table().String())
-		fmt.Printf("-- completed in %v --\n\n", time.Since(start).Round(time.Millisecond))
+		switch {
+		case *asJSON:
+			jsonOut = append(jsonOut, jsonResult{
+				ID: entry.ID, Paper: entry.Paper, Description: entry.Description,
+				Table: result.Table(),
+			})
+		case *asCSV:
+			if err := result.Table().WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "c3dexp: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Printf("== %s (%s): %s ==\n", entry.ID, entry.Paper, entry.Description)
+			fmt.Print(result.Table().String())
+			fmt.Printf("-- completed in %v --\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "c3dexp:", err)
+			os.Exit(1)
+		}
 	}
 }

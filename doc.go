@@ -11,10 +11,8 @@
 // experiment harness that regenerates every table and figure of the
 // evaluation.
 //
-// Start with README.md for the layout, DESIGN.md for the system inventory
-// and the paper-to-implementation mapping, and EXPERIMENTS.md for measured
-// results next to the paper's numbers. The benchmarks in bench_test.go
-// regenerate each experiment at a reduced scale:
+// Start with README.md for the layout and quickstart. The benchmarks in
+// bench_test.go regenerate each experiment at a reduced scale:
 //
 //	go test -bench=. -benchmem .
 //

@@ -1,0 +1,3 @@
+module c3d
+
+go 1.24

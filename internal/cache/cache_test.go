@@ -299,6 +299,7 @@ func TestFillInvalidateProperty(t *testing.T) {
 }
 
 func BenchmarkLookupHit(b *testing.B) {
+	b.ReportAllocs()
 	c := New(Config{Name: "bench", SizeBytes: 1 << 20, Ways: 16})
 	for i := 0; i < 1024; i++ {
 		c.Fill(addr.Block(i), stS, false)
@@ -309,7 +310,20 @@ func BenchmarkLookupHit(b *testing.B) {
 	}
 }
 
+func BenchmarkLookupMiss(b *testing.B) {
+	b.ReportAllocs()
+	c := New(Config{Name: "bench", SizeBytes: 1 << 20, Ways: 16})
+	for i := 0; i < 1024; i++ {
+		c.Fill(addr.Block(i), stS, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addr.Block(1 << 30))
+	}
+}
+
 func BenchmarkFillEvict(b *testing.B) {
+	b.ReportAllocs()
 	c := New(Config{Name: "bench", SizeBytes: 1 << 18, Ways: 8})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -23,8 +23,8 @@ package core
 //     invariant enabled by clean DRAM caches).
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -727,84 +727,148 @@ func clone(s *protoState) *protoState {
 	return &n
 }
 
-// encodeState produces a canonical string encoding: the message multiset is
-// sorted so that states differing only in message ordering hash identically.
+// State encoding. States are the model checker's currency: every transition
+// encodes its result and every visited-set probe hashes the encoding, so the
+// codec is the verification hot path. The format is a fixed-layout binary
+// string (mc treats states as opaque strings): an 8-byte header, one byte for
+// the socket count, 11 bytes per socket, and 6 bytes per in-flight message.
+// int8 fields (-1 sentinels included) are stored as their two's-complement
+// byte. The message multiset is sorted bytewise so that states differing only
+// in message ordering hash identically.
+const (
+	encHeaderLen = 9
+	encSockLen   = 11
+	encMsgLen    = 6
+)
+
 func encodeState(s *protoState) string {
-	msgs := append([]message(nil), s.Msgs...)
-	sort.Slice(msgs, func(i, j int) bool {
-		a, b := msgs[i], msgs[j]
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		if a.Dst != b.Dst {
-			return a.Dst < b.Dst
-		}
-		if a.Requester != b.Requester {
-			return a.Requester < b.Requester
-		}
-		if a.Data != b.Data {
-			return a.Data < b.Data
-		}
-		return a.Acks < b.Acks
-	})
-	var b strings.Builder
-	fmt.Fprintf(&b, "D%d:%d:%d|B%v:%d:%v:%d|M%d|W%d", s.DirState, s.DirOwner, s.Sharers,
-		s.Busy.Busy, s.Busy.Requester, s.Busy.IsWrite, s.Busy.ForwardedTo, s.Memory, s.LastWrite)
+	n := encHeaderLen + len(s.Sockets)*encSockLen + len(s.Msgs)*encMsgLen
+	b := make([]byte, 0, n)
+	flags := byte(0)
+	if s.Busy.Busy {
+		flags |= 1
+	}
+	if s.Busy.IsWrite {
+		flags |= 2
+	}
+	b = append(b, s.DirState, byte(s.DirOwner), s.Sharers, flags,
+		byte(s.Busy.Requester), byte(s.Busy.ForwardedTo), s.Memory, s.LastWrite,
+		byte(len(s.Sockets)))
 	for i := range s.Sockets {
 		k := &s.Sockets[i]
-		fmt.Fprintf(&b, "|S%d:%d:%d:%d:%d:%d:%v:%d:%d:%d:%d:%d", k.LLC, k.LLCData, k.DC, k.DCData,
-			k.Pending, boolToInt(k.HaveData), k.PendData, k.AcksNeed, k.AcksGot, k.LoadsLeft, k.StoresLeft, i)
+		sflags := byte(0)
+		if k.HaveData {
+			sflags |= 1
+		}
+		b = append(b, byte(k.LLC), k.LLCData, byte(k.DC), k.DCData,
+			byte(k.Pending), sflags, k.PendData, byte(k.AcksNeed), byte(k.AcksGot),
+			k.LoadsLeft, k.StoresLeft)
 	}
-	for _, msg := range msgs {
-		fmt.Fprintf(&b, "|m%d:%d:%d:%d:%d:%d", msg.Kind, msg.Src, msg.Dst, msg.Requester, msg.Data, msg.Acks)
+	msgStart := len(b)
+	for _, msg := range s.Msgs {
+		b = append(b, byte(msg.Kind), byte(msg.Src), byte(msg.Dst),
+			byte(msg.Requester), msg.Data, byte(msg.Acks))
 	}
-	return b.String()
+	sortMessageRecords(b[msgStart:])
+	return string(b)
 }
 
-func boolToInt(v bool) int {
-	if v {
-		return 1
+// sortMessageRecords canonically orders the 6-byte message records in place
+// (insertion sort: the in-flight message count is small, typically under
+// ten, and this avoids the sort.Slice closure and swap allocations).
+func sortMessageRecords(b []byte) {
+	n := len(b) / encMsgLen
+	var tmp [encMsgLen]byte
+	for i := 1; i < n; i++ {
+		copy(tmp[:], b[i*encMsgLen:(i+1)*encMsgLen])
+		j := i - 1
+		for j >= 0 && bytes.Compare(b[j*encMsgLen:(j+1)*encMsgLen], tmp[:]) > 0 {
+			copy(b[(j+1)*encMsgLen:(j+2)*encMsgLen], b[j*encMsgLen:(j+1)*encMsgLen])
+			j--
+		}
+		copy(b[(j+1)*encMsgLen:(j+2)*encMsgLen], tmp[:])
 	}
-	return 0
 }
 
 // decodeState parses the canonical encoding back into a state. The format is
 // internal to this package; mc treats states as opaque strings.
 func decodeState(enc string) *protoState {
-	parts := strings.Split(enc, "|")
-	s := &protoState{Busy: dirBusy{ForwardedTo: -1}}
-	mustSscan(parts[0], "D%d:%d:%d", &s.DirState, &s.DirOwner, &s.Sharers)
-	busyFields := strings.Split(strings.TrimPrefix(parts[1], "B"), ":")
-	s.Busy.Busy = busyFields[0] == "true"
-	mustSscan(busyFields[1], "%d", &s.Busy.Requester)
-	s.Busy.IsWrite = busyFields[2] == "true"
-	mustSscan(busyFields[3], "%d", &s.Busy.ForwardedTo)
-	mustSscan(parts[2], "M%d", &s.Memory)
-	mustSscan(parts[3], "W%d", &s.LastWrite)
-	for _, p := range parts[4:] {
-		switch {
-		case strings.HasPrefix(p, "S"):
-			var k socketState
-			var haveData int
-			var idx int
-			mustSscan(p, "S%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d", &k.LLC, &k.LLCData, &k.DC, &k.DCData,
-				&k.Pending, &haveData, &k.PendData, &k.AcksNeed, &k.AcksGot, &k.LoadsLeft, &k.StoresLeft, &idx)
-			k.HaveData = haveData == 1
-			s.Sockets = append(s.Sockets, k)
-		case strings.HasPrefix(p, "m"):
-			var msg message
-			mustSscan(p, "m%d:%d:%d:%d:%d:%d", &msg.Kind, &msg.Src, &msg.Dst, &msg.Requester, &msg.Data, &msg.Acks)
-			s.Msgs = append(s.Msgs, msg)
+	if len(enc) < encHeaderLen {
+		panic(fmt.Sprintf("core: malformed protocol state (%d bytes)", len(enc)))
+	}
+	s := &protoState{
+		DirState: enc[0],
+		DirOwner: int8(enc[1]),
+		Sharers:  enc[2],
+		Busy: dirBusy{
+			Busy:        enc[3]&1 != 0,
+			IsWrite:     enc[3]&2 != 0,
+			Requester:   int8(enc[4]),
+			ForwardedTo: int8(enc[5]),
+		},
+		Memory:    enc[6],
+		LastWrite: enc[7],
+	}
+	nSockets := int(enc[8])
+	off := encHeaderLen
+	if rem := len(enc) - off - nSockets*encSockLen; rem < 0 || rem%encMsgLen != 0 {
+		panic(fmt.Sprintf("core: malformed protocol state (%d bytes, %d sockets)", len(enc), nSockets))
+	}
+	s.Sockets = make([]socketState, nSockets)
+	for i := range s.Sockets {
+		k := &s.Sockets[i]
+		k.LLC = llcState(enc[off])
+		k.LLCData = enc[off+1]
+		k.DC = dcState(enc[off+2])
+		k.DCData = enc[off+3]
+		k.Pending = pendingOp(enc[off+4])
+		k.HaveData = enc[off+5]&1 != 0
+		k.PendData = enc[off+6]
+		k.AcksNeed = int8(enc[off+7])
+		k.AcksGot = int8(enc[off+8])
+		k.LoadsLeft = enc[off+9]
+		k.StoresLeft = enc[off+10]
+		off += encSockLen
+	}
+	nMsgs := (len(enc) - off) / encMsgLen
+	if nMsgs > 0 {
+		s.Msgs = make([]message, nMsgs)
+		for i := range s.Msgs {
+			s.Msgs[i] = message{
+				Kind:      msgKind(enc[off]),
+				Src:       int8(enc[off+1]),
+				Dst:       int8(enc[off+2]),
+				Requester: int8(enc[off+3]),
+				Data:      enc[off+4],
+				Acks:      int8(enc[off+5]),
+			}
+			off += encMsgLen
 		}
 	}
 	return s
 }
 
-func mustSscan(s, format string, args ...interface{}) {
-	if _, err := fmt.Sscanf(s, format, args...); err != nil {
-		panic(fmt.Sprintf("core: malformed protocol state %q: %v", s, err))
+// FormatState renders an encoded state human-readably. It implements the
+// model checker's optional StateFormatter interface, so violation reports
+// show protocol vocabulary instead of the raw binary encoding.
+func (m *ProtocolModel) FormatState(enc string) string { return FormatState(enc) }
+
+// FormatState renders an encoded state human-readably (see the method above;
+// the package-level function serves tests and ad-hoc debugging).
+func FormatState(enc string) string {
+	s := decodeState(enc)
+	var b strings.Builder
+	fmt.Fprintf(&b, "dir{state:%d owner:%d sharers:%08b busy:%v req:%d fwd:%d} mem:%d lastWrite:%d",
+		s.DirState, s.DirOwner, s.Sharers, s.Busy.Busy, s.Busy.Requester, s.Busy.ForwardedTo,
+		s.Memory, s.LastWrite)
+	for i := range s.Sockets {
+		k := &s.Sockets[i]
+		fmt.Fprintf(&b, "\n  socket %d: llc:%v/%d dc:%v/%d pending:%d acks:%d/%d loads:%d stores:%d",
+			i, k.LLC, k.LLCData, k.DC, k.DCData, k.Pending, k.AcksGot, k.AcksNeed, k.LoadsLeft, k.StoresLeft)
 	}
+	for _, msg := range s.Msgs {
+		fmt.Fprintf(&b, "\n  msg %v %d->%d req:%d data:%d acks:%d",
+			msg.Kind, msg.Src, msg.Dst, msg.Requester, msg.Data, msg.Acks)
+	}
+	return b.String()
 }

@@ -127,3 +127,63 @@ func TestProtocolStateNames(t *testing.T) {
 		}
 	}
 }
+
+// TestFormatStateRoundTrips smoke-tests the violation-report pretty-printer
+// on a real reachable state.
+func TestFormatState(t *testing.T) {
+	m := NewProtocolModel(ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	succ, err := m.Successors(m.Initial()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range append(m.Initial(), succ...) {
+		out := FormatState(s)
+		if !strings.Contains(out, "dir{") || !strings.Contains(out, "socket 0") {
+			t.Fatalf("FormatState output looks wrong:\n%s", out)
+		}
+	}
+}
+
+// BenchmarkStateCodec measures the model checker's inner loop currency: the
+// canonical encode/decode round trip of a mid-exploration state with
+// messages in flight.
+func BenchmarkStateCodec(b *testing.B) {
+	m := NewProtocolModel(ProtocolConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1})
+	// Walk a few levels deep so the benchmarked state has in-flight messages.
+	state := m.Initial()[0]
+	for i := 0; i < 3; i++ {
+		succ, err := m.Successors(state)
+		if err != nil || len(succ) == 0 {
+			b.Fatalf("setup: %v (%d successors)", err, len(succ))
+		}
+		state = succ[len(succ)-1]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if re := encodeState(decodeState(state)); len(re) != len(state) {
+			b.Fatal("round trip changed length")
+		}
+	}
+}
+
+// BenchmarkSuccessors measures full successor generation, the other half of
+// the exploration hot path.
+func BenchmarkSuccessors(b *testing.B) {
+	m := NewProtocolModel(ProtocolConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1})
+	state := m.Initial()[0]
+	for i := 0; i < 2; i++ {
+		succ, err := m.Successors(state)
+		if err != nil || len(succ) == 0 {
+			b.Fatalf("setup: %v", err)
+		}
+		state = succ[0]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Successors(state); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -271,3 +271,30 @@ func TestCapacityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// BenchmarkAccessHit guards the per-access hot path: a steady-state DRAM
+// cache access (predict, tag lookup, channel occupancy) must not allocate.
+func BenchmarkAccessHit(b *testing.B) {
+	b.ReportAllocs()
+	c := New(DefaultConfig("bench", 64*testMB, Clean))
+	for i := 0; i < 4096; i++ {
+		c.Fill(0, addr.Block(i), coherence.LineShared, false)
+	}
+	now := sim.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.Access(now, addr.Block(i%4096), i%3 == 0)
+		now = res.Done
+	}
+}
+
+// BenchmarkFillChurn guards the fill/evict path of a full direct-mapped
+// cache, which exercises predictor updates and victim accounting.
+func BenchmarkFillChurn(b *testing.B) {
+	b.ReportAllocs()
+	c := New(DefaultConfig("bench", 16*testMB, Clean))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(0, addr.Block(i), coherence.LineShared, false)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestSweepDeterministicAcrossParallelism is the harness-level determinism
+// contract: an experiment serialised to JSON must be byte-identical at
+// Parallelism=1 and Parallelism=GOMAXPROCS. The sweep layer guarantees
+// ordering and seeding; this test guards the experiment layer against
+// reintroducing map-iteration or completion-order dependence.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) []byte {
+		cfg := testConfig()
+		cfg.AccessesPerThread = 2000
+		cfg.Parallelism = parallelism
+		res, err := Fig6(cfg)
+		if err != nil {
+			t.Fatalf("Fig6 at parallelism %d: %v", parallelism, err)
+		}
+		out, err := json.Marshal(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("results differ across parallelism levels:\n  serial: %s\nparallel: %s", serial, parallel)
+	}
+}
+
+// TestSeedChangesTracesButStaysComparable checks the Seed knob regenerates
+// different traces (different absolute numbers are likely) while the same
+// seed reproduces identical results.
+func TestSeedChangesTracesButStaysComparable(t *testing.T) {
+	run := func(seed int64) []byte {
+		cfg := testConfig()
+		cfg.AccessesPerThread = 2000
+		cfg.Workloads = []string{"streamcluster"}
+		cfg.Seed = seed
+		res, err := TableI(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(11), run(11)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different results:\n%s\n%s", a, b)
+	}
+}

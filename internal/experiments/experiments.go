@@ -21,6 +21,7 @@ import (
 	"c3d/internal/machine"
 	"c3d/internal/numa"
 	"c3d/internal/stats"
+	"c3d/internal/sweep"
 	"c3d/internal/trace"
 	"c3d/internal/workload"
 )
@@ -44,8 +45,13 @@ type Config struct {
 	WarmupFraction float64
 	// Workloads restricts the workload set (nil means the paper's nine).
 	Workloads []string
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS). It only
+	// affects wall-clock time: results are bit-identical at any value.
 	Parallelism int
+	// Seed offsets workload generation. Zero reproduces the default runs;
+	// the same seed always regenerates the same traces, and every design
+	// sees the same trace for a given workload regardless of seed.
+	Seed int64
 	// Progress, if non-nil, receives a line per completed simulation.
 	Progress func(string)
 }
@@ -155,41 +161,56 @@ type job struct {
 	accesses int
 }
 
-// runJobs executes the jobs with bounded parallelism and returns results
-// keyed by job key.
+// runJobs executes the jobs on the sweep runner and returns results keyed by
+// job key. Ordering, seeding and error selection are deterministic: the same
+// jobs produce identical results at any Parallelism.
 func (c Config) runJobs(jobs []job) (map[string]machine.RunResult, error) {
 	c = c.withDefaults()
-	results := make(map[string]machine.RunResult, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, c.Parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := c.runOne(j)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiment job %s: %w", j.key, err)
-				}
+	sjobs := make([]sweep.Job[machine.RunResult], len(jobs))
+	for i, j := range jobs {
+		j := j
+		// The seed is explicit rather than key-derived: every design
+		// simulating a given workload must share its trace, so the seed
+		// depends on the workload stream (seedOff) and the campaign (Seed),
+		// never on the design part of the key.
+		seed := j.seedOff + c.Seed
+		sjobs[i] = sweep.Job[machine.RunResult]{
+			Key:  j.key,
+			Seed: &seed,
+			Run:  func(seed int64) (machine.RunResult, error) { return c.runOne(j, seed) },
+		}
+	}
+	var progress func(sweep.Progress)
+	if c.Progress != nil {
+		progress = func(p sweep.Progress) {
+			if p.Err != nil {
+				// p.Err already names the job key (sweep wraps it).
+				c.Progress(fmt.Sprintf("fail [%d/%d] %v", p.Done, p.Total, p.Err))
 				return
 			}
-			results[j.key] = res
-			if c.Progress != nil {
-				c.Progress(fmt.Sprintf("done %-40s %s", j.key, res.String()))
-			}
-		}(j)
+			c.Progress(fmt.Sprintf("done [%d/%d] %-40s %v", p.Done, p.Total, p.Key, p.Elapsed.Round(1e6)))
+		}
 	}
-	wg.Wait()
-	return results, firstErr
+	// BaseSeed is deliberately not set: every job carries an explicit seed
+	// (seedOff + c.Seed above), so sweep's key-derived seeding never applies.
+	results, err := sweep.Run(sjobs, sweep.Options{
+		Parallelism: c.Parallelism,
+		Progress:    progress,
+	})
+	out := make(map[string]machine.RunResult, len(results))
+	for _, r := range results {
+		if r.Err == nil {
+			out[r.Key] = r.Value
+		}
+	}
+	if err != nil {
+		// err already carries the failing job's key via sweep's wrapping.
+		return out, fmt.Errorf("experiment %w", err)
+	}
+	return out, nil
 }
 
-func (c Config) runOne(j job) (machine.RunResult, error) {
+func (c Config) runOne(j job, seed int64) (machine.RunResult, error) {
 	accesses := c.AccessesPerThread
 	if j.accesses > 0 {
 		accesses = j.accesses
@@ -198,7 +219,7 @@ func (c Config) runOne(j job) (machine.RunResult, error) {
 		Threads:           c.Threads,
 		Scale:             c.Scale,
 		AccessesPerThread: accesses,
-		SeedOffset:        j.seedOff,
+		SeedOffset:        seed,
 	}
 	tr, err := sharedTraces.get(j.spec, opts)
 	if err != nil {

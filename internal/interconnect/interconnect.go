@@ -122,14 +122,15 @@ type Stats struct {
 
 // Fabric is the inter-socket interconnect instance.
 type Fabric struct {
-	cfg   Config
-	links map[linkKey]*sim.Resource
+	cfg Config
+	// links is a dense matrix of directed links indexed from*Sockets+to; nil
+	// entries are socket pairs with no direct link. A flat slice keeps the
+	// per-hop link lookup on the message hot path free of map hashing.
+	links []*sim.Resource
 	stats Stats
 	// zeroLatency models the Fig. 2 "0_qpi_lat" idealisation.
 	zeroLatency bool
 }
-
-type linkKey struct{ from, to int }
 
 // New builds a fabric from cfg. It panics if the socket count is not
 // supported by the topology (point-to-point needs >=2, ring needs >=3 to be
@@ -138,12 +139,11 @@ func New(cfg Config) *Fabric {
 	if cfg.Sockets < 1 {
 		panic("interconnect: need at least one socket")
 	}
-	f := &Fabric{cfg: cfg, links: make(map[linkKey]*sim.Resource)}
+	f := &Fabric{cfg: cfg, links: make([]*sim.Resource, cfg.Sockets*cfg.Sockets)}
 	bpc := sim.GBsToBytesPerCycle(cfg.LinkBandwidthGBs)
 	addLink := func(a, b int) {
-		k := linkKey{a, b}
-		if _, ok := f.links[k]; !ok {
-			f.links[k] = sim.NewResource(fmt.Sprintf("link%d-%d", a, b), bpc)
+		if f.links[a*cfg.Sockets+b] == nil {
+			f.links[a*cfg.Sockets+b] = sim.NewResource(fmt.Sprintf("link%d-%d", a, b), bpc)
 		}
 	}
 	switch cfg.Topology {
@@ -177,7 +177,9 @@ func (f *Fabric) Stats() Stats { return f.stats }
 func (f *Fabric) ResetStats() {
 	f.stats = Stats{}
 	for _, l := range f.links {
-		l.Reset()
+		if l != nil {
+			l.Reset()
+		}
 	}
 }
 
@@ -187,7 +189,9 @@ func (f *Fabric) SetZeroLatency() { f.zeroLatency = true }
 // SetInfiniteBandwidth removes link bandwidth limits (Fig. 2 "inf_qpi_bw").
 func (f *Fabric) SetInfiniteBandwidth() {
 	for _, l := range f.links {
-		l.SetInfinite()
+		if l != nil {
+			l.SetInfinite()
+		}
 	}
 }
 
@@ -214,32 +218,26 @@ func (f *Fabric) Hops(from, to int) int {
 	}
 }
 
-// path returns the sequence of sockets visited between from and to
-// (excluding from, including to). For the ring it walks the shorter
-// direction, breaking ties clockwise.
-func (f *Fabric) path(from, to int) []int {
+// route returns the step increment and hop count of the route from from to
+// to (dist 0 when they are the same socket). For the ring it walks the
+// shorter direction, breaking ties clockwise; point-to-point is always one
+// hop. step is always in [0, sockets), so callers walk the route with
+// cur = (cur + step) % sockets starting at cur = from — allocation-free,
+// which matters because this is the simulator's hottest path.
+func (f *Fabric) route(from, to int) (step, dist int) {
+	n := f.cfg.Sockets
 	if from == to {
-		return nil
+		return 0, 0
 	}
 	if f.cfg.Topology == PointToPoint {
-		return []int{to}
+		return ((to-from)%n + n) % n, 1
 	}
-	n := f.cfg.Sockets
 	cw := (to - from + n) % n
 	ccw := (from - to + n) % n
-	step := 1
-	dist := cw
 	if ccw < cw {
-		step = n - 1 // i.e. -1 mod n
-		dist = ccw
+		return n - 1, ccw // n-1 is -1 mod n
 	}
-	var out []int
-	cur := from
-	for i := 0; i < dist; i++ {
-		cur = (cur + step) % n
-		out = append(out, cur)
-	}
-	return out
+	return 1, cw
 }
 
 // Send models one message travelling from socket `from` to socket `to`
@@ -263,7 +261,9 @@ func (f *Fabric) Send(now sim.Time, from, to int, class MessageClass) sim.Time {
 	}
 	t := now
 	prev := from
-	for _, next := range f.path(from, to) {
+	step, dist := f.route(from, to)
+	for i := 0; i < dist; i++ {
+		next := (prev + step) % f.cfg.Sockets
 		f.stats.HopsTraversed++
 		f.stats.TotalBytes += uint64(bytes)
 		switch class {
@@ -272,7 +272,7 @@ func (f *Fabric) Send(now sim.Time, from, to int, class MessageClass) sim.Time {
 		case Data:
 			f.stats.DataBytes += uint64(bytes)
 		}
-		link := f.links[linkKey{prev, next}]
+		link := f.links[prev*f.cfg.Sockets+next]
 		_, done := link.Acquire(t, bytes)
 		if !f.zeroLatency {
 			done = done.Add(f.cfg.HopLatency)
@@ -312,11 +312,14 @@ func (f *Fabric) Broadcast(now sim.Time, from int, class MessageClass) (last sim
 	return last, arrivals
 }
 
-// LinkStats returns occupancy statistics for every directed link.
+// LinkStats returns occupancy statistics for every directed link, in
+// deterministic (from, to) order.
 func (f *Fabric) LinkStats() []sim.ResourceStats {
-	out := make([]sim.ResourceStats, 0, len(f.links))
+	var out []sim.ResourceStats
 	for _, l := range f.links {
-		out = append(out, l.Stats())
+		if l != nil {
+			out = append(out, l.Stats())
+		}
 	}
 	return out
 }

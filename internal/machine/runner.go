@@ -46,6 +46,7 @@ func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
 		cores[t] = &coreRunner{
 			core:    sock.cores[t-sock.id*m.cfg.CoresPerSocket],
 			records: tr.Parallel[t],
+			idx:     t,
 		}
 	}
 
@@ -99,6 +100,11 @@ type coreRunner struct {
 	core    *cpu.Core
 	records []trace.Record
 	next    int
+	// idx is the runner's position in the cores slice; it is the
+	// deterministic tie-break when several cores share the same local time.
+	idx int
+	// bound is the record index this phase stops at (set by execute).
+	bound int
 }
 
 func maxRecords(cores []*coreRunner) int {
@@ -142,26 +148,97 @@ func (m *Machine) placePages(tr *trace.Trace) {
 // with the smallest local time so that bandwidth contention and inter-thread
 // interactions happen in a plausible global order. A non-negative limit stops
 // each core after that many records (used for the warm-up phase).
+//
+// The "earliest core" selection is an indexed min-heap keyed by
+// (core local time, core index) rather than a linear scan, so one simulated
+// access costs O(log cores) instead of O(cores) and runs scale past 32 cores.
+// The index tie-break reproduces the scan's first-wins behaviour exactly, so
+// results are bit-identical to the previous implementation. Executing a
+// record only advances the picked core's clock (monotonically), so after each
+// step only the heap root needs fixing.
 func (m *Machine) execute(cores []*coreRunner, limit int) {
-	for {
-		var pick *coreRunner
-		for _, cr := range cores {
-			bound := len(cr.records)
-			if limit >= 0 && limit < bound {
-				bound = limit
-			}
-			if cr.next >= bound {
-				continue
-			}
-			if pick == nil || cr.core.Now() < pick.core.Now() {
-				pick = cr
-			}
+	h := runnerHeap{runners: make([]*coreRunner, 0, len(cores))}
+	for _, cr := range cores {
+		bound := len(cr.records)
+		if limit >= 0 && limit < bound {
+			bound = limit
 		}
-		if pick == nil {
-			return
+		if cr.next < bound {
+			cr.bound = bound
+			h.push(cr)
 		}
+	}
+	for len(h.runners) > 0 {
+		pick := h.runners[0]
 		pick.core.Execute(pick.records[pick.next], m)
 		pick.next++
+		if pick.next >= pick.bound {
+			h.popRoot()
+		} else {
+			h.fixRoot()
+		}
+	}
+}
+
+// runnerHeap is a binary min-heap of core runners ordered by
+// (core.Now(), core index). Core count is small relative to event counts, so
+// a simple binary layout is enough; the important property is the
+// deterministic tie-break.
+type runnerHeap struct {
+	runners []*coreRunner
+}
+
+func runnerLess(a, b *coreRunner) bool {
+	an, bn := a.core.Now(), b.core.Now()
+	if an != bn {
+		return an < bn
+	}
+	return a.idx < b.idx
+}
+
+func (h *runnerHeap) push(cr *coreRunner) {
+	h.runners = append(h.runners, cr)
+	i := len(h.runners) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !runnerLess(h.runners[i], h.runners[parent]) {
+			break
+		}
+		h.runners[i], h.runners[parent] = h.runners[parent], h.runners[i]
+		i = parent
+	}
+}
+
+// fixRoot restores the heap after the root's time advanced.
+func (h *runnerHeap) fixRoot() {
+	rs := h.runners
+	n := len(rs)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && runnerLess(rs[l], rs[best]) {
+			best = l
+		}
+		if r < n && runnerLess(rs[r], rs[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		rs[i], rs[best] = rs[best], rs[i]
+		i = best
+	}
+}
+
+// popRoot removes the root (a core that finished its records).
+func (h *runnerHeap) popRoot() {
+	last := len(h.runners) - 1
+	h.runners[0] = h.runners[last]
+	h.runners[last] = nil
+	h.runners = h.runners[:last]
+	if last > 0 {
+		h.fixRoot()
 	}
 }
 

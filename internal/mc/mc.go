@@ -31,6 +31,13 @@ type Model interface {
 	Quiescent(state string) bool
 }
 
+// StateFormatter is optionally implemented by models whose canonical state
+// encoding is not human-readable (e.g. a binary layout). When a violation is
+// reported, the checker uses it to render the offending state.
+type StateFormatter interface {
+	FormatState(state string) string
+}
+
 // Options bound the search.
 type Options struct {
 	// MaxStates aborts the search after this many distinct states
@@ -122,6 +129,9 @@ func Run(m Model, opts Options) Report {
 	}
 
 	fail := func(kind, state string, depth int, err error) Report {
+		if f, ok := m.(StateFormatter); ok {
+			state = f.FormatState(state)
+		}
 		report.Violations = append(report.Violations, Violation{Kind: kind, State: state, Depth: depth, Err: err})
 		report.Elapsed = time.Since(start)
 		return report

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEngineHeapOrderRandom drives the 4-ary heap with a large random
+// schedule and checks that events fire in exact (time, FIFO) order.
+func TestEngineHeapOrderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	const n = 5000
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	want := make([]stamp, 0, n)
+	got := make([]stamp, 0, n)
+	for i := 0; i < n; i++ {
+		at := Time(rng.Intn(500))
+		s := stamp{at: at, seq: i}
+		want = append(want, s)
+		e.Schedule(at, func(now Time) {
+			if now != s.at {
+				t.Errorf("event %d fired at %v, scheduled for %v", s.seq, now, s.at)
+			}
+			got = append(got, s)
+		})
+	}
+	e.Run()
+	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired out of order: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEngineSameCycleFIFOStress schedules many events at a handful of
+// identical timestamps, including from inside handlers, and checks strict
+// FIFO order within each cycle — the determinism guarantee the sweep layer
+// relies on.
+func TestEngineSameCycleFIFOStress(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 200; i++ {
+		i := i
+		at := Time(10 * (i % 4))
+		e.Schedule(at, func(Time) { order = append(order, i) })
+	}
+	// Events scheduled from a handler for the current cycle must still run
+	// after everything already queued for that cycle. The nested events are
+	// scheduled by the FIRST t=40 handler, so the pre-queued t=40 events
+	// (500..509) must all fire before any nested one (1000+).
+	e.Schedule(40, func(now Time) {
+		for i := 0; i < 50; i++ {
+			i := i
+			e.Schedule(now, func(Time) { order = append(order, 1000+i) })
+		}
+	})
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(40, func(Time) { order = append(order, 500+i) })
+	}
+	e.Run()
+	perCycle := map[int][]int{}
+	for _, v := range order {
+		var cycle int
+		if v >= 500 {
+			cycle = 4
+		} else {
+			cycle = v % 4
+		}
+		perCycle[cycle] = append(perCycle[cycle], v)
+	}
+	for cycle, vals := range perCycle {
+		// Within each cycle, FIFO order means the recorded values ascend:
+		// 0..199 by schedule order, then 500..509 (queued before the nested
+		// events existed), then 1000..1049 (scheduled mid-cycle).
+		if !sort.IntsAreSorted(vals) {
+			t.Fatalf("cycle %d events not FIFO: %v", cycle, vals)
+		}
+	}
+	// 10 pre-queued recorders plus 50 nested ones (the nested-scheduler
+	// handler itself records nothing).
+	if n := len(perCycle[4]); n != 60 {
+		t.Fatalf("cycle 40 recorded %d events, want 60", n)
+	}
+}
+
+// TestEngineZeroValue checks the documented zero-value readiness.
+func TestEngineZeroValue(t *testing.T) {
+	var e Engine
+	fired := false
+	e.Schedule(7, func(Time) { fired = true })
+	if end := e.Run(); end != 7 || !fired {
+		t.Fatalf("zero-value engine: end=%v fired=%v", end, fired)
+	}
+}
+
+// TestEngineFreeListReuse checks that a drain/refill cycle reuses slab
+// records instead of growing the slab.
+func TestEngineFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 64; i++ {
+			e.ScheduleAfter(Cycles(i), func(Time) {})
+		}
+		e.Run()
+	}
+	if got := len(e.slab); got != 64 {
+		t.Fatalf("slab grew to %d records, want 64 (free-list not reused)", got)
+	}
+}
+
+// TestEngineReset checks Reset drops pending events and reuses capacity.
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 32; i++ {
+		e.Schedule(Time(i), func(Time) { fired++ })
+	}
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 || e.Fired() != 0 {
+		t.Fatalf("Reset left state: pending=%d now=%v fired=%d", e.Pending(), e.Now(), e.Fired())
+	}
+	e.Schedule(3, func(Time) { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after reset, want 1 (pending events leaked)", fired)
+	}
+	if len(e.slab) != 32 {
+		t.Fatalf("slab length %d, want 32 (Reset should keep capacity)", len(e.slab))
+	}
+}
+
+// BenchmarkEngineScheduleStep measures the steady-state hold pattern of a
+// discrete-event loop: one Schedule per Step on a queue of fixed depth.
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	for _, depth := range []int{64, 1024} {
+		b.Run(map[int]string{64: "depth64", 1024: "depth1024"}[depth], func(b *testing.B) {
+			b.ReportAllocs()
+			e := NewEngine()
+			fn := func(Time) {}
+			for i := 0; i < depth; i++ {
+				e.ScheduleAfter(Cycles(i%97), fn)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+				e.ScheduleAfter(Cycles(i%97), fn)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineChurn measures full fill/drain cycles.
+func BenchmarkEngineChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func(Time) {}
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 256; j++ {
+			e.ScheduleAfter(Cycles(j%61), fn)
+		}
+		e.Run()
+	}
+}

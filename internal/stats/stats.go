@@ -5,7 +5,10 @@
 package stats
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -206,6 +209,42 @@ func (t *Table) AddRow(cells ...string) {
 
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the data rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// MarshalJSON encodes the table as {"header": [...], "rows": [[...], ...]},
+// the machine-readable form consumed by cmd/c3dexp -json and the CI tooling.
+// Output is deterministic: callers build rows in deterministic order.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	type tableJSON struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Header: t.header, Rows: rows})
+}
+
+// WriteCSV emits the table as CSV (header first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {

@@ -1,0 +1,175 @@
+// Package sweep is the experiment fan-out substrate: it runs batches of
+// independent simulation jobs with bounded parallelism while keeping every
+// observable output deterministic. The C3D evaluation is a large
+// design × workload × latency product, and CI compares sweep output
+// byte-for-byte across machines and parallelism levels, so the package
+// guarantees:
+//
+//   - results are returned in job order, no matter which goroutine finished
+//     first;
+//   - the reported error is the first failing job in job order, not the
+//     first failure in wall-clock order;
+//   - every job gets a seed derived only from the sweep's base seed and the
+//     job's key, so adding, removing or reordering other jobs — or changing
+//     Parallelism — never changes a job's random stream;
+//   - progress callbacks are serialised (safe to print from).
+//
+// WriteJSON and WriteCSV (emit.go) serialise sweep results for tooling that
+// consumes raw sweep output; cmd/c3dexp serialises at the experiment-table
+// level instead (stats.Table), since its results aggregate many jobs.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work in a sweep.
+type Job[T any] struct {
+	// Key identifies the job in results, progress lines and error messages.
+	// Keys should be unique within a sweep; results preserve job order, so
+	// duplicate keys are not fatal, but they make downstream maps lossy.
+	Key string
+	// Seed, when non-nil, is the job's seed; otherwise the runner derives
+	// one from the sweep base seed and the key (see SeedFor). Callers whose
+	// jobs must share random streams — e.g. every coherence design
+	// simulating the same workload trace — set it explicitly, so the seed
+	// recorded in the result is always the seed that actually ran.
+	Seed *int64
+	// Run executes the job. The seed parameter is the job's seed as decided
+	// above; jobs that use randomness must derive it all from this value.
+	Run func(seed int64) (T, error)
+}
+
+// Progress describes one completed job. Completion order is wall-clock order
+// and therefore not deterministic; everything else is.
+type Progress struct {
+	// Key is the completed job's key.
+	Key string
+	// Index is the job's position in the sweep.
+	Index int
+	// Done is the number of jobs completed so far, Total the sweep size.
+	Done, Total int
+	// Elapsed is the job's wall-clock duration.
+	Elapsed time.Duration
+	// Err is the job's error, if it failed.
+	Err error
+}
+
+// Options configure a sweep.
+type Options struct {
+	// Parallelism bounds concurrently running jobs (<=0 means GOMAXPROCS).
+	// It affects wall-clock time only: results are identical at any value.
+	Parallelism int
+	// BaseSeed is mixed into every job's seed. Zero is a fine default; two
+	// sweeps with the same jobs and base seed produce identical results.
+	BaseSeed int64
+	// Progress, if non-nil, is called after each job completes. Calls are
+	// serialised but arrive in completion order.
+	Progress func(Progress)
+}
+
+// Result pairs a job with its outcome.
+type Result[T any] struct {
+	// Key and Seed echo the job's identity.
+	Key  string
+	Seed int64
+	// Value is the job's output (zero when Err is non-nil).
+	Value T
+	// Err is the job's failure, if any.
+	Err error
+	// Elapsed is the job's wall-clock duration. It is reported for
+	// observability and deliberately excluded from the serialised formats,
+	// which must be byte-identical across runs.
+	Elapsed time.Duration
+}
+
+// SeedFor derives a job's seed from the sweep base seed and the job key
+// alone. The derivation is an FNV-1a hash finalised with the splitmix64
+// mixer, so seeds are well distributed even for keys differing in one byte.
+func SeedFor(base int64, key string) int64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset) ^ uint64(base)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	// splitmix64 finalisation.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// Run executes the jobs and returns one result per job, in job order. The
+// returned error is the error of the first failing job in job order (every
+// job still runs; per-job errors are also available in the results).
+func Run[T any](jobs []Job[T], opts Options) ([]Result[T], error) {
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	results := make([]Result[T], len(jobs))
+
+	var (
+		mu   sync.Mutex
+		done int
+		next int
+		wg   sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if next >= len(jobs) {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			mu.Unlock()
+
+			job := jobs[i]
+			seed := SeedFor(opts.BaseSeed, job.Key)
+			if job.Seed != nil {
+				seed = *job.Seed
+			}
+			start := time.Now()
+			value, err := job.Run(seed)
+			elapsed := time.Since(start)
+			if err != nil {
+				err = fmt.Errorf("sweep job %s: %w", job.Key, err)
+			}
+			results[i] = Result[T]{Key: job.Key, Seed: seed, Value: value, Err: err, Elapsed: elapsed}
+
+			mu.Lock()
+			done++
+			if opts.Progress != nil {
+				opts.Progress(Progress{Key: job.Key, Index: i, Done: done, Total: len(jobs), Elapsed: elapsed, Err: err})
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, results[i].Err
+		}
+	}
+	return results, nil
+}

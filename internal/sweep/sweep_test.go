@@ -1,0 +1,214 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// jitterJobs builds jobs whose run time varies, so parallel completion order
+// differs from job order, and whose value depends only on key and seed.
+func jitterJobs(n int) []Job[string] {
+	jobs := make([]Job[string], n)
+	for i := 0; i < n; i++ {
+		i := i
+		key := fmt.Sprintf("job-%03d", i)
+		jobs[i] = Job[string]{
+			Key: key,
+			Run: func(seed int64) (string, error) {
+				rng := rand.New(rand.NewSource(seed))
+				time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+				return fmt.Sprintf("%s:%d:%d", key, i, rng.Intn(1<<30)), nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestRunDeterministicAcrossParallelism is the sweep contract: the same jobs
+// must produce byte-identical serialised results at Parallelism 1 and
+// GOMAXPROCS.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		par := par
+		t.Run(fmt.Sprintf("parallel-%d", par), func(t *testing.T) {
+			serial, err := Run(jitterJobs(40), Options{Parallelism: 1, BaseSeed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := Run(jitterJobs(40), Options{Parallelism: par, BaseSeed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b bytes.Buffer
+			if err := WriteJSON(&a, serial); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteJSON(&b, parallel); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("JSON output differs between Parallelism=1 and Parallelism=%d:\n%s\n---\n%s",
+					par, a.String(), b.String())
+			}
+		})
+	}
+}
+
+// TestRunResultOrder checks results come back in job order even when later
+// jobs finish first.
+func TestRunResultOrder(t *testing.T) {
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: strconv.Itoa(i),
+			Run: func(int64) (int, error) {
+				// Earlier jobs sleep longer, inverting completion order.
+				time.Sleep(time.Duration(len(jobs)-i) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	results, err := Run(jobs, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Key != strconv.Itoa(i) || r.Value != i*i {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+// TestRunFirstErrorByJobOrder checks the reported error is the first failing
+// job in job order, not in completion order.
+func TestRunFirstErrorByJobOrder(t *testing.T) {
+	errA := errors.New("a failed")
+	errB := errors.New("b failed")
+	jobs := []Job[int]{
+		{Key: "ok", Run: func(int64) (int, error) { return 1, nil }},
+		{Key: "a", Run: func(int64) (int, error) {
+			time.Sleep(20 * time.Millisecond) // finishes after b
+			return 0, errA
+		}},
+		{Key: "b", Run: func(int64) (int, error) { return 0, errB }},
+	}
+	_, err := Run(jobs, Options{Parallelism: 3})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the job-order-first error %v", err, errA)
+	}
+}
+
+// TestSeedForStability pins the seed derivation: per-job seeds must not
+// change when jobs are added or the sweep is re-ordered, and must respond to
+// both base seed and key.
+func TestSeedForStability(t *testing.T) {
+	if SeedFor(0, "fig6/c3d/streamcluster") != SeedFor(0, "fig6/c3d/streamcluster") {
+		t.Fatal("SeedFor is not a pure function")
+	}
+	if SeedFor(0, "a") == SeedFor(0, "b") {
+		t.Fatal("different keys should give different seeds")
+	}
+	if SeedFor(1, "a") == SeedFor(2, "a") {
+		t.Fatal("different base seeds should give different seeds")
+	}
+	// Seeds are properties of (base, key) only: run in any batch, any order.
+	jobs := jitterJobs(4)
+	res, err := Run(jobs, Options{BaseSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if want := SeedFor(3, jobs[i].Key); r.Seed != want {
+			t.Fatalf("job %d seed %d, want %d", i, r.Seed, want)
+		}
+	}
+}
+
+// TestExplicitSeedOverride checks a job-supplied seed both reaches Run and
+// is the seed recorded in the result — the recorded seed is always the seed
+// that actually ran.
+func TestExplicitSeedOverride(t *testing.T) {
+	want := int64(12345)
+	jobs := []Job[int64]{{
+		Key:  "pinned",
+		Seed: &want,
+		Run:  func(seed int64) (int64, error) { return seed, nil },
+	}}
+	res, err := Run(jobs, Options{BaseSeed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Seed != want || res[0].Value != want {
+		t.Fatalf("seed override: recorded %d, Run saw %d, want %d", res[0].Seed, res[0].Value, want)
+	}
+}
+
+// TestProgressSerialisedAndComplete checks every job reports progress exactly
+// once and Done reaches Total.
+func TestProgressSerialisedAndComplete(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	maxDone := 0
+	_, err := Run(jitterJobs(25), Options{
+		Parallelism: 5,
+		Progress: func(p Progress) {
+			// Already serialised by the runner; the map write would race
+			// otherwise and -race would catch it.
+			mu.Lock()
+			seen[p.Key]++
+			if p.Done > maxDone {
+				maxDone = p.Done
+			}
+			if p.Total != 25 {
+				t.Errorf("Total = %d, want 25", p.Total)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 25 || maxDone != 25 {
+		t.Fatalf("progress incomplete: %d keys, maxDone %d", len(seen), maxDone)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %s reported progress %d times", k, n)
+		}
+	}
+}
+
+// TestWriteCSV checks the CSV shape, including error rows.
+func TestWriteCSV(t *testing.T) {
+	results := []Result[int]{
+		{Key: "a", Seed: 1, Value: 42},
+		{Key: "b", Seed: 2, Err: errors.New("boom")},
+	}
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, results, []string{"answer"}, func(v int) []string {
+		return []string{strconv.Itoa(v)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "key,seed,error,answer\na,1,,42\nb,2,boom,\n"
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestRunEmpty checks the degenerate sweep.
+func TestRunEmpty(t *testing.T) {
+	results, err := Run[int](nil, Options{})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty sweep: %v, %d results", err, len(results))
+	}
+}

@@ -196,12 +196,37 @@ type TLB struct {
 	entries  map[addr.Page]*tlbNode
 	head     *tlbNode // most recently used
 	tail     *tlbNode // least recently used
-	stats    TLBStats
+	// slab preallocates every node the TLB can ever hold; free chains nodes
+	// returned by Invalidate. Steady-state misses therefore allocate nothing:
+	// a full TLB recycles the evicted LRU node in place.
+	slab  []tlbNode
+	used  int
+	free  *tlbNode
+	stats TLBStats
 }
 
 type tlbNode struct {
 	page       addr.Page
 	prev, next *tlbNode
+}
+
+// allocNode takes a node from the free-list or the slab; the caller
+// guarantees capacity (it evicts before calling when full).
+func (t *TLB) allocNode() *tlbNode {
+	if n := t.free; n != nil {
+		t.free = n.next
+		n.next = nil
+		return n
+	}
+	n := &t.slab[t.used]
+	t.used++
+	return n
+}
+
+func (t *TLB) freeNode(n *tlbNode) {
+	n.prev = nil
+	n.next = t.free
+	t.free = n
 }
 
 // NewTLB builds a TLB with the given number of entries (a typical 64-entry
@@ -210,7 +235,11 @@ func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &TLB{capacity: capacity, entries: make(map[addr.Page]*tlbNode, capacity)}
+	return &TLB{
+		capacity: capacity,
+		entries:  make(map[addr.Page]*tlbNode, capacity),
+		slab:     make([]tlbNode, capacity),
+	}
 }
 
 // Capacity returns the TLB's entry count.
@@ -259,12 +288,16 @@ func (t *TLB) Access(p addr.Page) bool {
 		return true
 	}
 	t.stats.Misses++
+	var n *tlbNode
 	if len(t.entries) >= t.capacity {
-		lru := t.tail
-		t.unlink(lru)
-		delete(t.entries, lru.page)
+		// Recycle the evicted LRU node instead of allocating.
+		n = t.tail
+		t.unlink(n)
+		delete(t.entries, n.page)
+	} else {
+		n = t.allocNode()
 	}
-	n := &tlbNode{page: p}
+	n.page = p
 	t.entries[p] = n
 	t.pushFront(n)
 	return false
@@ -275,6 +308,7 @@ func (t *TLB) Invalidate(p addr.Page) bool {
 	if n, ok := t.entries[p]; ok {
 		t.unlink(n)
 		delete(t.entries, p)
+		t.freeNode(n)
 		return true
 	}
 	return false

@@ -202,3 +202,15 @@ func TestTLBCapacityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// BenchmarkTLBAccess guards the per-access hot path: hits and steady-state
+// capacity misses must not allocate (the node slab is preallocated and the
+// evicted LRU node is recycled in place).
+func BenchmarkTLBAccess(b *testing.B) {
+	b.ReportAllocs()
+	tlb := NewTLB(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Access(addr.Page(i % 256))
+	}
+}
