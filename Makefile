@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-fmt vet bench bench-smoke determinism ci
+# bench-json iteration count: 1x in CI (trend tracking tolerates noise; speed
+# matters), raise locally (e.g. BENCHTIME=2s) for stable numbers.
+BENCHTIME ?= 1x
+GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
+
+.PHONY: all build test race lint lint-fmt vet bench bench-smoke bench-json determinism ci
 
 all: build
 
@@ -36,6 +41,13 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
 
+# The bench-smoke pass piped into the trajectory parser: one benchmark run
+# serves both as the crash/alloc smoke test and as the per-commit
+# BENCH_<sha>.json artefact (name, ns/op, allocs/op, custom metrics) that CI
+# uploads so the perf trajectory is diffable across commits.
+bench-json:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson -out BENCH_$(GIT_SHA).json
+
 # Byte-identical sweep output across parallelism levels, exercised through
 # the real CLI.
 determinism:
@@ -43,5 +55,9 @@ determinism:
 	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json > /tmp/c3d-sweep-pN.json
 	cmp /tmp/c3d-sweep-p1.json /tmp/c3d-sweep-pN.json
 	@echo "sweep output bit-identical across parallelism levels"
+	$(GO) run ./cmd/c3dcheck -sockets 3 -max-states 60000 -json -parallel 1 > /tmp/c3d-mc-p1.json
+	$(GO) run ./cmd/c3dcheck -sockets 3 -max-states 60000 -json -parallel 8 > /tmp/c3d-mc-p8.json
+	cmp /tmp/c3d-mc-p1.json /tmp/c3d-mc-p8.json
+	@echo "model-check reports bit-identical across parallelism levels"
 
-ci: lint build race bench-smoke determinism
+ci: lint build race bench-json determinism

@@ -177,16 +177,39 @@ func BenchmarkSec6CBroadcastFilter(b *testing.B) {
 }
 
 // BenchmarkProtocolModelCheck regenerates the §IV-C verification: an
-// exhaustive exploration of the 2-socket protocol configuration.
+// exhaustive exploration of the 2-socket protocol configuration. Run
+// single-worker, it doubles as the allocation trajectory of the checker's
+// serial hot path (see TestModelCheckAllocationGuard in internal/mc).
 func BenchmarkProtocolModelCheck(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		model := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
-		report := mc.Run(model, mc.Options{})
+		report := mc.Run(model, mc.Options{Parallelism: 1})
 		if !report.OK() {
 			b.Fatalf("verification failed: %s", report)
 		}
 		b.ReportMetric(float64(report.StatesExplored), "states")
+	}
+}
+
+// BenchmarkProtocolModelCheckParallel measures the parallel search engine on
+// the 3-socket configuration (bounded so an iteration stays in seconds) at
+// 1, 2, 4 and 8 workers. The reports are bit-identical across the
+// sub-benchmarks — only wall-clock time may differ — so the ns/op ratio
+// between p1 and p8 is the speedup of the engine itself.
+func BenchmarkProtocolModelCheckParallel(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				model := core.NewProtocolModel(core.ProtocolConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1})
+				report := mc.Run(model, mc.Options{MaxStates: 250_000, Parallelism: p})
+				if !report.Passed() {
+					b.Fatalf("verification failed: %s", report)
+				}
+				b.ReportMetric(float64(report.StatesExplored), "states")
+			}
+		})
 	}
 }
 
@@ -222,19 +245,22 @@ func BenchmarkAblation(b *testing.B) {
 // --- micro-benchmarks of the simulator's building blocks ---
 
 // BenchmarkMachineSimulation measures raw simulation throughput
-// (accesses simulated per second) of the C3D machine.
+// (accesses simulated per second) of the C3D machine. The machine is built
+// once and Reset between iterations — the way sweeps reuse machines across
+// repetitions — so the steady-state allocation count excludes construction.
 func BenchmarkMachineSimulation(b *testing.B) {
 	b.ReportAllocs()
 	spec := workload.MustGet("streamcluster")
 	opts := workload.Options{Threads: 8, Scale: 512, AccessesPerThread: 5000}
 	tr := workload.MustGenerate(spec, opts)
 	accesses := tr.Accesses()
+	cfg := machine.DefaultConfig(4, machine.C3D)
+	cfg.Scale = 512
+	cfg.CoresPerSocket = 2
+	m := machine.New(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := machine.DefaultConfig(4, machine.C3D)
-		cfg.Scale = 512
-		cfg.CoresPerSocket = 2
-		m := machine.New(cfg)
+		m.Reset()
 		if _, err := m.Run(tr, machine.DefaultRunOptions()); err != nil {
 			b.Fatal(err)
 		}
@@ -267,12 +293,13 @@ func BenchmarkMachineSimulationManyCores(b *testing.B) {
 	opts := workload.Options{Threads: 64, Scale: 512, AccessesPerThread: 1000}
 	tr := workload.MustGenerate(spec, opts)
 	accesses := tr.Accesses()
+	cfg := machine.DefaultConfig(4, machine.C3D)
+	cfg.Scale = 512
+	cfg.CoresPerSocket = 16
+	m := machine.New(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := machine.DefaultConfig(4, machine.C3D)
-		cfg.Scale = 512
-		cfg.CoresPerSocket = 16
-		m := machine.New(cfg)
+		m.Reset()
 		if _, err := m.Run(tr, machine.DefaultRunOptions()); err != nil {
 			b.Fatal(err)
 		}

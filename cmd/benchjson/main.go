@@ -1,0 +1,58 @@
+// Command benchjson converts `go test -bench` output into a JSON artefact so
+// the repository's performance trajectory is tracked as data. It reads the
+// benchmark log on stdin, echoes it unchanged to stdout (the human-readable
+// log survives the pipe), and writes the parsed records to -out:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | go run ./cmd/benchjson -out BENCH_$(git rev-parse --short HEAD).json
+//
+// `make bench-json` wraps exactly that invocation, and CI uploads the
+// resulting BENCH_<sha>.json as a build artefact per commit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"c3d/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("out", "", "path of the JSON artefact to write (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	// Tee stdin: the benchmark log stays visible while being parsed.
+	results, err := benchfmt.Parse(io.TeeReader(os.Stdin, os.Stdout))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark records to %s\n", len(results), *out)
+}

@@ -4,14 +4,21 @@
 // data-value invariant (per-location sequential consistency) and absence of
 // deadlock.
 //
+// The search runs on the parallel engine of internal/mc; reports are
+// bit-identical at any -parallel value, so -json output can be diffed across
+// machines and worker counts (CI does exactly that).
+//
 // Usage:
 //
 //	c3dcheck                         # 2- and 3-socket, both protocol variants
 //	c3dcheck -sockets 2 -stores 2    # deeper 2-socket exploration
 //	c3dcheck -max-states 1000000     # bound the larger searches
+//	c3dcheck -parallel 8 -v          # 8 workers, progress on stderr
+//	c3dcheck -json                   # machine-readable, parallelism-independent
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +33,9 @@ func main() {
 		stores    = flag.Int("stores", 1, "stores per core")
 		maxStates = flag.Int("max-states", 0, "bound the search (0 = exhaustive)")
 		baseOnly  = flag.Bool("base-only", false, "verify only the base C3D protocol (skip the c3d-full-dir variant)")
+		parallel  = flag.Int("parallel", 0, "model-checker workers (0 = GOMAXPROCS; reports identical at any value)")
+		asJSON    = flag.Bool("json", false, "emit the reports as a JSON array (deterministic: no wall-clock fields)")
+		verbose   = flag.Bool("v", false, "print exploration progress to stderr")
 	)
 	flag.Parse()
 
@@ -35,9 +45,27 @@ func main() {
 		StoresPerCore:         *stores,
 		MaxStates:             *maxStates,
 		IncludeFullDirVariant: !*baseOnly,
+		Parallelism:           *parallel,
 	}
-	fmt.Println("verifying the C3D coherence protocol (SWMR, data-value, deadlock freedom)...")
+	if *verbose {
+		cfg.Progress = func(states int) { fmt.Fprintf(os.Stderr, "  ... %d states explored\n", states) }
+	}
+	if !*asJSON {
+		fmt.Println("verifying the C3D coherence protocol (SWMR, data-value, deadlock freedom)...")
+	}
 	result := experiments.Verify(cfg)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result.Reports); err != nil {
+			fmt.Fprintln(os.Stderr, "c3dcheck:", err)
+			os.Exit(1)
+		}
+		if !result.Passed() {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Print(result.Table().String())
 	for _, rep := range result.Reports {
 		if !rep.Passed() {

@@ -1,0 +1,97 @@
+// Package benchfmt parses the output of `go test -bench` into structured
+// records, so the repository can track its performance trajectory as data
+// instead of log files. cmd/benchjson pipes a benchmark run through Parse and
+// writes a BENCH_<git-sha>.json artefact per commit; CI uploads it, and
+// comparing two artefacts shows exactly which benchmark moved, by how much,
+// and in which dimension (time, allocations, or a custom metric such as
+// states or accesses/s).
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, e.g.
+//
+//	BenchmarkFoo-8  100  11111 ns/op  222 B/op  3 allocs/op  45.6 states
+//
+// The -<procs> suffix is stripped from Name. Units beyond the three standard
+// ones land in Metrics (b.ReportMetric output).
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads benchmark lines from r, ignoring everything that is not a
+// benchmark result (package headers, PASS/ok lines, test chatter). It
+// returns the results in input order.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		res, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one line, reporting ok=false for non-benchmark lines and
+// an error only for lines that look like benchmark results but do not parse.
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false, nil
+	}
+	// The second field must be the iteration count; "BenchmarkX ... FAIL"
+	// and similar chatter is skipped rather than rejected.
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	res := Result{
+		Name:       procSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+	}
+	// The remainder is (value, unit) pairs.
+	if (len(fields)-2)%2 != 0 {
+		return Result{}, false, fmt.Errorf("benchfmt: odd value/unit fields in %q", line)
+	}
+	for i := 2; i < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchfmt: bad value %q in %q", fields[i], line)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = value
+		case "B/op":
+			res.BytesPerOp = value
+		case "allocs/op":
+			res.AllocsPerOp = value
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = value
+		}
+	}
+	return res, true, nil
+}

@@ -1,0 +1,68 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: c3d
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkProtocolModelCheck 	       5	   3085418 ns/op	      4012 states	 1252785 B/op	   10971 allocs/op
+BenchmarkProtocolModelCheckParallel/p8-8         	      10	  51234567 ns/op	    250000 states	 100 B/op	 3 allocs/op
+BenchmarkMachineSimulation-16 	       3	  28318501 ns/op	   1412540 accesses/s	   38106 B/op	     115 allocs/op
+PASS
+ok  	c3d	0.126s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+
+	first := results[0]
+	if first.Name != "BenchmarkProtocolModelCheck" || first.Iterations != 5 {
+		t.Errorf("first = %+v", first)
+	}
+	if first.NsPerOp != 3085418 || first.AllocsPerOp != 10971 || first.BytesPerOp != 1252785 {
+		t.Errorf("first measurements = %+v", first)
+	}
+	if first.Metrics["states"] != 4012 {
+		t.Errorf("states metric = %v, want 4012", first.Metrics["states"])
+	}
+
+	// Sub-benchmark names keep their path; the -procs suffix is stripped.
+	if got := results[1].Name; got != "BenchmarkProtocolModelCheckParallel/p8" {
+		t.Errorf("sub-benchmark name = %q", got)
+	}
+	if got := results[2].Name; got != "BenchmarkMachineSimulation" {
+		t.Errorf("name with procs suffix = %q", got)
+	}
+	if results[2].Metrics["accesses/s"] != 1412540 {
+		t.Errorf("accesses/s = %v", results[2].Metrics["accesses/s"])
+	}
+}
+
+func TestParseSkipsNonBenchmarkLines(t *testing.T) {
+	results, err := Parse(strings.NewReader("BenchmarkBroken FAIL\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("parsed %d results from chatter, want 0", len(results))
+	}
+}
+
+func TestParseRejectsMalformedMeasurements(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 10 notanumber ns/op\n")); err == nil {
+		t.Error("malformed value should be an error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX 10 5 ns/op trailing\n")); err == nil {
+		t.Error("odd field count should be an error")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // llcState is the on-chip (LLC and above) controller state for the block.
@@ -214,7 +215,14 @@ func (m *ProtocolModel) Initial() []string {
 // flight, no pending core operations and an idle directory. States without
 // successors must be quiescent, otherwise the system has deadlocked.
 func (m *ProtocolModel) Quiescent(enc string) bool {
-	s := decodeState(enc)
+	sc := scratchPool.Get().(*modelScratch)
+	decodeStateInto(&sc.base, enc)
+	q := quiescentDecoded(&sc.base)
+	scratchPool.Put(sc)
+	return q
+}
+
+func quiescentDecoded(s *protoState) bool {
 	if len(s.Msgs) != 0 || s.Busy.Busy {
 		return false
 	}
@@ -243,7 +251,14 @@ func (m *ProtocolModel) Quiescent(enc string) bool {
 //     copy agrees with it; if a socket is Modified, that socket holds the
 //     most recent value.
 func (m *ProtocolModel) Check(enc string) error {
-	s := decodeState(enc)
+	sc := scratchPool.Get().(*modelScratch)
+	decodeStateInto(&sc.base, enc)
+	err := checkDecoded(&sc.base)
+	scratchPool.Put(sc)
+	return err
+}
+
+func checkDecoded(s *protoState) error {
 	owner := -1
 	for i := range s.Sockets {
 		if s.Sockets[i].LLC == llcM {
@@ -266,7 +281,7 @@ func (m *ProtocolModel) Check(enc string) error {
 			}
 		}
 	}
-	if !m.Quiescent(enc) {
+	if !quiescentDecoded(s) {
 		return nil
 	}
 	// Quiescent-state data-value checks.
@@ -309,9 +324,32 @@ func (m *ProtocolModel) Check(enc string) error {
 // in-flight message. It returns an error if a transition itself violates a
 // property (a load observing a stale value).
 func (m *ProtocolModel) Successors(enc string) ([]string, error) {
-	s := decodeState(enc)
-	var out []string
-	add := func(n *protoState) { out = append(out, encodeState(n)) }
+	return m.SuccessorsAppend(enc, nil)
+}
+
+// SuccessorsAppend is the model checker's fast path (mc.AppendModel): it
+// appends the successors of enc to buf. The decoded source state, the working
+// state each transition mutates, and the encoder's byte buffer all come from
+// a pooled scratch, so the only allocation per successor is its canonical
+// string. Safe for concurrent use — each call owns its scratch.
+func (m *ProtocolModel) SuccessorsAppend(enc string, buf []string) ([]string, error) {
+	sc := scratchPool.Get().(*modelScratch)
+	defer scratchPool.Put(sc)
+	s := &sc.base
+	decodeStateInto(s, enc)
+	out := buf
+
+	// stage copies the source state into the scratch working state, which the
+	// transition helpers then mutate in place (they receive and return the
+	// same pointer, so the pre-scratch `clone` call sites read unchanged).
+	stage := func() *protoState {
+		copyStateInto(&sc.work, s)
+		return &sc.work
+	}
+	add := func(n *protoState) {
+		sc.enc = encodeStateAppend(sc.enc[:0], n)
+		out = append(out, string(sc.enc))
+	}
 
 	// Core-initiated transitions. New operations issue only when the
 	// previous one has completed and the on-chip controller is in a stable
@@ -321,24 +359,24 @@ func (m *ProtocolModel) Successors(enc string) ([]string, error) {
 		sock := &s.Sockets[i]
 		stable := sock.LLC == llcI || sock.LLC == llcS || sock.LLC == llcM
 		if sock.Pending == opNone && stable && sock.LoadsLeft > 0 {
-			n, err := m.issueLoad(clone(s), i)
+			n, err := m.issueLoad(stage(), i)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			add(n)
 		}
 		if sock.Pending == opNone && stable && sock.StoresLeft > 0 {
-			add(m.issueStore(clone(s), i))
+			add(m.issueStore(stage(), i))
 		}
 		// Spontaneous evictions model capacity pressure.
 		if sock.Pending == opNone && sock.LLC == llcS {
-			add(m.evictShared(clone(s), i))
+			add(m.evictShared(stage(), i))
 		}
 		if sock.Pending == opNone && sock.LLC == llcM {
-			add(m.evictModified(clone(s), i))
+			add(m.evictModified(stage(), i))
 		}
 		if sock.DC == dcV {
-			add(m.evictDRAMCache(clone(s), i))
+			add(m.evictDRAMCache(stage(), i))
 		}
 	}
 
@@ -358,11 +396,11 @@ func (m *ProtocolModel) Successors(enc string) ([]string, error) {
 			// requester.
 			continue
 		}
-		n := clone(s)
-		n.Msgs = append(n.Msgs[:idx:idx], n.Msgs[idx+1:]...)
+		n := stage()
+		n.Msgs = append(n.Msgs[:idx], n.Msgs[idx+1:]...)
 		next, err := m.deliver(n, msg)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		if next != nil {
 			add(next)
@@ -720,11 +758,27 @@ func checkLoadValue(s *protoState, socket int, value uint8) error {
 
 func send(s *protoState, msg message) { s.Msgs = append(s.Msgs, msg) }
 
-func clone(s *protoState) *protoState {
-	n := *s
-	n.Sockets = append([]socketState(nil), s.Sockets...)
-	n.Msgs = append([]message(nil), s.Msgs...)
-	return &n
+// modelScratch is the per-call working memory of SuccessorsAppend, Check and
+// Quiescent: a decoded source state, a staging state for transitions, and the
+// encoder's byte buffer. Pooling it makes state exploration allocation-free
+// apart from the successor strings themselves, which matters because the
+// model checker decodes every state it visits (several million on the larger
+// configurations).
+type modelScratch struct {
+	base protoState
+	work protoState
+	enc  []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(modelScratch) }}
+
+// copyStateInto copies src into dst, reusing dst's socket and message
+// backing arrays.
+func copyStateInto(dst, src *protoState) {
+	sockets, msgs := dst.Sockets, dst.Msgs
+	*dst = *src
+	dst.Sockets = append(sockets[:0], src.Sockets...)
+	dst.Msgs = append(msgs[:0], src.Msgs...)
 }
 
 // State encoding. States are the model checker's currency: every transition
@@ -742,8 +796,13 @@ const (
 )
 
 func encodeState(s *protoState) string {
-	n := encHeaderLen + len(s.Sockets)*encSockLen + len(s.Msgs)*encMsgLen
-	b := make([]byte, 0, n)
+	return string(encodeStateAppend(nil, s))
+}
+
+// encodeStateAppend appends the canonical encoding of s to b and returns the
+// extended buffer. It is the allocation-free core of encodeState: callers
+// that reuse b (the model scratch) pay only for the final string conversion.
+func encodeStateAppend(b []byte, s *protoState) []byte {
 	flags := byte(0)
 	if s.Busy.Busy {
 		flags |= 1
@@ -770,7 +829,7 @@ func encodeState(s *protoState) string {
 			byte(msg.Requester), msg.Data, byte(msg.Acks))
 	}
 	sortMessageRecords(b[msgStart:])
-	return string(b)
+	return b
 }
 
 // sortMessageRecords canonically orders the 6-byte message records in place
@@ -790,13 +849,25 @@ func sortMessageRecords(b []byte) {
 	}
 }
 
-// decodeState parses the canonical encoding back into a state. The format is
-// internal to this package; mc treats states as opaque strings.
+// decodeState parses the canonical encoding back into a freshly allocated
+// state. The format is internal to this package; mc treats states as opaque
+// strings.
 func decodeState(enc string) *protoState {
+	s := new(protoState)
+	decodeStateInto(s, enc)
+	return s
+}
+
+// decodeStateInto parses the canonical encoding into s, reusing its socket
+// and message backing arrays. This is the hot-path form: the model checker
+// decodes every state it visits, and with a pooled target the decode
+// allocates nothing in steady state.
+func decodeStateInto(s *protoState, enc string) {
 	if len(enc) < encHeaderLen {
 		panic(fmt.Sprintf("core: malformed protocol state (%d bytes)", len(enc)))
 	}
-	s := &protoState{
+	sockets, msgs := s.Sockets, s.Msgs
+	*s = protoState{
 		DirState: enc[0],
 		DirOwner: int8(enc[1]),
 		Sharers:  enc[2],
@@ -814,7 +885,10 @@ func decodeState(enc string) *protoState {
 	if rem := len(enc) - off - nSockets*encSockLen; rem < 0 || rem%encMsgLen != 0 {
 		panic(fmt.Sprintf("core: malformed protocol state (%d bytes, %d sockets)", len(enc), nSockets))
 	}
-	s.Sockets = make([]socketState, nSockets)
+	if cap(sockets) < nSockets {
+		sockets = make([]socketState, nSockets)
+	}
+	s.Sockets = sockets[:nSockets]
 	for i := range s.Sockets {
 		k := &s.Sockets[i]
 		k.LLC = llcState(enc[off])
@@ -831,21 +905,21 @@ func decodeState(enc string) *protoState {
 		off += encSockLen
 	}
 	nMsgs := (len(enc) - off) / encMsgLen
-	if nMsgs > 0 {
-		s.Msgs = make([]message, nMsgs)
-		for i := range s.Msgs {
-			s.Msgs[i] = message{
-				Kind:      msgKind(enc[off]),
-				Src:       int8(enc[off+1]),
-				Dst:       int8(enc[off+2]),
-				Requester: int8(enc[off+3]),
-				Data:      enc[off+4],
-				Acks:      int8(enc[off+5]),
-			}
-			off += encMsgLen
-		}
+	if cap(msgs) < nMsgs {
+		msgs = make([]message, nMsgs)
 	}
-	return s
+	s.Msgs = msgs[:nMsgs]
+	for i := range s.Msgs {
+		s.Msgs[i] = message{
+			Kind:      msgKind(enc[off]),
+			Src:       int8(enc[off+1]),
+			Dst:       int8(enc[off+2]),
+			Requester: int8(enc[off+3]),
+			Data:      enc[off+4],
+			Acks:      int8(enc[off+5]),
+		}
+		off += encMsgLen
+	}
 }
 
 // FormatState renders an encoded state human-readably. It implements the

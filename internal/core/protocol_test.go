@@ -102,6 +102,54 @@ func TestProtocolSmallConfigExploresClean(t *testing.T) {
 	}
 }
 
+func TestSuccessorsAppendMatchesSuccessors(t *testing.T) {
+	// SuccessorsAppend with an aggressively reused buffer must agree with
+	// Successors state-for-state across a few BFS levels (the model checker
+	// reuses one buffer per worker for the whole search).
+	m := NewProtocolModel(ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	var buf []string
+	frontier := m.Initial()
+	checked := 0
+	for depth := 0; depth < 6; depth++ {
+		var next []string
+		for _, s := range frontier {
+			fresh, err1 := m.Successors(s)
+			var err2 error
+			buf, err2 = m.SuccessorsAppend(s, buf[:0])
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch for %q: %v vs %v", FormatState(s), err1, err2)
+			}
+			if len(fresh) != len(buf) {
+				t.Fatalf("successor count mismatch: %d vs %d", len(fresh), len(buf))
+			}
+			for i := range fresh {
+				if fresh[i] != buf[i] {
+					t.Fatalf("successor %d differs at depth %d:\n fresh: %s\nappend: %s",
+						i, depth, FormatState(fresh[i]), FormatState(buf[i]))
+				}
+			}
+			checked++
+			next = append(next, fresh...)
+		}
+		frontier = next
+	}
+	if checked < 100 {
+		t.Errorf("only %d states compared; expansion looks degenerate", checked)
+	}
+}
+
+func TestSuccessorsAppendPreservesPrefix(t *testing.T) {
+	m := NewProtocolModel(ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	init := m.Initial()[0]
+	out, err := m.SuccessorsAppend(init, []string{"sentinel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 2 || out[0] != "sentinel" {
+		t.Errorf("SuccessorsAppend must append after the existing prefix, got %d entries, first %q", len(out), out[0])
+	}
+}
+
 func TestProtocolModelRejectsBadSocketCount(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -203,6 +203,20 @@ func (c *Cache) ResetStats() {
 	}
 }
 
+// Reset returns the DRAM cache to its just-constructed state: tag array
+// emptied, predictor untrained, channels idle, counters cleared. Used when a
+// machine is reused across runs.
+func (c *Cache) Reset() {
+	c.stats = Stats{}
+	c.tags.Reset()
+	if c.predictor != nil {
+		c.predictor.Reset()
+	}
+	for _, ch := range c.channels {
+		ch.Reset()
+	}
+}
+
 func (c *Cache) channelOf(b addr.Block) *sim.Resource {
 	return c.channels[int(uint64(b)%uint64(len(c.channels)))]
 }

@@ -22,6 +22,12 @@ type VerifyConfig struct {
 	MaxStates int
 	// IncludeFullDirVariant also checks the c3d-full-dir protocol variant.
 	IncludeFullDirVariant bool
+	// Parallelism is the number of model-checker workers per configuration
+	// (<= 0 means GOMAXPROCS). Reports are bit-identical at any value.
+	Parallelism int
+	// Progress, if non-nil, receives the per-model state-count callbacks of
+	// the checker (mc.Options.Progress).
+	Progress func(states int)
 }
 
 // DefaultVerifyConfig verifies 2-socket and 3-socket configurations with one
@@ -81,7 +87,11 @@ func Verify(cfg VerifyConfig) VerifyResult {
 			StoresPerCore:  cfg.StoresPerCore,
 			TrackDRAMCache: trackDRAM,
 		})
-		result.Reports = append(result.Reports, mc.Run(model, mc.Options{MaxStates: cfg.MaxStates}))
+		result.Reports = append(result.Reports, mc.Run(model, mc.Options{
+			MaxStates:   cfg.MaxStates,
+			Parallelism: cfg.Parallelism,
+			Progress:    cfg.Progress,
+		}))
 	}
 	// Always include the 2-socket configuration (fast, exhaustive), then the
 	// configured size if larger.

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestVerifyDeterministicAcrossParallelism is the model-checking counterpart
+// of the sweep determinism contract: the §IV-C verification serialised to
+// JSON must be byte-identical whether the checker explores with one worker or
+// many. cmd/c3dcheck -json exposes exactly this serialisation, and CI diffs
+// it across -parallel values.
+func TestVerifyDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) []byte {
+		res := Verify(VerifyConfig{
+			Sockets:               2,
+			LoadsPerCore:          1,
+			StoresPerCore:         1,
+			IncludeFullDirVariant: true,
+			Parallelism:           parallelism,
+		})
+		if !res.Passed() {
+			t.Fatalf("verification failed at parallelism %d:\n%s", parallelism, res.Table())
+		}
+		out, err := json.Marshal(res.Reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("verification reports differ across parallelism levels:\n  serial: %s\nparallel: %s", serial, parallel)
+	}
+}
+
+// TestVerifyBoundedDeterministic exercises the deterministic-truncation path
+// (frontier trimming) through the experiment layer.
+func TestVerifyBoundedDeterministic(t *testing.T) {
+	run := func(parallelism int) []byte {
+		res := Verify(VerifyConfig{
+			Sockets:       2,
+			LoadsPerCore:  1,
+			StoresPerCore: 2,
+			MaxStates:     5000,
+			Parallelism:   parallelism,
+		})
+		out, err := json.Marshal(res.Reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(run(1), run(8)) {
+		t.Fatal("bounded verification reports differ across parallelism levels")
+	}
+}

@@ -6,14 +6,34 @@
 //
 // The checker is generic: it explores any Model whose states are encoded as
 // canonical strings. The C3D protocol model lives in internal/core.
+//
+// The search engine is a level-synchronized parallel BFS: each frontier level
+// is explored by a pool of workers against a sharded visited set, per-worker
+// frontier buffers are merged between levels, and every observable output is
+// deterministic. Because BFS levels are sets (the visited set admits each
+// state exactly once, no matter which worker wins the race), the counters in
+// a Report — states, transitions, depth, quiescent states — are bit-identical
+// at any Options.Parallelism. Violations are reported deterministically too:
+// the search finishes the violating level and reports the violation of
+// minimal depth, breaking ties by the lexicographically smallest canonical
+// state, rather than "whichever worker got there first".
+//
+// Visited states are interned into per-shard byte arenas instead of being
+// kept as individual map-key strings, and models can implement AppendModel
+// to let workers reuse their successor buffers, so steady-state exploration
+// allocates roughly one string per transition (the successor encoding) and
+// nothing else.
 package mc
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
 
-// Model is a finite-state transition system with invariants.
+// Model is a finite-state transition system with invariants. All methods must
+// be safe for concurrent use: the checker calls them from multiple workers
+// when Options.Parallelism exceeds one.
 type Model interface {
 	// Name identifies the model in reports.
 	Name() string
@@ -31,6 +51,21 @@ type Model interface {
 	Quiescent(state string) bool
 }
 
+// AppendModel is optionally implemented by models that can enumerate
+// successors into a caller-provided buffer. The checker calls it with each
+// worker's private buffer (successors of the previous state are no longer
+// referenced), so a model that also reuses its own decode/encode scratch —
+// core.ProtocolModel does — makes exploration allocate only the successor
+// strings themselves. Models that do not implement it are explored through
+// Successors.
+type AppendModel interface {
+	Model
+	// SuccessorsAppend appends every state reachable in one step from state
+	// to buf and returns the extended buffer, with the same error contract
+	// as Successors.
+	SuccessorsAppend(state string, buf []string) ([]string, error)
+}
+
 // StateFormatter is optionally implemented by models whose canonical state
 // encoding is not human-readable (e.g. a binary layout). When a violation is
 // reported, the checker uses it to render the offending state.
@@ -38,23 +73,40 @@ type StateFormatter interface {
 	FormatState(state string) string
 }
 
-// Options bound the search.
+// DefaultProgressInterval is the Options.ProgressInterval used when none is
+// set.
+const DefaultProgressInterval = 100_000
+
+// Options bound and parameterise the search. Parallelism affects wall-clock
+// time only: every field of the resulting Report except Elapsed is
+// bit-identical at any value.
 type Options struct {
 	// MaxStates aborts the search after this many distinct states
-	// (0 = unlimited).
+	// (0 = unlimited). When a frontier level would overflow the budget it is
+	// trimmed to the lexicographically smallest states, so the explored
+	// prefix is deterministic.
 	MaxStates int
 	// MaxDepth bounds the BFS depth (0 = unlimited).
 	MaxDepth int
-	// Progress, if non-nil, is called periodically with the number of states
-	// explored so far.
+	// Parallelism is the number of workers exploring each frontier level
+	// (<= 0 means GOMAXPROCS).
+	Parallelism int
+	// Progress, if non-nil, is called with the number of states explored so
+	// far: once whenever the count crosses a multiple of ProgressInterval
+	// (at a level boundary), and always once more when the search finishes.
 	Progress func(states int)
+	// ProgressInterval is the state-count interval between progress calls
+	// (<= 0 means DefaultProgressInterval).
+	ProgressInterval int
 }
 
 // Violation describes a property violation found during the search.
 type Violation struct {
 	// Kind is "invariant", "transition" or "deadlock".
 	Kind string
-	// State is the canonical encoding of the offending state.
+	// State is the offending state, rendered through the model's
+	// StateFormatter when it implements one (the canonical encoding
+	// otherwise).
 	State string
 	// Depth is the BFS depth at which the state was found.
 	Depth int
@@ -69,16 +121,34 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s at depth %d: %s", v.Kind, v.Depth, v.State)
 }
 
-// Report summarises a model-checking run.
+// MarshalJSON renders the violation with its error as a string, so reports
+// serialise losslessly (errors have no canonical JSON form).
+func (v Violation) MarshalJSON() ([]byte, error) {
+	msg := ""
+	if v.Err != nil {
+		msg = v.Err.Error()
+	}
+	return json.Marshal(struct {
+		Kind  string `json:"kind"`
+		State string `json:"state"`
+		Depth int    `json:"depth"`
+		Err   string `json:"err,omitempty"`
+	}{v.Kind, v.State, v.Depth, msg})
+}
+
+// Report summarises a model-checking run. Every field except Elapsed is
+// deterministic — identical across runs and parallelism levels — and Elapsed
+// is excluded from the JSON form so serialised reports can be compared
+// byte-for-byte (CI does exactly that).
 type Report struct {
-	Model           string
-	StatesExplored  int
-	TransitionsSeen int
-	MaxDepthReached int
-	QuiescentStates int
-	Violations      []Violation
-	Truncated       bool
-	Elapsed         time.Duration
+	Model           string        `json:"model"`
+	StatesExplored  int           `json:"states_explored"`
+	TransitionsSeen int           `json:"transitions_seen"`
+	MaxDepthReached int           `json:"max_depth_reached"`
+	QuiescentStates int           `json:"quiescent_states"`
+	Violations      []Violation   `json:"violations,omitempty"`
+	Truncated       bool          `json:"truncated,omitempty"`
+	Elapsed         time.Duration `json:"-"`
 }
 
 // OK reports whether the run completed without violations and without
@@ -103,83 +173,4 @@ func (r Report) String() string {
 		s += "\n  " + v.String()
 	}
 	return s
-}
-
-// Run explores the model breadth-first and returns the report. The search
-// stops at the first violation (matching Murϕ's default behaviour) or when
-// the state space is exhausted or the options' bounds are hit.
-func Run(m Model, opts Options) Report {
-	start := time.Now()
-	report := Report{Model: m.Name()}
-	// seen marks states that have been enqueued, so each distinct state is
-	// processed exactly once and duplicate successors never inflate the
-	// frontier.
-	seen := make(map[string]struct{})
-	type node struct {
-		state string
-		depth int
-	}
-	var frontier []node
-	for _, s := range m.Initial() {
-		if _, dup := seen[s]; dup {
-			continue
-		}
-		seen[s] = struct{}{}
-		frontier = append(frontier, node{state: s, depth: 0})
-	}
-
-	fail := func(kind, state string, depth int, err error) Report {
-		if f, ok := m.(StateFormatter); ok {
-			state = f.FormatState(state)
-		}
-		report.Violations = append(report.Violations, Violation{Kind: kind, State: state, Depth: depth, Err: err})
-		report.Elapsed = time.Since(start)
-		return report
-	}
-
-	for len(frontier) > 0 {
-		var next []node
-		for _, n := range frontier {
-			report.StatesExplored++
-			if n.depth > report.MaxDepthReached {
-				report.MaxDepthReached = n.depth
-			}
-			if opts.Progress != nil && report.StatesExplored%100000 == 0 {
-				opts.Progress(report.StatesExplored)
-			}
-			if err := m.Check(n.state); err != nil {
-				return fail("invariant", n.state, n.depth, err)
-			}
-			if opts.MaxStates > 0 && report.StatesExplored >= opts.MaxStates {
-				report.Truncated = true
-				report.Elapsed = time.Since(start)
-				return report
-			}
-			succ, err := m.Successors(n.state)
-			if err != nil {
-				return fail("transition", n.state, n.depth, err)
-			}
-			report.TransitionsSeen += len(succ)
-			if len(succ) == 0 {
-				if !m.Quiescent(n.state) {
-					return fail("deadlock", n.state, n.depth, nil)
-				}
-				report.QuiescentStates++
-				continue
-			}
-			if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
-				report.Truncated = true
-				continue
-			}
-			for _, s := range succ {
-				if _, dup := seen[s]; !dup {
-					seen[s] = struct{}{}
-					next = append(next, node{state: s, depth: n.depth + 1})
-				}
-			}
-		}
-		frontier = next
-	}
-	report.Elapsed = time.Since(start)
-	return report
 }

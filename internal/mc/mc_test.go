@@ -1,10 +1,13 @@
 package mc
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"c3d/internal/core"
 )
@@ -139,13 +142,44 @@ func TestRunRespectsMaxDepth(t *testing.T) {
 
 func TestRunProgressCallback(t *testing.T) {
 	called := 0
-	// The callback fires every 100k states; a long chain triggers it.
+	// The callback fires every 100k states by default; a long chain triggers
+	// it.
 	r := Run(cleanChain(200_001), Options{Progress: func(int) { called++ }})
 	if !r.Passed() {
 		t.Fatalf("unexpected violations: %v", r)
 	}
 	if called == 0 {
 		t.Error("progress callback never invoked")
+	}
+}
+
+func TestRunProgressInterval(t *testing.T) {
+	var ticks []int
+	r := Run(cleanChain(100), Options{
+		ProgressInterval: 25,
+		Progress:         func(n int) { ticks = append(ticks, n) },
+	})
+	if !r.OK() {
+		t.Fatalf("unexpected violations: %v", r)
+	}
+	// 101 states at interval 25: crossings at 25, 50, 75, 100, plus the
+	// final tick.
+	if len(ticks) < 4 {
+		t.Fatalf("progress ticks = %v; want at least one per 25 states", ticks)
+	}
+	if last := ticks[len(ticks)-1]; last != r.StatesExplored {
+		t.Errorf("final progress tick reported %d states, want %d", last, r.StatesExplored)
+	}
+}
+
+func TestRunProgressFiresAtCompletion(t *testing.T) {
+	// A search far below the interval must still emit exactly one final
+	// tick with the total (the old engine only fired on exact multiples of
+	// 100k and never at completion).
+	var ticks []int
+	r := Run(cleanChain(10), Options{Progress: func(n int) { ticks = append(ticks, n) }})
+	if len(ticks) != 1 || ticks[0] != r.StatesExplored {
+		t.Errorf("ticks = %v; want exactly [%d]", ticks, r.StatesExplored)
 	}
 }
 
@@ -186,6 +220,251 @@ func TestC3DProtocolThreeSocketsBounded(t *testing.T) {
 	r := Run(m, Options{MaxStates: 60_000})
 	if !r.Passed() {
 		t.Fatalf("C3D protocol verification failed:\n%s", r)
+	}
+}
+
+// --- parallel determinism ---
+
+// gridModel is a dedup-heavy toy model: states are cells of an n×n grid
+// (encoded fixed-width so lexicographic order equals coordinate order),
+// reachable by moving right or down. Every interior cell is reachable along
+// many paths, so parallel workers race on visited-set inserts constantly —
+// exactly the behaviour the determinism contract must survive. Violations of
+// every kind can be planted per cell.
+type gridModel struct {
+	n        int
+	badCheck map[string]bool // Check fails
+	badTrans map[string]bool // Successors fails
+	deadlock map[string]bool // terminal but not quiescent
+}
+
+func newGrid(n int) *gridModel {
+	return &gridModel{
+		n:        n,
+		badCheck: map[string]bool{},
+		badTrans: map[string]bool{},
+		deadlock: map[string]bool{},
+	}
+}
+
+func gridState(x, y int) string { return fmt.Sprintf("%03d,%03d", x, y) }
+
+func (g *gridModel) Name() string      { return "grid" }
+func (g *gridModel) Initial() []string { return []string{gridState(0, 0)} }
+
+func (g *gridModel) parse(s string) (x, y int) {
+	fmt.Sscanf(s, "%d,%d", &x, &y)
+	return
+}
+
+func (g *gridModel) Successors(s string) ([]string, error) {
+	if g.badTrans[s] {
+		return nil, errors.New("planted transition failure")
+	}
+	if g.deadlock[s] {
+		return nil, nil
+	}
+	x, y := g.parse(s)
+	var out []string
+	if x+1 < g.n {
+		out = append(out, gridState(x+1, y))
+	}
+	if y+1 < g.n {
+		out = append(out, gridState(x, y+1))
+	}
+	return out, nil
+}
+
+func (g *gridModel) Check(s string) error {
+	if g.badCheck[s] {
+		return errors.New("planted invariant failure")
+	}
+	return nil
+}
+
+func (g *gridModel) Quiescent(s string) bool {
+	return s == gridState(g.n-1, g.n-1) && !g.deadlock[s]
+}
+
+// reportJSON is the byte-comparable form of a report (Elapsed is excluded
+// from the JSON encoding by design).
+func reportJSON(t *testing.T, r Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// requireIdenticalAcrossParallelism runs the model at parallelism 1, 4 and 8
+// and fails unless the serialised reports are byte-identical. It returns the
+// serial report.
+func requireIdenticalAcrossParallelism(t *testing.T, m Model, opts Options) Report {
+	t.Helper()
+	opts.Parallelism = 1
+	serial := Run(m, opts)
+	want := reportJSON(t, serial)
+	for _, p := range []int{4, 8} {
+		opts.Parallelism = p
+		got := reportJSON(t, Run(m, opts))
+		if !bytes.Equal(want, got) {
+			t.Fatalf("report differs between parallelism 1 and %d:\n  serial: %s\nparallel: %s", p, want, got)
+		}
+	}
+	return serial
+}
+
+func TestParallelDeterminismCleanGrid(t *testing.T) {
+	n := 40
+	r := requireIdenticalAcrossParallelism(t, newGrid(n), Options{})
+	if !r.OK() {
+		t.Fatalf("clean grid reported violations: %v", r)
+	}
+	if want := n * n; r.StatesExplored != want {
+		t.Errorf("StatesExplored = %d, want %d", r.StatesExplored, want)
+	}
+	if want := 2 * n * (n - 1); r.TransitionsSeen != want {
+		t.Errorf("TransitionsSeen = %d, want %d", r.TransitionsSeen, want)
+	}
+	if want := 2 * (n - 1); r.MaxDepthReached != want {
+		t.Errorf("MaxDepthReached = %d, want %d", r.MaxDepthReached, want)
+	}
+	if r.QuiescentStates != 1 {
+		t.Errorf("QuiescentStates = %d, want 1", r.QuiescentStates)
+	}
+}
+
+func TestParallelDeterminismInvariantViolation(t *testing.T) {
+	// Two invariant violations at the same depth: the report must name the
+	// lexicographically smaller state regardless of which worker found its
+	// violation first.
+	g := newGrid(20)
+	g.badCheck[gridState(3, 2)] = true
+	g.badCheck[gridState(2, 3)] = true
+	r := requireIdenticalAcrossParallelism(t, g, Options{})
+	if r.Passed() {
+		t.Fatal("planted invariant violations not detected")
+	}
+	v := r.Violations[0]
+	if v.Kind != "invariant" || v.Depth != 5 || v.State != gridState(2, 3) {
+		t.Errorf("violation = %+v; want invariant at depth 5 in state %q", v, gridState(2, 3))
+	}
+}
+
+func TestParallelDeterminismTransitionViolation(t *testing.T) {
+	g := newGrid(20)
+	g.badTrans[gridState(4, 4)] = true
+	r := requireIdenticalAcrossParallelism(t, g, Options{})
+	if r.Passed() || r.Violations[0].Kind != "transition" || r.Violations[0].Depth != 8 {
+		t.Fatalf("planted transition violation not detected deterministically: %v", r)
+	}
+}
+
+func TestParallelDeterminismDeadlock(t *testing.T) {
+	g := newGrid(20)
+	g.deadlock[gridState(5, 1)] = true
+	r := requireIdenticalAcrossParallelism(t, g, Options{})
+	if r.Passed() || r.Violations[0].Kind != "deadlock" || r.Violations[0].Depth != 6 {
+		t.Fatalf("planted deadlock not detected deterministically: %v", r)
+	}
+}
+
+func TestParallelDeterminismMixedKindsSameDepth(t *testing.T) {
+	// A deadlock, a transition failure and an invariant failure all at depth
+	// 5: the smallest state wins, independent of kind.
+	g := newGrid(20)
+	g.badCheck[gridState(2, 3)] = true
+	g.badTrans[gridState(3, 2)] = true
+	g.deadlock[gridState(1, 4)] = true
+	r := requireIdenticalAcrossParallelism(t, g, Options{})
+	if r.Passed() {
+		t.Fatal("planted violations not detected")
+	}
+	if v := r.Violations[0]; v.Kind != "deadlock" || v.State != gridState(1, 4) {
+		t.Errorf("violation = %+v; want the deadlock in state %q (lexicographically smallest)", v, gridState(1, 4))
+	}
+}
+
+func TestParallelDeterminismShallowestLevelWins(t *testing.T) {
+	// A violation at depth 4 must shadow one at depth 6 even though both are
+	// discovered during the same run.
+	g := newGrid(20)
+	g.badCheck[gridState(2, 2)] = true
+	g.badCheck[gridState(0, 6)] = true
+	r := requireIdenticalAcrossParallelism(t, g, Options{})
+	if r.Passed() || len(r.Violations) != 1 {
+		t.Fatalf("want exactly one violation, got %v", r)
+	}
+	if v := r.Violations[0]; v.Depth != 4 || v.State != gridState(2, 2) {
+		t.Errorf("violation = %+v; want depth 4 state %q", v, gridState(2, 2))
+	}
+}
+
+func TestParallelDeterminismTruncation(t *testing.T) {
+	r := requireIdenticalAcrossParallelism(t, newGrid(40), Options{MaxStates: 500})
+	if !r.Truncated || r.StatesExplored > 500 {
+		t.Errorf("truncated run explored %d states (truncated=%v); want <= 500", r.StatesExplored, r.Truncated)
+	}
+	r = requireIdenticalAcrossParallelism(t, newGrid(40), Options{MaxDepth: 9})
+	if !r.Truncated || r.MaxDepthReached > 9 {
+		t.Errorf("depth-bounded run reached depth %d (truncated=%v); want <= 9", r.MaxDepthReached, r.Truncated)
+	}
+}
+
+func TestParallelDeterminismC3DProtocol(t *testing.T) {
+	m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	r := requireIdenticalAcrossParallelism(t, m, Options{})
+	if !r.OK() {
+		t.Fatalf("C3D protocol verification failed:\n%s", r)
+	}
+	m = core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1, TrackDRAMCache: true})
+	if r := requireIdenticalAcrossParallelism(t, m, Options{}); !r.OK() {
+		t.Fatalf("c3d-full-dir verification failed:\n%s", r)
+	}
+}
+
+// noAppend hides a model's SuccessorsAppend so Run takes the Successors
+// fallback path.
+type noAppend struct{ Model }
+
+func TestAppendFastPathMatchesFallback(t *testing.T) {
+	mk := func() Model {
+		return core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+	}
+	fast := reportJSON(t, Run(mk(), Options{Parallelism: 2}))
+	slow := reportJSON(t, Run(noAppend{mk()}, Options{Parallelism: 2}))
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("SuccessorsAppend fast path and Successors fallback disagree:\nfast: %s\nslow: %s", fast, slow)
+	}
+}
+
+// TestModelCheckAllocationGuard pins the allocation budget of the 2-socket
+// exhaustive run. The pre-parallel engine spent ~91k allocations on it; the
+// arena-interned visited set plus the pooled protocol scratch bring that
+// under ~11k (roughly one allocation per transition, for the successor
+// string). The bound leaves headroom while still failing if either reuse
+// path regresses to per-state allocation.
+func TestModelCheckAllocationGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the budget only holds in normal builds")
+	}
+	run := func() {
+		m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
+		if r := Run(m, Options{Parallelism: 1}); !r.OK() {
+			t.Errorf("verification failed: %s", r)
+		}
+	}
+	run() // warm the scratch pools
+	if avg := testing.AllocsPerRun(3, run); avg > 18000 {
+		t.Errorf("2-socket exhaustive run allocates %.0f objects; want <= 18000 (was ~91k before the parallel engine)", avg)
+	}
+}
+
+func TestReportJSONExcludesElapsed(t *testing.T) {
+	b := reportJSON(t, Report{Model: "m", Elapsed: 123 * time.Second})
+	if bytes.Contains(b, []byte("123")) || bytes.Contains(b, []byte("lapsed")) {
+		t.Errorf("report JSON must exclude wall-clock time, got %s", b)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package mc
+
+// raceEnabled reports whether the race detector is active; allocation-budget
+// tests skip under it (instrumentation allocates on the model checker's
+// behalf).
+const raceEnabled = true

@@ -1,0 +1,260 @@
+package mc
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Run explores the model breadth-first and returns the report.
+//
+// The search is level-synchronized: all states at depth d are explored before
+// any state at depth d+1, by Options.Parallelism workers sharing the frontier
+// through an atomic cursor. Each level is a set (the sharded visited set
+// admits every distinct state exactly once), so the report's counters do not
+// depend on worker scheduling. When a level contains violations the whole
+// level is still finished and the violation with the lexicographically
+// smallest canonical state is reported — matching Murϕ's default behaviour of
+// stopping at the first (shallowest) violation, but deterministically so.
+func Run(m Model, opts Options) Report {
+	start := time.Now()
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	interval := opts.ProgressInterval
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+
+	s := &search{model: m, visited: newVisitedSet()}
+	s.appendModel, _ = m.(AppendModel)
+	s.workers = make([]*worker, parallelism)
+	for i := range s.workers {
+		s.workers[i] = &worker{s: s}
+	}
+
+	report := Report{Model: m.Name()}
+	var frontier []string
+	for _, st := range m.Initial() {
+		if s.visited.insert(st) {
+			frontier = append(frontier, st)
+		}
+	}
+
+	depth := 0
+	progressMark := 0
+	for len(frontier) > 0 {
+		// Deterministic truncation: a level that would overflow the state
+		// budget is trimmed to the lexicographically smallest remaining
+		// states. Sorting happens only here, so unbounded searches never pay
+		// for it.
+		if opts.MaxStates > 0 {
+			remaining := opts.MaxStates - report.StatesExplored
+			if remaining <= 0 {
+				report.Truncated = true
+				break
+			}
+			if len(frontier) > remaining {
+				sort.Strings(frontier)
+				frontier = frontier[:remaining]
+				report.Truncated = true
+			}
+		}
+		expand := opts.MaxDepth <= 0 || depth < opts.MaxDepth
+		if opts.MaxStates > 0 && report.StatesExplored+len(frontier) >= opts.MaxStates {
+			// This level exhausts the state budget, so no successor could
+			// ever be explored: skip inserting them instead of interning a
+			// next level that is guaranteed to be discarded. Transitions are
+			// still counted, and dropped successors mark the report
+			// truncated, so no reported field changes.
+			expand = false
+		}
+
+		s.runLevel(frontier, depth, expand)
+
+		levelViolation := (*Violation)(nil)
+		for _, w := range s.workers {
+			report.StatesExplored += w.explored
+			report.TransitionsSeen += w.transitions
+			report.QuiescentStates += w.quiescent
+			if w.dropped {
+				report.Truncated = true
+			}
+			if w.violation != nil && (levelViolation == nil || w.violation.State < levelViolation.State) {
+				levelViolation = w.violation
+			}
+			w.resetLevel()
+		}
+		if depth > report.MaxDepthReached {
+			report.MaxDepthReached = depth
+		}
+		if opts.Progress != nil && report.StatesExplored/interval > progressMark {
+			progressMark = report.StatesExplored / interval
+			opts.Progress(report.StatesExplored)
+		}
+		if levelViolation != nil {
+			v := *levelViolation
+			if f, ok := m.(StateFormatter); ok {
+				v.State = f.FormatState(v.State)
+			}
+			report.Violations = append(report.Violations, v)
+			break
+		}
+
+		// Merge the per-worker frontier buffers into the next level. The
+		// merged order depends on scheduling, but the *set* does not, and
+		// nothing below depends on the order (truncation sorts first).
+		frontier = frontier[:0]
+		for _, w := range s.workers {
+			frontier = append(frontier, w.next...)
+			w.next = w.next[:0]
+		}
+		depth++
+	}
+
+	report.Elapsed = time.Since(start)
+	if opts.Progress != nil {
+		// Final tick: a run always reports its last state count, even when it
+		// never crossed the interval.
+		opts.Progress(report.StatesExplored)
+	}
+	return report
+}
+
+// search is the shared context of one Run.
+type search struct {
+	model       Model
+	appendModel AppendModel // nil when the model has no append fast path
+	visited     *visitedSet
+	workers     []*worker
+
+	// level-scoped fields, set by runLevel.
+	frontier []string
+	depth    int
+	expand   bool
+	cursor   atomic.Int64
+}
+
+// worker holds one worker's level-scoped accumulators and its reusable
+// buffers. Accumulators are merged (and reset) by Run between levels.
+type worker struct {
+	s *search
+
+	explored    int
+	transitions int
+	quiescent   int
+	dropped     bool
+	violation   *Violation
+
+	// next collects newly discovered states for the following level.
+	next []string
+	// buf is the successor buffer handed to AppendModel implementations.
+	buf []string
+}
+
+func (w *worker) resetLevel() {
+	w.explored, w.transitions, w.quiescent = 0, 0, 0
+	w.dropped = false
+	w.violation = nil
+}
+
+// levelChunk is the number of frontier states a worker claims per cursor
+// bump: large enough to amortise the atomic, small enough to balance uneven
+// state costs at level tails.
+const levelChunk = 64
+
+// runLevel explores one frontier level. Small levels (and single-worker
+// searches) run inline on worker 0; larger ones fan out across the pool.
+func (s *search) runLevel(frontier []string, depth int, expand bool) {
+	s.frontier, s.depth, s.expand = frontier, depth, expand
+	if len(s.workers) == 1 || len(frontier) < 2*levelChunk {
+		w := s.workers[0]
+		for _, st := range frontier {
+			w.process(st)
+		}
+		return
+	}
+	s.cursor.Store(0)
+	var wg sync.WaitGroup
+	wg.Add(len(s.workers))
+	for _, w := range s.workers {
+		go func(w *worker) {
+			defer wg.Done()
+			for {
+				hi := int(s.cursor.Add(levelChunk))
+				lo := hi - levelChunk
+				if lo >= len(s.frontier) {
+					return
+				}
+				if hi > len(s.frontier) {
+					hi = len(s.frontier)
+				}
+				for _, st := range s.frontier[lo:hi] {
+					w.process(st)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// process explores one state: invariant check, successor enumeration,
+// deadlock detection, and (when expanding) frontier insertion of newly
+// visited successors.
+func (w *worker) process(state string) {
+	s := w.s
+	w.explored++
+	if err := s.model.Check(state); err != nil {
+		w.observe(Violation{Kind: "invariant", State: state, Depth: s.depth, Err: err})
+		return
+	}
+	var (
+		succ []string
+		err  error
+	)
+	if s.appendModel != nil {
+		succ, err = s.appendModel.SuccessorsAppend(state, w.buf[:0])
+		if cap(succ) > cap(w.buf) {
+			w.buf = succ
+		}
+	} else {
+		succ, err = s.model.Successors(state)
+	}
+	if err != nil {
+		w.observe(Violation{Kind: "transition", State: state, Depth: s.depth, Err: err})
+		return
+	}
+	w.transitions += len(succ)
+	if len(succ) == 0 {
+		if !s.model.Quiescent(state) {
+			w.observe(Violation{Kind: "deadlock", State: state, Depth: s.depth})
+			return
+		}
+		w.quiescent++
+		return
+	}
+	if !s.expand {
+		// Depth bound reached: the state's successors are dropped, which Run
+		// records as truncation.
+		w.dropped = true
+		return
+	}
+	for _, n := range succ {
+		if s.visited.insert(n) {
+			w.next = append(w.next, n)
+		}
+	}
+}
+
+// observe keeps the worker's candidate violation: the one with the
+// lexicographically smallest canonical state (all violations in a level share
+// the same depth, so this plus Run's cross-worker merge yields the globally
+// deterministic pick).
+func (w *worker) observe(v Violation) {
+	if w.violation == nil || v.State < w.violation.State {
+		w.violation = &v
+	}
+}

@@ -1,0 +1,162 @@
+package mc
+
+import "sync"
+
+// visitedSet is the checker's concurrent set of visited states: a fixed
+// number of independently locked shards selected by the top bits of a state's
+// hash, so workers exploring a frontier level rarely contend on the same
+// lock. Each shard is an open-addressing table whose keys are interned into a
+// per-shard byte arena: inserting a state appends its bytes to the arena and
+// records (hash, offset, length), so the set holds two allocations per shard
+// in steady state (table and arena, both grown geometrically) instead of one
+// map-key string per visited state.
+//
+// The set only ever grows and membership is insert-only, which is what makes
+// the parallel BFS deterministic: whichever worker wins a racing insert, the
+// set of states admitted at each level is the same.
+type visitedSet struct {
+	shards [numShards]visitedShard
+}
+
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+)
+
+type visitedShard struct {
+	mu sync.Mutex
+	// table is the open-addressing slot array; its length is a power of two.
+	table []visitedEntry
+	count int
+	arena []byte
+	// pad keeps neighbouring shards' hot fields on distinct cache lines.
+	pad [24]byte //nolint:unused
+}
+
+// visitedEntry is one occupied slot: the state's full 64-bit hash (so probe
+// collisions almost never touch the arena) and its [off, off+len) interval in
+// the shard arena. len is stored +1 so the zero value marks an empty slot and
+// zero-length states remain representable.
+type visitedEntry struct {
+	hash     uint64
+	off      uint32
+	lenPlus1 uint32
+}
+
+const initialShardSlots = 64
+
+// hashState is FNV-1a finalised with the splitmix64 mixer — the same
+// derivation internal/sweep uses for seeds. It is deterministic across runs
+// (unlike maphash), which keeps shard assignment, and therefore memory
+// behaviour, reproducible.
+func hashState(s string) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func newVisitedSet() *visitedSet { return &visitedSet{} }
+
+// insert adds s to the set and reports whether it was absent. Safe for
+// concurrent use.
+func (v *visitedSet) insert(s string) bool {
+	h := hashState(s)
+	sh := &v.shards[h>>(64-shardBits)]
+	sh.mu.Lock()
+	added := sh.insert(s, h)
+	sh.mu.Unlock()
+	return added
+}
+
+// contains reports membership without inserting. Safe for concurrent use.
+func (v *visitedSet) contains(s string) bool {
+	h := hashState(s)
+	sh := &v.shards[h>>(64-shardBits)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.table == nil {
+		return false
+	}
+	mask := uint64(len(sh.table) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &sh.table[i]
+		if e.lenPlus1 == 0 {
+			return false
+		}
+		if e.hash == h && sh.equals(e, s) {
+			return true
+		}
+	}
+}
+
+// size returns the number of states in the set.
+func (v *visitedSet) size() int {
+	n := 0
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.Lock()
+		n += sh.count
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// equals compares an entry's interned bytes with s. The compiler elides the
+// []byte→string conversion in a pure comparison, so this does not allocate.
+func (sh *visitedShard) equals(e *visitedEntry, s string) bool {
+	return string(sh.arena[e.off:e.off+e.lenPlus1-1]) == s
+}
+
+// insert does the work of visitedSet.insert with the shard lock held.
+func (sh *visitedShard) insert(s string, h uint64) bool {
+	if sh.table == nil {
+		sh.table = make([]visitedEntry, initialShardSlots)
+	} else if sh.count >= len(sh.table)-len(sh.table)/4 {
+		sh.grow()
+	}
+	mask := uint64(len(sh.table) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &sh.table[i]
+		if e.lenPlus1 == 0 {
+			off := len(sh.arena)
+			sh.arena = append(sh.arena, s...)
+			*e = visitedEntry{hash: h, off: uint32(off), lenPlus1: uint32(len(s)) + 1}
+			sh.count++
+			return true
+		}
+		if e.hash == h && sh.equals(e, s) {
+			return false
+		}
+	}
+}
+
+// grow doubles the slot array and reinserts the occupied slots (hashes are
+// stored, so no state bytes are re-hashed and the arena is untouched).
+func (sh *visitedShard) grow() {
+	old := sh.table
+	sh.table = make([]visitedEntry, 2*len(old))
+	mask := uint64(len(sh.table) - 1)
+	for _, e := range old {
+		if e.lenPlus1 == 0 {
+			continue
+		}
+		for i := e.hash & mask; ; i = (i + 1) & mask {
+			if sh.table[i].lenPlus1 == 0 {
+				sh.table[i] = e
+				break
+			}
+		}
+	}
+}

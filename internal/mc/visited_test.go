@@ -1,0 +1,100 @@
+package mc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestVisitedSetInsertAndContains(t *testing.T) {
+	v := newVisitedSet()
+	states := []string{"", "a", "b", "ab", "ba", "a", ""}
+	wantNew := []bool{true, true, true, true, true, false, false}
+	for i, s := range states {
+		if got := v.insert(s); got != wantNew[i] {
+			t.Errorf("insert(%q) #%d = %v, want %v", s, i, got, wantNew[i])
+		}
+	}
+	if v.size() != 5 {
+		t.Errorf("size = %d, want 5", v.size())
+	}
+	for _, s := range []string{"", "a", "b", "ab", "ba"} {
+		if !v.contains(s) {
+			t.Errorf("contains(%q) = false after insert", s)
+		}
+	}
+	if v.contains("missing") {
+		t.Error("contains reported a state that was never inserted")
+	}
+}
+
+// TestVisitedSetGrowth pushes every shard through several table growths and
+// arena reallocations, then verifies membership survived the rehashes.
+func TestVisitedSetGrowth(t *testing.T) {
+	v := newVisitedSet()
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("state-%d-with-some-padding-to-fill-the-arena", i)
+		if !v.insert(s) {
+			t.Fatalf("insert(%q) reported duplicate on first insert", s)
+		}
+	}
+	if v.size() != n {
+		t.Fatalf("size = %d, want %d", v.size(), n)
+	}
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("state-%d-with-some-padding-to-fill-the-arena", i)
+		if v.insert(s) {
+			t.Fatalf("insert(%q) admitted a duplicate after growth", s)
+		}
+	}
+}
+
+// TestVisitedSetConcurrentInserts races many goroutines over an overlapping
+// key space: every key must be admitted exactly once in total.
+func TestVisitedSetConcurrentInserts(t *testing.T) {
+	v := newVisitedSet()
+	const (
+		workers = 8
+		keys    = 10_000
+	)
+	admitted := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				if v.insert(fmt.Sprintf("key-%d", i)) {
+					admitted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range admitted {
+		total += n
+	}
+	if total != keys {
+		t.Errorf("%d admissions across workers, want exactly %d", total, keys)
+	}
+	if v.size() != keys {
+		t.Errorf("size = %d, want %d", v.size(), keys)
+	}
+}
+
+func TestHashStateIsDeterministicAndSpreads(t *testing.T) {
+	if hashState("abc") != hashState("abc") {
+		t.Fatal("hashState is not deterministic")
+	}
+	// All 64 shards should be populated by a modest key set if the top bits
+	// mix properly.
+	seen := map[uint64]bool{}
+	for i := 0; i < 4096; i++ {
+		seen[hashState(fmt.Sprintf("k%d", i))>>(64-shardBits)] = true
+	}
+	if len(seen) != numShards {
+		t.Errorf("4096 keys touched only %d/%d shards", len(seen), numShards)
+	}
+}

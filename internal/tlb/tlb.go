@@ -74,15 +74,17 @@ type pageClass struct {
 }
 
 // Classifier is the OS-level page classification table (the page-table
-// extension of §IV-D).
+// extension of §IV-D). Entries are stored by value: the table is touched for
+// every simulated access, and pointer entries would cost one allocation per
+// classified page on every (re)run of a machine.
 type Classifier struct {
-	pages map[addr.Page]*pageClass
+	pages map[addr.Page]pageClass
 	stats ClassifierStats
 }
 
 // NewClassifier builds an empty classifier.
 func NewClassifier() *Classifier {
-	return &Classifier{pages: make(map[addr.Page]*pageClass)}
+	return &Classifier{pages: make(map[addr.Page]pageClass)}
 }
 
 // Stats returns a snapshot of the counters.
@@ -95,6 +97,14 @@ func (c *Classifier) ResetStats() {
 	c.stats.OwnerFlushes = 0
 	c.stats.MigrationShootdowns = 0
 	c.stats.Accesses = 0
+}
+
+// Reset forgets every page classification and clears all counters, returning
+// the classifier to the just-constructed state (used when a machine is reused
+// across runs).
+func (c *Classifier) Reset() {
+	clear(c.pages)
+	c.stats = ClassifierStats{}
 }
 
 // AccessResult describes what happened on a classification query.
@@ -117,7 +127,7 @@ func (c *Classifier) Access(p addr.Page, thread, core int) AccessResult {
 	c.stats.Accesses++
 	e, ok := c.pages[p]
 	if !ok {
-		c.pages[p] = &pageClass{class: ClassPrivate, ownerThread: thread, ownerCore: core}
+		c.pages[p] = pageClass{class: ClassPrivate, ownerThread: thread, ownerCore: core}
 		c.stats.PrivatePages++
 		return AccessResult{Class: ClassPrivate, FirstTouch: true}
 	}
@@ -130,6 +140,7 @@ func (c *Classifier) Access(p addr.Page, thread, core int) AccessResult {
 			// Thread migration: keep the page private, move ownership to the
 			// new core and shoot the page down from the hierarchy.
 			e.ownerCore = core
+			c.pages[p] = e
 			c.stats.MigrationShootdowns++
 			return AccessResult{Class: ClassPrivate, Shootdown: true}
 		}
@@ -139,6 +150,7 @@ func (c *Classifier) Access(p addr.Page, thread, core int) AccessResult {
 	// so its pending writes to the page are flushed, but the page is not shot
 	// down.
 	e.class = ClassShared
+	c.pages[p] = e
 	c.stats.PrivatePages--
 	c.stats.SharedPages++
 	c.stats.Reclassifications++
@@ -250,6 +262,17 @@ func (t *TLB) Stats() TLBStats { return t.stats }
 
 // ResetStats clears the counters without dropping cached translations.
 func (t *TLB) ResetStats() { t.stats = TLBStats{} }
+
+// Reset drops every cached translation and clears the counters, returning the
+// TLB to the just-constructed state. The slab is zeroed so recycled nodes
+// carry no stale list links.
+func (t *TLB) Reset() {
+	clear(t.entries)
+	clear(t.slab)
+	t.head, t.tail, t.free = nil, nil, nil
+	t.used = 0
+	t.stats = TLBStats{}
+}
 
 func (t *TLB) unlink(n *tlbNode) {
 	if n.prev != nil {
