@@ -9,7 +9,7 @@ GO ?= go
 BENCHTIME ?= 1x
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all build test race lint lint-fmt vet bench bench-smoke bench-json determinism ci
+.PHONY: all build test race lint lint-fmt vet bench bench-smoke bench-json determinism trace-roundtrip fuzz-smoke ci
 
 all: build
 
@@ -48,16 +48,33 @@ bench-smoke:
 bench-json:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson -out BENCH_$(GIT_SHA).json
 
-# Byte-identical sweep output across parallelism levels, exercised through
-# the real CLI.
+# Byte-identical sweep output across parallelism levels AND across the
+# streaming/materialised trace paths, exercised through the real CLI.
 determinism:
 	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json -parallel 1 > /tmp/c3d-sweep-p1.json
 	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json > /tmp/c3d-sweep-pN.json
 	cmp /tmp/c3d-sweep-p1.json /tmp/c3d-sweep-pN.json
 	@echo "sweep output bit-identical across parallelism levels"
+	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json -stream > /tmp/c3d-sweep-stream.json
+	cmp /tmp/c3d-sweep-p1.json /tmp/c3d-sweep-stream.json
+	@echo "sweep output bit-identical between streaming and materialised traces"
 	$(GO) run ./cmd/c3dcheck -sockets 3 -max-states 60000 -json -parallel 1 > /tmp/c3d-mc-p1.json
 	$(GO) run ./cmd/c3dcheck -sockets 3 -max-states 60000 -json -parallel 8 > /tmp/c3d-mc-p8.json
 	cmp /tmp/c3d-mc-p1.json /tmp/c3d-mc-p8.json
 	@echo "model-check reports bit-identical across parallelism levels"
 
-ci: lint build race bench-json determinism
+# Trace codec round-trip gate through the real CLI: generate → encode →
+# decode must preserve every stream statistic bit-for-bit.
+trace-roundtrip:
+	$(GO) run ./cmd/c3dtrace -workload streamcluster -threads 8 -accesses 2000 -summary=false -out /tmp/c3d-trace.c3dt
+	$(GO) run ./cmd/c3dtrace -workload streamcluster -threads 8 -accesses 2000 > /tmp/c3d-trace-gen.txt
+	$(GO) run ./cmd/c3dtrace -in /tmp/c3d-trace.c3dt > /tmp/c3d-trace-dec.txt
+	cmp /tmp/c3d-trace-gen.txt /tmp/c3d-trace-dec.txt
+	@echo "trace generate → encode → decode round trip bit-identical"
+
+# Short fuzz pass over the trace decoder: corrupt and truncated inputs must
+# produce errors, never panics or unbounded allocations.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/trace
+
+ci: lint build race bench-json determinism trace-roundtrip fuzz-smoke

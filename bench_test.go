@@ -13,6 +13,7 @@ package c3d_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"c3d/internal/core"
@@ -20,6 +21,7 @@ import (
 	"c3d/internal/machine"
 	"c3d/internal/mc"
 	"c3d/internal/sweep"
+	"c3d/internal/trace"
 	"c3d/internal/workload"
 )
 
@@ -266,6 +268,48 @@ func BenchmarkMachineSimulation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(accesses*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkTraceStream drives the full streaming trace pipeline — incremental
+// generation → chunked encode → sequential streaming decode — end to end
+// through an in-process pipe, at 1× and 100× the quick stream length. Nothing
+// is materialised anywhere in the pipeline, so allocs/op is independent of
+// stream length (the O(1)-memory claim of the streaming layer); only ns/op
+// scales with the record count.
+func BenchmarkTraceStream(b *testing.B) {
+	spec := workload.MustGet("streamcluster")
+	for _, mult := range []int{1, 100} {
+		b.Run(fmt.Sprintf("len%dx", mult), func(b *testing.B) {
+			b.ReportAllocs()
+			opts := workload.Options{Threads: 4, Scale: 512, AccessesPerThread: 2000 * mult}
+			src, err := workload.NewSource(spec, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			records := int64(src.InitLen())
+			for t := 0; t < src.Threads(); t++ {
+				records += int64(src.ThreadLen(t))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pr, pw := io.Pipe()
+				go func() {
+					pw.CloseWithError(trace.EncodeSource(pw, src))
+				}()
+				var got int64
+				if _, err := trace.Scan(pr, func(thread int, rec trace.Record) error {
+					got++
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if got != records {
+					b.Fatalf("streamed %d records, want %d", got, records)
+				}
+			}
+			b.ReportMetric(float64(records*int64(b.N))/b.Elapsed().Seconds(), "records/s")
+		})
+	}
 }
 
 // BenchmarkTraceGeneration measures synthetic trace generation throughput.

@@ -46,6 +46,7 @@ func main() {
 		sockets   = flag.Int("sockets", 0, "override the socket count (where the experiment allows it)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's nine)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS; results identical at any value)")
+		stream    = flag.Bool("stream", false, "drive simulations from streaming generators (bounded memory at any -accesses; results identical)")
 		seed      = flag.Int64("seed", 0, "workload generation seed (0 reproduces the default runs)")
 		asJSON    = flag.Bool("json", false, "emit a JSON array of results instead of text tables")
 		asCSV     = flag.Bool("csv", false, "emit each result table as CSV instead of text")
@@ -95,6 +96,7 @@ func main() {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
 	cfg.Parallelism = *parallel
+	cfg.Streaming = *stream
 	cfg.Seed = *seed
 	if *verbose {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }

@@ -30,6 +30,7 @@ func main() {
 		policyName   = flag.String("policy", "", "NUMA placement policy: INT, FT1 or FT2 (default: the workload's preferred policy)")
 		warmup       = flag.Float64("warmup", 0.25, "fraction of each thread's stream used as cache warm-up")
 		filter       = flag.Bool("broadcast-filter", false, "enable the §IV-D private-page broadcast filter (C3D only)")
+		stream       = flag.Bool("stream", true, "generate the access streams incrementally: memory stays bounded at any -accesses (long-run mode); results are bit-identical to -stream=false")
 	)
 	flag.Parse()
 
@@ -55,21 +56,39 @@ func main() {
 		threadCount = cfg.Cores()
 	}
 
-	fmt.Printf("generating %s (threads=%d scale=%d)...\n", spec.Name, threadCount, *scale)
-	tr, err := workload.Generate(spec, workload.Options{
+	genOpts := workload.Options{
 		Threads:           threadCount,
 		Scale:             *scale,
 		AccessesPerThread: *accesses,
-	})
-	exitOn(err)
-	ts := tr.ComputeStats()
-	fmt.Printf("trace: %d accesses, %.1f%% reads, footprint %.1f MiB\n",
-		ts.Accesses, ts.ReadFraction()*100, float64(ts.FootprintBytes())/(1<<20))
-
+	}
 	m := machine.New(cfg)
-	start := time.Now()
-	res, err := m.Run(tr, machine.RunOptions{WarmupFraction: *warmup})
-	exitOn(err)
+	var (
+		res   machine.RunResult
+		start time.Time
+	)
+	if *stream {
+		// Streaming long-run mode: records are generated on demand and never
+		// materialised, so -accesses can be paper-scale (billions) without
+		// the trace dictating resident memory. Skipping the stats pre-pass
+		// also avoids walking the streams a third time.
+		src, err := workload.NewSource(spec, genOpts)
+		exitOn(err)
+		fmt.Printf("streaming %s (threads=%d scale=%d, %d accesses/thread)...\n",
+			spec.Name, src.Threads(), *scale, src.ThreadLen(0))
+		start = time.Now()
+		res, err = m.RunSource(src, machine.RunOptions{WarmupFraction: *warmup})
+		exitOn(err)
+	} else {
+		fmt.Printf("generating %s (threads=%d scale=%d)...\n", spec.Name, threadCount, *scale)
+		tr, err := workload.Generate(spec, genOpts)
+		exitOn(err)
+		ts := tr.ComputeStats()
+		fmt.Printf("trace: %d accesses, %.1f%% reads, footprint %.1f MiB\n",
+			ts.Accesses, ts.ReadFraction()*100, float64(ts.FootprintBytes())/(1<<20))
+		start = time.Now()
+		res, err = m.Run(tr, machine.RunOptions{WarmupFraction: *warmup})
+		exitOn(err)
+	}
 
 	c := res.Counters
 	fmt.Printf("\n%s on %d-socket %s (policy %v), simulated in %v\n",

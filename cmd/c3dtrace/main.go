@@ -1,18 +1,23 @@
 // Command c3dtrace generates, inspects and converts the synthetic workload
-// traces that drive the simulator.
+// traces that drive the simulator. Everything flows through the streaming
+// trace.Source interface, so generation, summarising and (v2) conversion run
+// at bounded memory however long the trace is.
 //
 // Usage:
 //
 //	c3dtrace -list                                   # show the workload registry
 //	c3dtrace -workload canneal -summary              # generate and summarise
-//	c3dtrace -workload canneal -out canneal.c3dt     # write the binary trace
+//	c3dtrace -workload canneal -out canneal.c3dt     # write the binary trace (chunked v2)
+//	c3dtrace -workload canneal -out c.c3dt -format v1  # write the legacy flat format
 //	c3dtrace -in canneal.c3dt -summary               # summarise an existing file
 //	c3dtrace -workload nutch -dump 20                # print the first records
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"c3d/internal/trace"
@@ -25,13 +30,18 @@ func main() {
 		workloadName = flag.String("workload", "", "workload to generate")
 		inPath       = flag.String("in", "", "read an existing binary trace instead of generating")
 		outPath      = flag.String("out", "", "write the trace in the binary format")
+		format       = flag.String("format", "v2", "binary format for -out: v2 (chunked, streamable) or v1 (legacy flat)")
 		threads      = flag.Int("threads", 0, "threads (default: the workload's native count)")
 		accesses     = flag.Int("accesses", 0, "accesses per thread (default: the workload's native count)")
 		scale        = flag.Int("scale", workload.DefaultScale, "footprint scale factor")
-		summary      = flag.Bool("summary", true, "print a summary of the trace")
+		summary      = flag.Bool("summary", true, "print a summary of the trace (suppressed when -out is given unless set explicitly: the stats pass walks the whole stream a second time)")
 		dump         = flag.Int("dump", 0, "print the first N records of thread 0")
 	)
 	flag.Parse()
+	// setFlags answers "was this flag given explicitly" for the
+	// conflicting-flag checks below.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	if *list {
 		fmt.Println("registered workloads:")
@@ -44,18 +54,56 @@ func main() {
 		return
 	}
 
-	var tr *trace.Trace
+	switch *format {
+	case "v1", "v2":
+	default:
+		fmt.Fprintf(os.Stderr, "c3dtrace: unknown -format %q (want v1 or v2)\n", *format)
+		os.Exit(2)
+	}
+	if *outPath == "" && setFlags["format"] {
+		// -format only affects -out; reject the silently-ignored combination.
+		fmt.Fprintln(os.Stderr, "c3dtrace: -format has no effect without -out")
+		os.Exit(2)
+	}
+
+	var src trace.Source
 	switch {
 	case *inPath != "":
+		// -in replays a file: the generation flags would be silently ignored,
+		// so combining them is an error rather than a surprise.
+		var conflicting []string
+		for _, name := range []string{"workload", "threads", "accesses", "scale"} {
+			if setFlags[name] {
+				conflicting = append(conflicting, "-"+name)
+			}
+		}
+		if len(conflicting) > 0 {
+			fmt.Fprintf(os.Stderr, "c3dtrace: -in replays an existing trace; the generation flags %v have no effect on it (drop them, or drop -in to generate)\n", conflicting)
+			os.Exit(2)
+		}
 		f, err := os.Open(*inPath)
 		exitOn(err)
 		defer f.Close()
-		tr, err = trace.Decode(f)
+		fi, err := f.Stat()
 		exitOn(err)
+		fsrc, err := trace.OpenSource(f, fi.Size())
+		switch {
+		case errors.Is(err, trace.ErrLegacyVersion):
+			// v1 has no chunk framing: decode it whole and adapt.
+			_, err = f.Seek(0, io.SeekStart)
+			exitOn(err)
+			tr, err := trace.Decode(f)
+			exitOn(err)
+			src = tr.Source()
+		case err != nil:
+			exitOn(err)
+		default:
+			src = fsrc
+		}
 	case *workloadName != "":
 		spec, err := workload.Get(*workloadName)
 		exitOn(err)
-		tr, err = workload.Generate(spec, workload.Options{
+		src, err = workload.NewSource(spec, workload.Options{
 			Threads:           *threads,
 			Scale:             *scale,
 			AccessesPerThread: *accesses,
@@ -66,8 +114,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *summary {
-		s := tr.ComputeStats()
+	// Summarising costs a full pass over the streams. When the run's point is
+	// -out, don't silently double the generation work; an explicit -summary
+	// opts back in.
+	doSummary := *summary && (*outPath == "" || setFlags["summary"])
+	if doSummary {
+		s, err := trace.ComputeStatsSource(src)
+		exitOn(err)
 		fmt.Printf("trace %q\n", s.Name)
 		fmt.Printf("  threads            %d\n", s.Threads)
 		fmt.Printf("  init accesses      %d\n", s.InitAccesses)
@@ -76,21 +129,32 @@ func main() {
 		fmt.Printf("  footprint          %.1f MiB (%d pages)\n", float64(s.FootprintBytes())/(1<<20), s.FootprintPages)
 		fmt.Printf("  instructions (est) %d\n", s.InstructionEstimate)
 	}
-	if *dump > 0 && tr.Threads() > 0 {
-		n := *dump
-		if n > len(tr.Parallel[0]) {
-			n = len(tr.Parallel[0])
+	if *dump > 0 && src.Threads() > 0 {
+		rr := src.OpenThread(0)
+		recs := make([]trace.Record, 0, *dump)
+		for len(recs) < *dump {
+			rec, ok := rr.Next()
+			if !ok {
+				break
+			}
+			recs = append(recs, rec)
 		}
-		fmt.Printf("first %d records of thread 0:\n", n)
-		for i := 0; i < n; i++ {
-			r := tr.Parallel[0][i]
+		exitOn(rr.Err())
+		fmt.Printf("first %d records of thread 0:\n", len(recs))
+		for _, r := range recs {
 			fmt.Printf("  %s %v gap=%d\n", r.Kind, r.Addr, r.Gap)
 		}
 	}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		exitOn(err)
-		exitOn(tr.Encode(f))
+		if *format == "v2" {
+			exitOn(trace.EncodeSource(f, src))
+		} else {
+			tr, err := trace.Materialize(src)
+			exitOn(err)
+			exitOn(tr.Encode(f))
+		}
 		exitOn(f.Close())
 		fmt.Printf("wrote %s\n", *outPath)
 	}

@@ -58,3 +58,31 @@ func TestSeedChangesTracesButStaysComparable(t *testing.T) {
 		t.Fatalf("same seed produced different results:\n%s\n%s", a, b)
 	}
 }
+
+// TestStreamingMatchesMaterialised is the experiment-level half of the
+// streaming contract: driving the simulations from incremental generators
+// (Config.Streaming, bypassing the trace cache) must produce byte-identical
+// experiment output to the materialised path.
+func TestStreamingMatchesMaterialised(t *testing.T) {
+	run := func(streaming bool) []byte {
+		cfg := testConfig()
+		cfg.AccessesPerThread = 2000
+		cfg.Workloads = []string{"streamcluster", "nutch"}
+		cfg.Streaming = streaming
+		res, err := Fig6(cfg)
+		if err != nil {
+			t.Fatalf("Fig6 (streaming=%v): %v", streaming, err)
+		}
+		out, err := json.Marshal(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	materialised := run(false)
+	streamed := run(true)
+	if !bytes.Equal(materialised, streamed) {
+		t.Fatalf("streaming changed experiment results:\nmaterialised: %s\n   streaming: %s",
+			materialised, streamed)
+	}
+}

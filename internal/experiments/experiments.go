@@ -48,6 +48,12 @@ type Config struct {
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS). It only
 	// affects wall-clock time: results are bit-identical at any value.
 	Parallelism int
+	// Streaming drives each simulation from an incremental workload
+	// generator instead of a materialised in-memory trace: resident memory
+	// stays bounded regardless of AccessesPerThread, at the cost of
+	// regenerating the record streams for every design (the shared trace
+	// cache is bypassed). Results are bit-identical either way.
+	Streaming bool
 	// Seed offsets workload generation. Zero reproduces the default runs;
 	// the same seed always regenerates the same traces, and every design
 	// sees the same trace for a given workload regardless of seed.
@@ -221,16 +227,23 @@ func (c Config) runOne(j job, seed int64) (machine.RunResult, error) {
 		AccessesPerThread: accesses,
 		SeedOffset:        seed,
 	}
-	tr, err := sharedTraces.get(j.spec, opts)
-	if err != nil {
-		return machine.RunResult{}, err
-	}
 	mcfg := j.mcfg
 	if j.mutate != nil {
 		j.mutate(&mcfg)
 	}
 	m := acquireMachine(mcfg)
 	defer releaseMachine(mcfg, m)
+	if c.Streaming {
+		src, err := workload.NewSource(j.spec, opts)
+		if err != nil {
+			return machine.RunResult{}, err
+		}
+		return m.RunSource(src, machine.RunOptions{WarmupFraction: c.WarmupFraction})
+	}
+	tr, err := sharedTraces.get(j.spec, opts)
+	if err != nil {
+		return machine.RunResult{}, err
+	}
 	return m.Run(tr, machine.RunOptions{WarmupFraction: c.WarmupFraction})
 }
 

@@ -22,38 +22,62 @@ type RunOptions struct {
 func DefaultRunOptions() RunOptions { return RunOptions{WarmupFraction: 0.25} }
 
 // Run executes the trace's parallel region on the machine and returns the
-// measured-region results. The trace's init section is used only for page
+// measured-region results. It is a thin adapter over RunSource: the
+// materialised trace is wrapped in its streaming view, so both paths share
+// one execution engine and produce bit-identical results.
+func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
+	return m.RunSource(tr.Source(), opts)
+}
+
+// RunSource executes a streaming trace's parallel region on the machine and
+// returns the measured-region results. The init section is used only for page
 // placement (FT1) — it is not executed for timing, matching the paper's
 // methodology of fast-forwarding to the parallel region.
-func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
-	if tr.Threads() == 0 {
-		return RunResult{}, fmt.Errorf("machine: trace %q has no threads", tr.Name)
+//
+// The runner pulls records from per-thread readers one at a time, so resident
+// memory is bounded by the source's per-reader window (one record for
+// generators, one chunk for trace files) no matter how long the simulated
+// access streams are — stream length dictates simulation time, not memory.
+// The source is replayed twice: once by the page-placement pre-pass and once
+// for execution.
+func (m *Machine) RunSource(src trace.Source, opts RunOptions) (RunResult, error) {
+	threads := src.Threads()
+	if threads == 0 {
+		return RunResult{}, fmt.Errorf("machine: trace %q has no threads", src.Name())
 	}
-	if tr.Threads() > m.cfg.Cores() {
+	if threads > m.cfg.Cores() {
 		return RunResult{}, fmt.Errorf("machine: trace %q has %d threads but the machine has %d cores",
-			tr.Name, tr.Threads(), m.cfg.Cores())
+			src.Name(), threads, m.cfg.Cores())
 	}
 	if opts.WarmupFraction < 0 || opts.WarmupFraction >= 1 {
 		return RunResult{}, fmt.Errorf("machine: warm-up fraction %f outside [0,1)", opts.WarmupFraction)
 	}
 
-	m.placePages(tr)
+	if err := m.placePages(src); err != nil {
+		return RunResult{}, err
+	}
 
 	// Gather the cores that execute threads (thread t runs on core t).
-	cores := make([]*coreRunner, tr.Threads())
-	for t := 0; t < tr.Threads(); t++ {
+	cores := make([]*coreRunner, threads)
+	maxLen := 0
+	for t := 0; t < threads; t++ {
 		sock := m.socketOf(t)
 		cores[t] = &coreRunner{
-			core:    sock.cores[t-sock.id*m.cfg.CoresPerSocket],
-			records: tr.Parallel[t],
-			idx:     t,
+			core: sock.cores[t-sock.id*m.cfg.CoresPerSocket],
+			rr:   src.OpenThread(t),
+			idx:  t,
+		}
+		if l := src.ThreadLen(t); l > maxLen {
+			maxLen = l
 		}
 	}
 
 	// Warm-up phase.
-	warmup := int(opts.WarmupFraction * float64(maxRecords(cores)))
+	warmup := int(opts.WarmupFraction * float64(maxLen))
 	if warmup > 0 {
-		m.execute(cores, warmup)
+		if err := m.execute(cores, warmup); err != nil {
+			return RunResult{}, err
+		}
 		for _, cr := range cores {
 			cr.core.Drain()
 			cr.core.ResetTiming()
@@ -62,7 +86,9 @@ func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
 	}
 
 	// Measured phase.
-	m.execute(cores, -1)
+	if err := m.execute(cores, -1); err != nil {
+		return RunResult{}, err
+	}
 	var cycles sim.Time
 	instructions := uint64(0)
 	res := RunResult{}
@@ -77,7 +103,7 @@ func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
 		perCore = append(perCore, st)
 	}
 
-	res = m.collectResult(tr.Name, uint64(cycles), instructions)
+	res = m.collectResult(src.Name(), uint64(cycles), instructions)
 	res.PerCore = perCore
 	if err := m.CheckInvariants(); err != nil {
 		return res, err
@@ -95,59 +121,88 @@ func (m *Machine) MustRun(tr *trace.Trace, opts RunOptions) RunResult {
 	return res
 }
 
-// coreRunner tracks one core's progress through its access stream.
+// coreRunner tracks one core's progress through its access stream. It
+// prefetches a single record from its reader so the scheduling heap can ask
+// "does this core have work" without consuming anything.
 type coreRunner struct {
-	core    *cpu.Core
-	records []trace.Record
-	next    int
+	core *cpu.Core
+	rr   trace.RecordReader
+
+	pending    trace.Record
+	hasPending bool
+	// consumed counts records executed across phases (the warm-up limit is a
+	// total, so the measured phase continues where warm-up stopped).
+	consumed int
+	// limit is this phase's bound on consumed (-1 = until the stream ends).
+	limit int
+	rdErr error
+
 	// idx is the runner's position in the cores slice; it is the
 	// deterministic tie-break when several cores share the same local time.
 	idx int
-	// bound is the record index this phase stops at (set by execute).
-	bound int
 }
 
-func maxRecords(cores []*coreRunner) int {
-	max := 0
-	for _, cr := range cores {
-		if len(cr.records) > max {
-			max = len(cr.records)
-		}
+// fill ensures one record is buffered; it reports whether the runner has a
+// record to execute. A false return with a non-nil rdErr is a reader failure.
+func (cr *coreRunner) fill() bool {
+	if cr.hasPending {
+		return true
 	}
-	return max
+	rec, ok := cr.rr.Next()
+	if !ok {
+		cr.rdErr = cr.rr.Err()
+		return false
+	}
+	cr.pending, cr.hasPending = rec, true
+	return true
 }
 
 // placePages performs the placement pre-pass: init-section touches first
 // (relevant to FT1), then the parallel sections interleaved round-robin so
 // that concurrent first touches spread across sockets the way they would in
 // a live run.
-func (m *Machine) placePages(tr *trace.Trace) {
-	for _, rec := range tr.Init {
+func (m *Machine) placePages(src trace.Source) error {
+	rr := src.OpenInit()
+	for {
+		rec, ok := rr.Next()
+		if !ok {
+			break
+		}
 		m.pageTable.Touch(addr.PageOf(rec.Addr), 0, false)
 	}
-	pos := 0
-	for {
-		progressed := false
-		for t := 0; t < tr.Threads(); t++ {
-			recs := tr.Parallel[t]
-			if pos >= len(recs) {
+	if err := rr.Err(); err != nil {
+		return fmt.Errorf("machine: placement pre-pass (init): %w", err)
+	}
+	readers := make([]trace.RecordReader, src.Threads())
+	for t := range readers {
+		readers[t] = src.OpenThread(t)
+	}
+	active := len(readers)
+	for active > 0 {
+		for t, r := range readers {
+			if r == nil {
 				continue
 			}
-			progressed = true
+			rec, ok := r.Next()
+			if !ok {
+				if err := r.Err(); err != nil {
+					return fmt.Errorf("machine: placement pre-pass (thread %d): %w", t, err)
+				}
+				readers[t] = nil
+				active--
+				continue
+			}
 			socket := t / m.cfg.CoresPerSocket
-			m.pageTable.Touch(addr.PageOf(recs[pos].Addr), socket, true)
+			m.pageTable.Touch(addr.PageOf(rec.Addr), socket, true)
 		}
-		if !progressed {
-			return
-		}
-		pos++
 	}
+	return nil
 }
 
 // execute advances the cores through their records, always stepping the core
 // with the smallest local time so that bandwidth contention and inter-thread
 // interactions happen in a plausible global order. A non-negative limit stops
-// each core after that many records (used for the warm-up phase).
+// each core after that many records in total (used for the warm-up phase).
 //
 // The "earliest core" selection is an indexed min-heap keyed by
 // (core local time, core index) rather than a linear scan, so one simulated
@@ -156,28 +211,34 @@ func (m *Machine) placePages(tr *trace.Trace) {
 // results are bit-identical to the previous implementation. Executing a
 // record only advances the picked core's clock (monotonically), so after each
 // step only the heap root needs fixing.
-func (m *Machine) execute(cores []*coreRunner, limit int) {
+func (m *Machine) execute(cores []*coreRunner, limit int) error {
 	h := runnerHeap{runners: make([]*coreRunner, 0, len(cores))}
 	for _, cr := range cores {
-		bound := len(cr.records)
-		if limit >= 0 && limit < bound {
-			bound = limit
+		cr.limit = limit
+		if limit >= 0 && cr.consumed >= limit {
+			continue
 		}
-		if cr.next < bound {
-			cr.bound = bound
+		if cr.fill() {
 			h.push(cr)
+		} else if cr.rdErr != nil {
+			return fmt.Errorf("machine: core %d stream: %w", cr.idx, cr.rdErr)
 		}
 	}
 	for len(h.runners) > 0 {
 		pick := h.runners[0]
-		pick.core.Execute(pick.records[pick.next], m)
-		pick.next++
-		if pick.next >= pick.bound {
+		pick.core.Execute(pick.pending, m)
+		pick.hasPending = false
+		pick.consumed++
+		if (pick.limit >= 0 && pick.consumed >= pick.limit) || !pick.fill() {
+			if pick.rdErr != nil {
+				return fmt.Errorf("machine: core %d stream: %w", pick.idx, pick.rdErr)
+			}
 			h.popRoot()
 		} else {
 			h.fixRoot()
 		}
 	}
+	return nil
 }
 
 // runnerHeap is a binary min-heap of core runners ordered by

@@ -103,23 +103,11 @@ func (s Stats) FootprintBytes() uint64 {
 
 // ComputeStats scans the trace and returns its summary.
 func (t *Trace) ComputeStats() Stats {
-	s := Stats{Name: t.Name, Threads: t.Threads(), InitAccesses: len(t.Init), Accesses: t.Accesses()}
-	pages := make(map[addr.Page]struct{})
-	for _, r := range t.Init {
-		pages[addr.PageOf(r.Addr)] = struct{}{}
+	s, err := ComputeStatsSource(t.Source())
+	if err != nil {
+		// Slice-backed readers never fail.
+		panic(err)
 	}
-	for _, recs := range t.Parallel {
-		for _, r := range recs {
-			pages[addr.PageOf(r.Addr)] = struct{}{}
-			s.InstructionEstimate += uint64(r.Gap) + 1
-			if r.Kind == Read {
-				s.Reads++
-			} else {
-				s.Writes++
-			}
-		}
-	}
-	s.FootprintPages = len(pages)
 	return s
 }
 

@@ -129,8 +129,15 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload %s: CommFraction %f out of [0,1]", s.Name, s.CommFraction)
 	case s.ReadFraction < 0 || s.ReadFraction > 1:
 		return fmt.Errorf("workload %s: ReadFraction %f out of [0,1]", s.Name, s.ReadFraction)
+	case s.CommFraction+s.SharedFraction > 1:
+		return fmt.Errorf("workload %s: CommFraction+SharedFraction %f exceeds 1 (the private region would be silently starved)",
+			s.Name, s.CommFraction+s.SharedFraction)
 	case s.LocalitySkew < 1:
 		return fmt.Errorf("workload %s: LocalitySkew %f must be >= 1", s.Name, s.LocalitySkew)
+	case s.SpatialRun < 0:
+		return fmt.Errorf("workload %s: SpatialRun %d must be non-negative", s.Name, s.SpatialRun)
+	case s.MeanGap < 0:
+		return fmt.Errorf("workload %s: MeanGap %d must be non-negative (a negative mean panics the gap draw)", s.Name, s.MeanGap)
 	case s.SharedBytes == 0 && s.PrivateBytesPerThread == 0:
 		return fmt.Errorf("workload %s: no data regions", s.Name)
 	case s.AccessesPerThread <= 0:
@@ -232,24 +239,31 @@ func BuildLayout(s Spec, o Options) Layout {
 	return l
 }
 
-// Generate produces a deterministic trace for the spec under the given
-// options.
-func Generate(s Spec, o Options) (*trace.Trace, error) {
+// NewSource returns a streaming source for the spec under the given options:
+// the same deterministic per-thread record streams Generate produces, emitted
+// on demand by per-section iterators instead of being built into slices.
+// Resident memory is O(1) in the stream length, so AccessesPerThread can be
+// paper-scale (billions) without materialising anything. Every reader opened
+// from the source replays its section from the start with a freshly seeded
+// RNG, which is what makes the streams independent of consumption order and
+// bit-identical to the materialised path.
+func NewSource(s Spec, o Options) (trace.Source, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	o = o.withDefaults(s)
-	layout := BuildLayout(s, o)
+	return &genSource{s: s, o: o, layout: BuildLayout(s, o)}, nil
+}
 
-	tr := &trace.Trace{
-		Name:     s.Name,
-		Parallel: make([][]trace.Record, o.Threads),
+// Generate produces a deterministic trace for the spec under the given
+// options. It is the materialised adapter over NewSource; the two paths are
+// bit-identical by construction.
+func Generate(s Spec, o Options) (*trace.Trace, error) {
+	src, err := NewSource(s, o)
+	if err != nil {
+		return nil, err
 	}
-	tr.Init = generateInit(s, o, layout)
-	for th := 0; th < o.Threads; th++ {
-		tr.Parallel[th] = generateThread(s, o, layout, th)
-	}
-	return tr, nil
+	return trace.Materialize(src)
 }
 
 // MustGenerate is Generate for specs known to be valid (the built-in
@@ -262,112 +276,167 @@ func MustGenerate(s Spec, o Options) *trace.Trace {
 	return tr
 }
 
-// generateInit builds the serial initialisation section: thread 0 streams
-// through the shared region (and a sample of the private regions) writing
-// every page once, the way a sequential loader or input parser would. Only
-// page placement (FT1) and cache warm-up observe this section.
-func generateInit(s Spec, o Options, layout Layout) []trace.Record {
-	n := int(float64(o.AccessesPerThread) * s.InitFraction)
-	if n <= 0 {
-		return nil
-	}
-	rng := rand.New(rand.NewSource(s.Seed ^ o.SeedOffset ^ 0x1717))
-	recs := make([]trace.Record, 0, n)
-	// Stride through the whole footprint page by page, wrapping if the init
-	// section is longer than the number of pages.
-	total := layout.TotalBytes()
-	if total == 0 {
-		return nil
-	}
-	pages := total / addr.PageBytes
-	for i := 0; i < n; i++ {
-		page := uint64(i) % pages
-		offset := uint64(rng.Intn(addr.BlocksPerPage)) * addr.BlockBytes
-		recs = append(recs, trace.Record{
-			Kind: trace.Write,
-			Addr: addr.Addr(page*addr.PageBytes + offset),
-			Gap:  uint32(rng.Intn(2*s.MeanGap + 1)),
-		})
-	}
-	return recs
+// genSource is the streaming generator behind NewSource. It is immutable:
+// all per-stream state lives in the readers it opens.
+type genSource struct {
+	s      Spec
+	o      Options // defaults already applied
+	layout Layout
 }
 
-// generateThread builds one thread's parallel-region access stream.
-func generateThread(s Spec, o Options, layout Layout, thread int) []trace.Record {
-	rng := rand.New(rand.NewSource(s.Seed ^ o.SeedOffset ^ (int64(thread)+1)*0x9E3779B9))
-	recs := make([]trace.Record, 0, o.AccessesPerThread)
+func (g *genSource) Name() string        { return g.s.Name }
+func (g *genSource) Threads() int        { return g.o.Threads }
+func (g *genSource) ThreadLen(t int) int { return g.o.AccessesPerThread }
 
-	privBase, privSize := layout.PrivateRegion(thread)
-	ownBox, boxSize := layout.MailboxRegion(thread)
-	neighbour := (thread + 1) % layout.Threads
-	neighbourBox, _ := layout.MailboxRegion(neighbour)
+// InitLen returns the init-section length: InitFraction of one thread's
+// stream, or zero when the layout has no pages to stride.
+func (g *genSource) InitLen() int {
+	n := int(float64(g.o.AccessesPerThread) * g.s.InitFraction)
+	if n <= 0 || g.layout.TotalBytes() == 0 {
+		return 0
+	}
+	return n
+}
+
+// OpenInit returns a reader over the serial initialisation section: thread 0
+// strides through the entire footprint — shared region, mailboxes and every
+// thread's private region — page by page (wrapping if the section is longer
+// than the footprint), writing one block per page the way a sequential loader
+// or input parser would. Only page placement (FT1) and cache warm-up observe
+// this section.
+func (g *genSource) OpenInit() trace.RecordReader {
+	r := &initReader{n: g.InitLen(), meanGap: g.s.MeanGap}
+	if r.n == 0 {
+		return r
+	}
+	r.rng = rand.New(rand.NewSource(g.s.Seed ^ g.o.SeedOffset ^ 0x1717))
+	r.pages = g.layout.TotalBytes() / addr.PageBytes
+	return r
+}
+
+// initReader emits the init section one record at a time.
+type initReader struct {
+	rng     *rand.Rand
+	pages   uint64
+	meanGap int
+	n, i    int
+}
+
+func (r *initReader) Next() (trace.Record, bool) {
+	if r.i >= r.n {
+		return trace.Record{}, false
+	}
+	page := uint64(r.i) % r.pages
+	offset := uint64(r.rng.Intn(addr.BlocksPerPage)) * addr.BlockBytes
+	rec := trace.Record{
+		Kind: trace.Write,
+		Addr: addr.Addr(page*addr.PageBytes + offset),
+		Gap:  uint32(r.rng.Intn(2*r.meanGap + 1)),
+	}
+	r.i++
+	return rec, true
+}
+
+func (r *initReader) Err() error { return nil }
+
+// OpenThread returns a reader over one thread's parallel-region access
+// stream.
+func (g *genSource) OpenThread(thread int) trace.RecordReader {
+	r := &threadReader{g: g, rng: rand.New(rand.NewSource(g.s.Seed ^ g.o.SeedOffset ^ (int64(thread)+1)*0x9E3779B9))}
+	r.privBase, r.privSize = g.layout.PrivateRegion(thread)
+	r.ownBox, r.boxSize = g.layout.MailboxRegion(thread)
+	neighbour := (thread + 1) % g.layout.Threads
+	r.neighbourBox, _ = g.layout.MailboxRegion(neighbour)
+	r.boxBlocks = r.boxSize / addr.BlockBytes
+	return r
+}
+
+// threadReader emits one thread's parallel stream one record at a time. Its
+// fields are the loop state of the original batch generator.
+type threadReader struct {
+	g   *genSource
+	rng *rand.Rand
+	i   int
+
+	privBase     addr.Addr
+	privSize     uint64
+	ownBox       addr.Addr
+	boxSize      uint64
+	neighbourBox addr.Addr
+
 	// produceCursor walks this thread's mailbox cyclically. Consumption reads
 	// a random, already-produced position of the neighbour's mailbox: by
 	// symmetry the neighbour has produced roughly as many blocks as this
 	// thread, and picking an older position means the data has usually been
 	// pushed out of the producer's LLC already — the situation that exposes
 	// the dirty-remote-cache pathology of §III in the write-back designs.
-	var produceCursor uint64
-	boxBlocks := boxSize / addr.BlockBytes
+	produceCursor uint64
+	boxBlocks     uint64
 
 	// Spatial-run state: when a run is active, successive region accesses
 	// touch consecutive blocks instead of jumping.
-	var runLeft int
-	var runNext addr.Addr
-	var runLimit addr.Addr
-
-	for i := 0; i < o.AccessesPerThread; i++ {
-		gap := uint32(rng.Intn(2*s.MeanGap + 1))
-		r := rng.Float64()
-		var rec trace.Record
-		switch {
-		case layout.Threads > 1 && boxSize > 0 && r < s.CommFraction:
-			// Producer/consumer communication: alternate between writing the
-			// local mailbox and reading the neighbour's.
-			if i%2 == 0 {
-				rec = trace.Record{
-					Kind: trace.Write,
-					Addr: ownBox + addr.Addr(produceCursor%boxSize),
-				}
-				produceCursor += addr.BlockBytes
-			} else {
-				produced := uint64(float64(i) * s.CommFraction / 2)
-				if produced == 0 {
-					produced = 1
-				}
-				if produced > boxBlocks {
-					produced = boxBlocks
-				}
-				slot := uint64(rng.Int63n(int64(produced)))
-				rec = trace.Record{
-					Kind: trace.Read,
-					Addr: neighbourBox + addr.Addr(slot*addr.BlockBytes),
-				}
-			}
-		case runLeft > 0 && runNext < runLimit:
-			// Continue the current spatial run.
-			kind := trace.Write
-			if rng.Float64() < s.ReadFraction {
-				kind = trace.Read
-			}
-			rec = trace.Record{Kind: kind, Addr: runNext}
-			runNext += addr.BlockBytes
-			runLeft--
-		case layout.SharedBytes > 0 && r < s.CommFraction+s.SharedFraction:
-			rec = regionAccess(rng, s, layout.SharedBase, layout.SharedBytes)
-			runLeft, runNext, runLimit = startRun(rng, s, rec.Addr, layout.SharedBase, layout.SharedBytes)
-		case privSize > 0:
-			rec = regionAccess(rng, s, privBase, privSize)
-			runLeft, runNext, runLimit = startRun(rng, s, rec.Addr, privBase, privSize)
-		default:
-			rec = regionAccess(rng, s, layout.SharedBase, layout.SharedBytes)
-			runLeft, runNext, runLimit = startRun(rng, s, rec.Addr, layout.SharedBase, layout.SharedBytes)
-		}
-		rec.Gap = gap
-		recs = append(recs, rec)
-	}
-	return recs
+	runLeft  int
+	runNext  addr.Addr
+	runLimit addr.Addr
 }
+
+func (t *threadReader) Next() (trace.Record, bool) {
+	if t.i >= t.g.o.AccessesPerThread {
+		return trace.Record{}, false
+	}
+	s, layout, rng, i := &t.g.s, &t.g.layout, t.rng, t.i
+	gap := uint32(rng.Intn(2*s.MeanGap + 1))
+	r := rng.Float64()
+	var rec trace.Record
+	switch {
+	case layout.Threads > 1 && t.boxSize > 0 && r < s.CommFraction:
+		// Producer/consumer communication: alternate between writing the
+		// local mailbox and reading the neighbour's.
+		if i%2 == 0 {
+			rec = trace.Record{
+				Kind: trace.Write,
+				Addr: t.ownBox + addr.Addr(t.produceCursor%t.boxSize),
+			}
+			t.produceCursor += addr.BlockBytes
+		} else {
+			produced := uint64(float64(i) * s.CommFraction / 2)
+			if produced == 0 {
+				produced = 1
+			}
+			if produced > t.boxBlocks {
+				produced = t.boxBlocks
+			}
+			slot := uint64(rng.Int63n(int64(produced)))
+			rec = trace.Record{
+				Kind: trace.Read,
+				Addr: t.neighbourBox + addr.Addr(slot*addr.BlockBytes),
+			}
+		}
+	case t.runLeft > 0 && t.runNext < t.runLimit:
+		// Continue the current spatial run.
+		kind := trace.Write
+		if rng.Float64() < s.ReadFraction {
+			kind = trace.Read
+		}
+		rec = trace.Record{Kind: kind, Addr: t.runNext}
+		t.runNext += addr.BlockBytes
+		t.runLeft--
+	case layout.SharedBytes > 0 && r < s.CommFraction+s.SharedFraction:
+		rec = regionAccess(rng, *s, layout.SharedBase, layout.SharedBytes)
+		t.runLeft, t.runNext, t.runLimit = startRun(rng, *s, rec.Addr, layout.SharedBase, layout.SharedBytes)
+	case t.privSize > 0:
+		rec = regionAccess(rng, *s, t.privBase, t.privSize)
+		t.runLeft, t.runNext, t.runLimit = startRun(rng, *s, rec.Addr, t.privBase, t.privSize)
+	default:
+		rec = regionAccess(rng, *s, layout.SharedBase, layout.SharedBytes)
+		t.runLeft, t.runNext, t.runLimit = startRun(rng, *s, rec.Addr, layout.SharedBase, layout.SharedBytes)
+	}
+	rec.Gap = gap
+	t.i++
+	return rec, true
+}
+
+func (t *threadReader) Err() error { return nil }
 
 // startRun decides whether the access at a begins a spatial run and, if so,
 // returns the number of follow-on blocks and the address bounds of the run.

@@ -60,6 +60,12 @@ func TestSpecValidateRejectsBadValues(t *testing.T) {
 		func(s *Spec) { s.SharedBytes = 0; s.PrivateBytesPerThread = 0 },
 		func(s *Spec) { s.AccessesPerThread = 0 },
 		func(s *Spec) { s.DefaultThreads = 0 },
+		// A negative mean gap would panic rand.Intn(2*MeanGap+1) inside the
+		// generator; it must be rejected up front.
+		func(s *Spec) { s.MeanGap = -1 },
+		func(s *Spec) { s.SpatialRun = -3 },
+		// Comm+Shared > 1 silently starves the private-region branch.
+		func(s *Spec) { s.CommFraction = 0.6; s.SharedFraction = 0.6 },
 	}
 	for i, mutate := range cases {
 		spec := base
