@@ -9,12 +9,23 @@ GO ?= go
 BENCHTIME ?= 1x
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all build test race lint lint-fmt vet bench bench-smoke bench-json determinism trace-roundtrip fuzz-smoke ci
+# Build stamping: every binary's -version flag reports these via pkg/c3d.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+BUILD_DATE := $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+LDFLAGS := -X c3d/pkg/c3d.buildVersion=$(VERSION) \
+           -X c3d/pkg/c3d.buildCommit=$(GIT_SHA) \
+           -X c3d/pkg/c3d.buildDate=$(BUILD_DATE)
+
+.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism trace-roundtrip fuzz-smoke daemon-smoke ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Version-stamped binaries for all five tools, under ./bin.
+binaries:
+	$(GO) build -ldflags "$(LDFLAGS)" -o bin/ ./cmd/c3dsim ./cmd/c3dexp ./cmd/c3dcheck ./cmd/c3dtrace ./cmd/c3dd
 
 test:
 	$(GO) test ./...
@@ -77,4 +88,24 @@ trace-roundtrip:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/trace
 
-ci: lint build race bench-json determinism trace-roundtrip fuzz-smoke
+# Daemon gate through the real binary: build c3dd, start it, poll /healthz,
+# submit a quick experiment job, wait for it, and cmp the result bytes
+# against `c3dexp -json` with the same parameters — the server and the CLI
+# must be the same code path down to the byte.
+daemon-smoke:
+	$(GO) build -ldflags "$(LDFLAGS)" -o /tmp/c3dd-smoke ./cmd/c3dd
+	/tmp/c3dd-smoke -version
+	/tmp/c3dd-smoke -addr 127.0.0.1:18321 & echo $$! > /tmp/c3dd-smoke.pid; \
+	trap 'kill $$(cat /tmp/c3dd-smoke.pid) 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18321/healthz >/dev/null && break; sleep 0.2; done; \
+	curl -sf 127.0.0.1:18321/healthz; \
+	id=$$(curl -sf -X POST 127.0.0.1:18321/v1/jobs -d '{"kind":"experiment","experiments":["table1"],"params":{"quick":true,"workloads":["streamcluster"],"accesses":2000}}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	test -n "$$id"; \
+	curl -sN 127.0.0.1:18321/v1/jobs/$$id/events >/dev/null; \
+	curl -sf 127.0.0.1:18321/v1/jobs/$$id/result > /tmp/c3dd-smoke-result.json; \
+	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json > /tmp/c3dd-smoke-cli.json; \
+	cmp /tmp/c3dd-smoke-result.json /tmp/c3dd-smoke-cli.json
+	@echo "daemon result bit-identical to c3dexp -json"
+
+ci: lint build race bench-json determinism trace-roundtrip fuzz-smoke daemon-smoke

@@ -12,6 +12,7 @@
 package c3d_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -39,7 +40,7 @@ func BenchmarkTable1RemoteFraction(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TableI(cfg)
+		res, err := experiments.TableI(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func BenchmarkFig2NUMABottleneck(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig2(cfg)
+		res, err := experiments.Fig2(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func BenchmarkFig3CacheCapacity(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3(cfg)
+		res, err := experiments.Fig3(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func BenchmarkFig6QuadSocket(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(cfg)
+		res, err := experiments.Fig6(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkFig7DualSocket(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7(cfg)
+		res, err := experiments.Fig7(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkFig8MemoryTraffic(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(cfg)
+		res, err := experiments.Fig8(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkFig9InterSocketTraffic(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(cfg)
+		res, err := experiments.Fig9(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +142,7 @@ func BenchmarkFig10DRAMCacheLatency(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster", "canneal"}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig10(cfg)
+		res, err := experiments.Fig10(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFig11InterSocketLatency(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster", "canneal"}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig11(cfg)
+		res, err := experiments.Fig11(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func BenchmarkSec6CBroadcastFilter(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster"}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Sec6C(cfg)
+		res, err := experiments.Sec6C(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func BenchmarkProtocolModelCheck(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		model := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
-		report := mc.Run(model, mc.Options{Parallelism: 1})
+		report := mc.Run(context.Background(), model, mc.Options{Parallelism: 1})
 		if !report.OK() {
 			b.Fatalf("verification failed: %s", report)
 		}
@@ -205,7 +206,7 @@ func BenchmarkProtocolModelCheckParallel(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				model := core.NewProtocolModel(core.ProtocolConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1})
-				report := mc.Run(model, mc.Options{MaxStates: 250_000, Parallelism: p})
+				report := mc.Run(context.Background(), model, mc.Options{MaxStates: 250_000, Parallelism: p})
 				if !report.Passed() {
 					b.Fatalf("verification failed: %s", report)
 				}
@@ -221,7 +222,7 @@ func BenchmarkPrivateVsShared(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Workloads = []string{"streamcluster"}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.PrivateVsShared(cfg)
+		res, err := experiments.PrivateVsShared(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -236,7 +237,7 @@ func BenchmarkAblation(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Workloads = []string{"facesim"}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Ablation(cfg)
+		res, err := experiments.Ablation(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -263,7 +264,7 @@ func BenchmarkMachineSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Reset()
-		if _, err := m.Run(tr, machine.DefaultRunOptions()); err != nil {
+		if _, err := m.Run(context.Background(), tr, machine.DefaultRunOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -344,7 +345,7 @@ func BenchmarkMachineSimulationManyCores(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Reset()
-		if _, err := m.Run(tr, machine.DefaultRunOptions()); err != nil {
+		if _, err := m.Run(context.Background(), tr, machine.DefaultRunOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -361,12 +362,12 @@ func BenchmarkSweepOverhead(b *testing.B) {
 		i := i
 		jobs[i] = sweep.Job[int]{
 			Key: fmt.Sprintf("job-%d", i),
-			Run: func(seed int64) (int, error) { return i + int(seed%3), nil },
+			Run: func(_ context.Context, seed int64) (int, error) { return i + int(seed%3), nil },
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Run(jobs, sweep.Options{Parallelism: 4}); err != nil {
+		if _, err := sweep.Run(context.Background(), jobs, sweep.Options{Parallelism: 4}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,11 +2,11 @@
 // paper does with Murϕ: exhaustive explicit-state exploration of a small
 // configuration, checking the Single-Writer-Multiple-Reader invariant, the
 // data-value invariant (per-location sequential consistency) and absence of
-// deadlock.
+// deadlock. It is a thin client of pkg/c3d — the same Session API the c3dd
+// daemon serves.
 //
-// The search runs on the parallel engine of internal/mc; reports are
-// bit-identical at any -parallel value, so -json output can be diffed across
-// machines and worker counts (CI does exactly that).
+// Reports are bit-identical at any -parallel value, so -json output can be
+// diffed across machines and worker counts (CI does exactly that).
 //
 // Usage:
 //
@@ -18,12 +18,14 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"c3d/internal/experiments"
+	"c3d/pkg/c3d"
 )
 
 func main() {
@@ -36,32 +38,43 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "model-checker workers (0 = GOMAXPROCS; reports identical at any value)")
 		asJSON    = flag.Bool("json", false, "emit the reports as a JSON array (deterministic: no wall-clock fields)")
 		verbose   = flag.Bool("v", false, "print exploration progress to stderr")
+		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("c3dcheck", c3d.Version())
+		return
+	}
 
-	cfg := experiments.VerifyConfig{
-		Sockets:               *sockets,
-		LoadsPerCore:          *loads,
-		StoresPerCore:         *stores,
-		MaxStates:             *maxStates,
-		IncludeFullDirVariant: !*baseOnly,
-		Parallelism:           *parallel,
-	}
+	opts := []c3d.Option{c3d.WithParallelism(*parallel)}
 	if *verbose {
-		cfg.Progress = func(states int) { fmt.Fprintf(os.Stderr, "  ... %d states explored\n", states) }
+		opts = append(opts, c3d.WithProgress(func(e c3d.Event) {
+			fmt.Fprintln(os.Stderr, e)
+		}))
 	}
+	sess, err := c3d.New(opts...)
+	exitOn(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if !*asJSON {
 		fmt.Println("verifying the C3D coherence protocol (SWMR, data-value, deadlock freedom)...")
 	}
-	result := experiments.Verify(cfg)
+	result, err := sess.Verify(ctx, c3d.VerifyRequest{
+		Sockets:       *sockets,
+		LoadsPerCore:  *loads,
+		StoresPerCore: *stores,
+		MaxStates:     *maxStates,
+		BaseOnly:      *baseOnly,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		exitOn(err)
+	}
+	interrupted := errors.Is(err, context.Canceled)
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(result.Reports); err != nil {
-			fmt.Fprintln(os.Stderr, "c3dcheck:", err)
-			os.Exit(1)
-		}
-		if !result.Passed() {
+		exitOn(c3d.WriteReportsJSON(os.Stdout, result.Reports))
+		if interrupted || !result.Passed() {
 			os.Exit(1)
 		}
 		return
@@ -73,9 +86,20 @@ func main() {
 			fmt.Println(rep.String())
 		}
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "c3dcheck: interrupted")
+		os.Exit(1)
+	}
 	if !result.Passed() {
 		fmt.Fprintln(os.Stderr, "c3dcheck: FAILED")
 		os.Exit(1)
 	}
 	fmt.Println("all invariants hold in every reachable state")
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3dcheck:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,76 @@
+// Command c3dd is the C3D job-service daemon: an HTTP/JSON front end over
+// pkg/c3d that accepts simulation, experiment and verification jobs, bounds
+// their concurrency, streams progress, and serves results that are
+// byte-identical to the CLIs' output for the same parameters.
+//
+// Usage:
+//
+//	c3dd                              # listen on :8080
+//	c3dd -addr 127.0.0.1:9090 -jobs 2
+//
+// API walkthrough (see the README "SDK & service" section for more):
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/jobs -d '{
+//	  "kind": "experiment",
+//	  "experiments": ["table1"],
+//	  "params": {"quick": true, "workloads": ["streamcluster"], "accesses": 2000}
+//	}'
+//	curl localhost:8080/v1/jobs/job-000001          # poll status
+//	curl -N localhost:8080/v1/jobs/job-000001/events # follow progress (JSON lines)
+//	curl localhost:8080/v1/jobs/job-000001/result    # == c3dexp -json bytes
+//	curl -X DELETE localhost:8080/v1/jobs/job-000001 # cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"c3d/internal/server"
+	"c3d/pkg/c3d"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		jobs    = flag.Int("jobs", 1, "jobs running concurrently (each job parallelises internally; see params.parallel)")
+		queue   = flag.Int("queue", 256, "queued-job bound; submissions beyond it get 503")
+		retain  = flag.Int("retain", 1024, "finished jobs kept for result fetches before eviction")
+		version = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("c3dd", c3d.Version())
+		return
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent: *jobs,
+		QueueDepth:    *queue,
+		MaxJobs:       *retain,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "c3dd %s listening on %s (max %d concurrent jobs)\n", c3d.Version(), *addr, *jobs)
+	err := httpSrv.ListenAndServe()
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "c3dd:", err)
+		os.Exit(1)
+	}
+}

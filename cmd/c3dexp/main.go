@@ -1,5 +1,7 @@
 // Command c3dexp runs the paper-reproduction experiments: every table and
-// figure of the C3D evaluation, by id or all of them.
+// figure of the C3D evaluation, by id or all of them. It is a thin client of
+// pkg/c3d — the same Session API the c3dd daemon serves, so `c3dexp -json`
+// output is byte-identical to the daemon's result endpoint for the same job.
 //
 // Usage:
 //
@@ -17,23 +19,16 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
-	"c3d/internal/experiments"
+	"c3d/pkg/c3d"
 )
-
-// jsonResult is the machine-readable record emitted per experiment.
-type jsonResult struct {
-	ID          string      `json:"id"`
-	Paper       string      `json:"paper"`
-	Description string      `json:"description"`
-	Table       interface{} `json:"table"`
-}
 
 func main() {
 	var (
@@ -51,12 +46,17 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit a JSON array of results instead of text tables")
 		asCSV     = flag.Bool("csv", false, "emit each result table as CSV instead of text")
 		verbose   = flag.Bool("v", false, "print progress for every completed simulation")
+		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("c3dexp", c3d.Version())
+		return
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
-		for _, e := range experiments.All() {
+		for _, e := range c3d.Experiments() {
 			fmt.Printf("  %-8s %-9s %s\n", e.ID, e.Paper, e.Description)
 		}
 		return
@@ -76,72 +76,65 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.DefaultConfig()
-	if *quick {
-		cfg = experiments.QuickConfig()
-	}
-	if *threads > 0 {
-		cfg.Threads = *threads
-	}
-	if *accesses > 0 {
-		cfg.AccessesPerThread = *accesses
-	}
-	if *scale > 0 {
-		cfg.Scale = *scale
-	}
-	if *sockets > 0 {
-		cfg.Sockets = *sockets
+	params := c3d.Params{
+		Quick:       *quick,
+		Sockets:     *sockets,
+		Threads:     *threads,
+		Accesses:    *accesses,
+		Scale:       *scale,
+		Parallelism: *parallel,
+		Stream:      stream,
+		Seed:        *seed,
 	}
 	if *workloads != "" {
-		cfg.Workloads = strings.Split(*workloads, ",")
+		params.Workloads = strings.Split(*workloads, ",")
 	}
-	cfg.Parallelism = *parallel
-	cfg.Streaming = *stream
-	cfg.Seed = *seed
+	var extra []c3d.Option
 	if *verbose {
-		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		extra = append(extra, c3d.WithProgress(func(e c3d.Event) {
+			fmt.Fprintln(os.Stderr, e)
+		}))
 	}
+	sess, err := params.Session(extra...)
+	exitOn(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = experiments.IDs()
+		ids = c3d.ExperimentIDs()
 	}
-	var jsonOut []jsonResult
+	var results []c3d.ExperimentResult
 	for _, id := range ids {
-		entry, err := experiments.Lookup(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "c3dexp:", err)
-			os.Exit(2)
-		}
 		start := time.Now()
-		result, err := entry.Run(cfg)
+		result, err := sess.Experiment(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "c3dexp: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		switch {
 		case *asJSON:
-			jsonOut = append(jsonOut, jsonResult{
-				ID: entry.ID, Paper: entry.Paper, Description: entry.Description,
-				Table: result.Table(),
-			})
+			results = append(results, *result)
 		case *asCSV:
-			if err := result.Table().WriteCSV(os.Stdout); err != nil {
+			if err := result.Table.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "c3dexp: %s: %v\n", id, err)
 				os.Exit(1)
 			}
 		default:
-			fmt.Printf("== %s (%s): %s ==\n", entry.ID, entry.Paper, entry.Description)
-			fmt.Print(result.Table().String())
+			fmt.Printf("== %s (%s): %s ==\n", result.ID, result.Paper, result.Description)
+			fmt.Print(result.Table.String())
 			fmt.Printf("-- completed in %v --\n\n", time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "c3dexp:", err)
-			os.Exit(1)
-		}
+		exitOn(c3d.WriteResultsJSON(os.Stdout, results))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3dexp:", err)
+		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 // Command c3dsim runs a single simulation: one workload on one machine
 // configuration under one coherence design, and prints the detailed
-// statistics the experiments aggregate.
+// statistics the experiments aggregate. It is a thin client of pkg/c3d — the
+// same Session API the c3dd daemon serves.
 //
 // Usage:
 //
@@ -9,14 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"c3d/internal/machine"
-	"c3d/internal/numa"
-	"c3d/internal/workload"
+	"c3d/pkg/c3d"
 )
 
 func main() {
@@ -24,79 +25,61 @@ func main() {
 		workloadName = flag.String("workload", "streamcluster", "workload name (see c3dtrace -list)")
 		designName   = flag.String("design", "c3d", "coherence design: baseline, snoopy, full-dir, c3d, c3d-full-dir, shared")
 		sockets      = flag.Int("sockets", 4, "number of sockets (2 or 4)")
-		threads      = flag.Int("threads", 0, "workload threads (default: the workload's native count)")
+		threads      = flag.Int("threads", 0, "workload threads (default: the workload's native count; clamped to the machine's cores)")
 		accesses     = flag.Int("accesses", 0, "accesses per thread (default: the workload's native count)")
-		scale        = flag.Int("scale", workload.DefaultScale, "capacity/footprint scale factor")
+		scale        = flag.Int("scale", 0, "capacity/footprint scale factor (default 64)")
 		policyName   = flag.String("policy", "", "NUMA placement policy: INT, FT1 or FT2 (default: the workload's preferred policy)")
 		warmup       = flag.Float64("warmup", 0.25, "fraction of each thread's stream used as cache warm-up")
 		filter       = flag.Bool("broadcast-filter", false, "enable the §IV-D private-page broadcast filter (C3D only)")
 		stream       = flag.Bool("stream", true, "generate the access streams incrementally: memory stays bounded at any -accesses (long-run mode); results are bit-identical to -stream=false")
+		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("c3dsim", c3d.Version())
+		return
+	}
 
-	spec, err := workload.Get(*workloadName)
+	sess, err := c3d.Params{
+		Design:          *designName,
+		Policy:          *policyName,
+		Sockets:         *sockets,
+		Threads:         *threads,
+		Accesses:        *accesses,
+		Scale:           *scale,
+		Warmup:          warmup,
+		Stream:          stream,
+		BroadcastFilter: *filter,
+	}.Session()
 	exitOn(err)
-	design, err := machine.ParseDesign(*designName)
-	exitOn(err)
-	policy := spec.PreferredPolicy
-	if *policyName != "" {
-		policy, err = numa.ParsePolicy(*policyName)
-		exitOn(err)
-	}
 
-	cfg := machine.DefaultConfig(*sockets, design)
-	cfg.Scale = *scale
-	cfg.MemPolicy = policy
-	cfg.EnableBroadcastFilter = *filter
-	threadCount := spec.DefaultThreads
-	if *threads > 0 {
-		threadCount = *threads
-	}
-	if threadCount > cfg.Cores() {
-		threadCount = cfg.Cores()
-	}
+	// Ctrl-C cancels the run instead of killing the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	genOpts := workload.Options{
-		Threads:           threadCount,
-		Scale:             *scale,
-		AccessesPerThread: *accesses,
-	}
-	m := machine.New(cfg)
-	var (
-		res   machine.RunResult
-		start time.Time
-	)
+	mode := "generating"
 	if *stream {
-		// Streaming long-run mode: records are generated on demand and never
-		// materialised, so -accesses can be paper-scale (billions) without
-		// the trace dictating resident memory. Skipping the stats pre-pass
-		// also avoids walking the streams a third time.
-		src, err := workload.NewSource(spec, genOpts)
-		exitOn(err)
-		fmt.Printf("streaming %s (threads=%d scale=%d, %d accesses/thread)...\n",
-			spec.Name, src.Threads(), *scale, src.ThreadLen(0))
-		start = time.Now()
-		res, err = m.RunSource(src, machine.RunOptions{WarmupFraction: *warmup})
-		exitOn(err)
-	} else {
-		fmt.Printf("generating %s (threads=%d scale=%d)...\n", spec.Name, threadCount, *scale)
-		tr, err := workload.Generate(spec, genOpts)
-		exitOn(err)
-		ts := tr.ComputeStats()
-		fmt.Printf("trace: %d accesses, %.1f%% reads, footprint %.1f MiB\n",
-			ts.Accesses, ts.ReadFraction()*100, float64(ts.FootprintBytes())/(1<<20))
-		start = time.Now()
-		res, err = m.Run(tr, machine.RunOptions{WarmupFraction: *warmup})
-		exitOn(err)
+		mode = "streaming"
+	}
+	fmt.Printf("%s %s (design=%s sockets=%d)...\n", mode, *workloadName, *designName, *sockets)
+	start := time.Now()
+	res, err := sess.Simulate(ctx, *workloadName)
+	exitOn(err)
+	if res.ThreadsClamped {
+		// Surface the clamp: the run used fewer threads than asked for, and
+		// pretending otherwise would misrepresent every per-thread statistic.
+		fmt.Fprintf(os.Stderr, "c3dsim: note: -threads %d exceeds the machine's %d cores; ran with %d threads\n",
+			res.RequestedThreads, res.Cores, res.EffectiveThreads)
 	}
 
 	c := res.Counters
 	fmt.Printf("\n%s on %d-socket %s (policy %v), simulated in %v\n",
-		spec.Name, *sockets, design, policy, time.Since(start).Round(time.Millisecond))
+		res.Workload, res.Sockets, res.Design, res.Policy, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  threads                %d\n", res.EffectiveThreads)
 	fmt.Printf("  cycles                 %d\n", res.Cycles)
 	fmt.Printf("  aggregate IPC          %.3f\n", res.IPC())
 	fmt.Printf("  LLC miss rate          %.1f%%\n", c.LLCMissRate()*100)
-	if design.HasDRAMCache() {
+	if res.Design.HasDRAMCache() {
 		fmt.Printf("  DRAM cache hit rate    %.1f%%\n", res.DRAMCacheHitRate*100)
 	}
 	fmt.Printf("  memory reads / writes  %d / %d\n", c.MemReads, c.MemWrites)

@@ -1,7 +1,7 @@
 // Command c3dtrace generates, inspects and converts the synthetic workload
-// traces that drive the simulator. Everything flows through the streaming
-// trace.Source interface, so generation, summarising and (v2) conversion run
-// at bounded memory however long the trace is.
+// traces that drive the simulator. Everything flows through the SDK's
+// streaming TraceSource interface, so generation, summarising and (v2)
+// conversion run at bounded memory however long the trace is.
 //
 // Usage:
 //
@@ -14,14 +14,13 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/signal"
 
-	"c3d/internal/trace"
-	"c3d/internal/workload"
+	"c3d/pkg/c3d"
 )
 
 func main() {
@@ -33,11 +32,16 @@ func main() {
 		format       = flag.String("format", "v2", "binary format for -out: v2 (chunked, streamable) or v1 (legacy flat)")
 		threads      = flag.Int("threads", 0, "threads (default: the workload's native count)")
 		accesses     = flag.Int("accesses", 0, "accesses per thread (default: the workload's native count)")
-		scale        = flag.Int("scale", workload.DefaultScale, "footprint scale factor")
+		scale        = flag.Int("scale", 0, "footprint scale factor (default 64)")
 		summary      = flag.Bool("summary", true, "print a summary of the trace (suppressed when -out is given unless set explicitly: the stats pass walks the whole stream a second time)")
 		dump         = flag.Int("dump", 0, "print the first N records of thread 0")
+		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("c3dtrace", c3d.Version())
+		return
+	}
 	// setFlags answers "was this flag given explicitly" for the
 	// conflicting-flag checks below.
 	setFlags := map[string]bool{}
@@ -45,19 +49,17 @@ func main() {
 
 	if *list {
 		fmt.Println("registered workloads:")
-		for _, name := range workload.AllNames() {
-			spec := workload.MustGet(name)
+		for _, w := range c3d.Workloads() {
 			fmt.Printf("  %-15s %-16s shared %5d MiB, %2d threads, read %.0f%%, comm %.0f%%\n",
-				name, spec.Class, spec.SharedBytes/(1<<20), spec.DefaultThreads,
-				spec.ReadFraction*100, spec.CommFraction*100)
+				w.Name, w.Class, w.SharedBytes/(1<<20), w.DefaultThreads,
+				w.ReadFraction*100, w.CommFraction*100)
 		}
 		return
 	}
 
-	switch *format {
-	case "v1", "v2":
-	default:
-		fmt.Fprintf(os.Stderr, "c3dtrace: unknown -format %q (want v1 or v2)\n", *format)
+	traceFormat, err := c3d.ParseTraceFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3dtrace:", err)
 		os.Exit(2)
 	}
 	if *outPath == "" && setFlags["format"] {
@@ -66,7 +68,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	var src trace.Source
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var src c3d.TraceSource
 	switch {
 	case *inPath != "":
 		// -in replays a file: the generation flags would be silently ignored,
@@ -81,33 +86,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "c3dtrace: -in replays an existing trace; the generation flags %v have no effect on it (drop them, or drop -in to generate)\n", conflicting)
 			os.Exit(2)
 		}
-		f, err := os.Open(*inPath)
+		tf, err := c3d.OpenTrace(*inPath)
 		exitOn(err)
-		defer f.Close()
-		fi, err := f.Stat()
-		exitOn(err)
-		fsrc, err := trace.OpenSource(f, fi.Size())
-		switch {
-		case errors.Is(err, trace.ErrLegacyVersion):
-			// v1 has no chunk framing: decode it whole and adapt.
-			_, err = f.Seek(0, io.SeekStart)
-			exitOn(err)
-			tr, err := trace.Decode(f)
-			exitOn(err)
-			src = tr.Source()
-		case err != nil:
-			exitOn(err)
-		default:
-			src = fsrc
-		}
+		defer tf.Close()
+		src = tf
 	case *workloadName != "":
-		spec, err := workload.Get(*workloadName)
+		sess, err := c3d.New(
+			c3d.WithThreads(*threads),
+			c3d.WithAccesses(*accesses),
+			c3d.WithScale(*scale),
+		)
 		exitOn(err)
-		src, err = workload.NewSource(spec, workload.Options{
-			Threads:           *threads,
-			Scale:             *scale,
-			AccessesPerThread: *accesses,
-		})
+		src, err = sess.TraceSource(*workloadName)
 		exitOn(err)
 	default:
 		fmt.Fprintln(os.Stderr, "c3dtrace: provide -workload or -in (or -list)")
@@ -119,7 +109,7 @@ func main() {
 	// opts back in.
 	doSummary := *summary && (*outPath == "" || setFlags["summary"])
 	if doSummary {
-		s, err := trace.ComputeStatsSource(src)
+		s, err := c3d.ComputeTraceStats(ctx, src)
 		exitOn(err)
 		fmt.Printf("trace %q\n", s.Name)
 		fmt.Printf("  threads            %d\n", s.Threads)
@@ -131,7 +121,7 @@ func main() {
 	}
 	if *dump > 0 && src.Threads() > 0 {
 		rr := src.OpenThread(0)
-		recs := make([]trace.Record, 0, *dump)
+		recs := make([]c3d.TraceRecord, 0, *dump)
 		for len(recs) < *dump {
 			rec, ok := rr.Next()
 			if !ok {
@@ -148,13 +138,7 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		exitOn(err)
-		if *format == "v2" {
-			exitOn(trace.EncodeSource(f, src))
-		} else {
-			tr, err := trace.Materialize(src)
-			exitOn(err)
-			exitOn(tr.Encode(f))
-		}
+		exitOn(c3d.TraceEncode(ctx, f, src, traceFormat))
 		exitOn(f.Close())
 		fmt.Printf("wrote %s\n", *outPath)
 	}

@@ -16,9 +16,13 @@
 //
 //	go test -bench=. -benchmem .
 //
-// The public entry points live under internal/ because this is a research
-// artefact rather than a semver-stable library; the packages a user of the
-// simulator touches first are internal/machine (build and run a machine),
-// internal/workload (generate traces), internal/experiments (reproduce the
-// paper) and internal/core (the C3D protocol itself).
+// The public entry point is pkg/c3d: a Session facade with functional
+// options exposing simulations, the paper's experiment campaigns, protocol
+// verification and the trace codec behind one cancellable, error-returning
+// API. The CLIs (cmd/c3dsim, cmd/c3dexp, cmd/c3dcheck, cmd/c3dtrace) and the
+// cmd/c3dd job-service daemon are thin clients of that package. The
+// simulator's machinery lives under internal/: internal/machine (the
+// assembled machine), internal/workload (trace generators),
+// internal/experiments (the paper's tables and figures) and internal/core
+// (the C3D protocol itself).
 package c3d

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -42,7 +43,7 @@ func main() {
 		cfg.CoresPerSocket = opts.Threads / cfg.Sockets
 		cfg.MemPolicy = spec.PreferredPolicy
 		m := machine.New(cfg)
-		res, err := m.Run(trace, machine.DefaultRunOptions())
+		res, err := m.Run(context.Background(), trace, machine.DefaultRunOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,7 +40,7 @@ func main() {
 			mutate(&cfg)
 		}
 		m := machine.New(cfg)
-		res, err := m.Run(trace, machine.DefaultRunOptions())
+		res, err := m.Run(context.Background(), trace, machine.DefaultRunOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	}
 	for _, cfg := range configs {
 		model := core.NewProtocolModel(cfg)
-		report := mc.Run(model, mc.Options{})
+		report := mc.Run(context.Background(), model, mc.Options{})
 		fmt.Println(report)
 		if !report.Passed() {
 			log.Fatal("verification failed")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"c3d/internal/machine"
@@ -54,7 +55,7 @@ func (r PrivateVsSharedResult) Table() *stats.Table {
 
 // PrivateVsShared runs the §II-C organisation comparison: a shared
 // (memory-side) DRAM cache versus C3D's private organisation.
-func PrivateVsShared(cfg Config) (PrivateVsSharedResult, error) {
+func PrivateVsShared(ctx context.Context, cfg Config) (PrivateVsSharedResult, error) {
 	cfg = cfg.withDefaults()
 	designs := []machine.Design{machine.Baseline, machine.SharedDRAM, machine.C3D}
 	var jobs []job
@@ -68,7 +69,7 @@ func PrivateVsShared(cfg Config) (PrivateVsSharedResult, error) {
 			})
 		}
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return PrivateVsSharedResult{}, err
 	}
@@ -129,7 +130,7 @@ func (r AblationResult) Table() *stats.Table {
 }
 
 // Ablation runs the design-choice ablation.
-func Ablation(cfg Config) (AblationResult, error) {
+func Ablation(ctx context.Context, cfg Config) (AblationResult, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
@@ -150,7 +151,7 @@ func Ablation(cfg Config) (AblationResult, error) {
 			},
 		})
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return AblationResult{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"c3d/internal/machine"
@@ -57,7 +58,7 @@ func (r BroadcastFilterResult) Table() *stats.Table {
 
 // Sec6C runs the broadcast-filter study over the configured workloads plus
 // mcf.
-func Sec6C(cfg Config) (BroadcastFilterResult, error) {
+func Sec6C(ctx context.Context, cfg Config) (BroadcastFilterResult, error) {
 	cfg = cfg.withDefaults()
 	names := append(append([]string{}, cfg.workloadNames()...), "mcf")
 	var jobs []job
@@ -78,7 +79,7 @@ func Sec6C(cfg Config) (BroadcastFilterResult, error) {
 				},
 			})
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return BroadcastFilterResult{}, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"runtime"
 	"testing"
@@ -17,7 +18,7 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 		cfg := testConfig()
 		cfg.AccessesPerThread = 2000
 		cfg.Parallelism = parallelism
-		res, err := Fig6(cfg)
+		res, err := Fig6(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("Fig6 at parallelism %d: %v", parallelism, err)
 		}
@@ -43,7 +44,7 @@ func TestSeedChangesTracesButStaysComparable(t *testing.T) {
 		cfg.AccessesPerThread = 2000
 		cfg.Workloads = []string{"streamcluster"}
 		cfg.Seed = seed
-		res, err := TableI(cfg)
+		res, err := TableI(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestStreamingMatchesMaterialised(t *testing.T) {
 		cfg.AccessesPerThread = 2000
 		cfg.Workloads = []string{"streamcluster", "nutch"}
 		cfg.Streaming = streaming
-		res, err := Fig6(cfg)
+		res, err := Fig6(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("Fig6 (streaming=%v): %v", streaming, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"c3d/internal/machine"
@@ -52,7 +53,7 @@ func (r SpeedupResult) Table() *stats.Table {
 // designComparison runs every evaluated design plus the baseline on every
 // workload for the given socket count, returning the raw results keyed by
 // (workload, design).
-func designComparison(cfg Config, sockets int, tag string, mutate func(*machine.Config)) (map[string]machine.RunResult, error) {
+func designComparison(ctx context.Context, cfg Config, sockets int, tag string, mutate func(*machine.Config)) (map[string]machine.RunResult, error) {
 	cfg = cfg.withDefaults()
 	designs := append([]machine.Design{machine.Baseline}, evaluatedDesigns...)
 	var jobs []job
@@ -67,7 +68,7 @@ func designComparison(cfg Config, sockets int, tag string, mutate func(*machine.
 			})
 		}
 	}
-	return cfg.runJobs(jobs)
+	return cfg.runJobs(ctx, jobs)
 }
 
 func speedupsFrom(cfg Config, tag string, results map[string]machine.RunResult, sockets int) SpeedupResult {
@@ -94,9 +95,9 @@ func speedupsFrom(cfg Config, tag string, results map[string]machine.RunResult, 
 }
 
 // Fig6 runs the 4-socket (8 cores/socket) performance comparison.
-func Fig6(cfg Config) (SpeedupResult, error) {
+func Fig6(ctx context.Context, cfg Config) (SpeedupResult, error) {
 	cfg = cfg.withDefaults()
-	results, err := designComparison(cfg, 4, "fig6", nil)
+	results, err := designComparison(ctx, cfg, 4, "fig6", nil)
 	if err != nil {
 		return SpeedupResult{}, err
 	}
@@ -104,9 +105,9 @@ func Fig6(cfg Config) (SpeedupResult, error) {
 }
 
 // Fig7 runs the 2-socket (16 cores/socket) performance comparison.
-func Fig7(cfg Config) (SpeedupResult, error) {
+func Fig7(ctx context.Context, cfg Config) (SpeedupResult, error) {
 	cfg = cfg.withDefaults()
-	results, err := designComparison(cfg, 2, "fig7", nil)
+	results, err := designComparison(ctx, cfg, 2, "fig7", nil)
 	if err != nil {
 		return SpeedupResult{}, err
 	}
@@ -148,7 +149,7 @@ func (r Fig8Result) Table() *stats.Table {
 }
 
 // Fig8 runs the memory-traffic study (4-socket, C3D versus baseline).
-func Fig8(cfg Config) (Fig8Result, error) {
+func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
@@ -161,7 +162,7 @@ func Fig8(cfg Config) (Fig8Result, error) {
 			})
 		}
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return Fig8Result{}, err
 	}
@@ -223,9 +224,9 @@ func (r Fig9Result) Table() *stats.Table {
 
 // Fig9 runs the inter-socket traffic study. It reuses the same runs as
 // Fig. 6 (the paper derives both from one experiment campaign).
-func Fig9(cfg Config) (Fig9Result, error) {
+func Fig9(ctx context.Context, cfg Config) (Fig9Result, error) {
 	cfg = cfg.withDefaults()
-	results, err := designComparison(cfg, 4, "fig9", nil)
+	results, err := designComparison(ctx, cfg, 4, "fig9", nil)
 	if err != nil {
 		return Fig9Result{}, err
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies a progress Event.
+type EventKind int
+
+const (
+	// EventSimulationDone reports one completed simulation of a sweep.
+	EventSimulationDone EventKind = iota
+	// EventSimulationFailed reports one failed simulation of a sweep.
+	EventSimulationFailed
+	// EventStatesExplored reports model-checker progress (states explored so
+	// far in one model's search).
+	EventStatesExplored
+)
+
+var eventKindNames = map[EventKind]string{
+	EventSimulationDone:   "simulation_done",
+	EventSimulationFailed: "simulation_failed",
+	EventStatesExplored:   "states_explored",
+}
+
+// String returns the kind's stable wire name (used by the c3dd progress
+// stream).
+func (k EventKind) String() string {
+	if n, ok := eventKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one structured progress notification from an experiment run. It
+// replaces the former free-text Progress func(string) callback: callers that
+// want the old lines call String, everything else (the c3dd progress stream,
+// SDK consumers) reads the fields.
+type Event struct {
+	// Kind classifies the event; only the fields documented for each kind
+	// are meaningful.
+	Kind EventKind
+	// Job is the sweep job key (simulation events) or the model name
+	// (model-checker events).
+	Job string
+	// Done and Total report sweep completion counts (simulation events).
+	Done, Total int
+	// Elapsed is the completed simulation's wall-clock duration.
+	Elapsed time.Duration
+	// States is the number of states explored so far (EventStatesExplored).
+	States int
+	// Err is the failure (EventSimulationFailed).
+	Err error
+}
+
+// String renders the event as the human-readable progress line the CLIs
+// print with -v.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventSimulationFailed:
+		return fmt.Sprintf("fail [%d/%d] %v", e.Done, e.Total, e.Err)
+	case EventStatesExplored:
+		if e.Job != "" {
+			return fmt.Sprintf("  ... %s: %d states explored", e.Job, e.States)
+		}
+		return fmt.Sprintf("  ... %d states explored", e.States)
+	default:
+		return fmt.Sprintf("done [%d/%d] %-40s %v", e.Done, e.Total, e.Job, e.Elapsed.Round(time.Millisecond))
+	}
+}

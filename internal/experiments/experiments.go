@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -58,8 +59,9 @@ type Config struct {
 	// the same seed always regenerates the same traces, and every design
 	// sees the same trace for a given workload regardless of seed.
 	Seed int64
-	// Progress, if non-nil, receives a line per completed simulation.
-	Progress func(string)
+	// Progress, if non-nil, receives a structured event per completed
+	// simulation (Event.String reproduces the old progress lines).
+	Progress func(Event)
 }
 
 // DefaultConfig reproduces the paper's setup: 32 threads, the full workload
@@ -130,31 +132,94 @@ func (c Config) machineConfig(sockets int, design machine.Design, policy numa.Po
 // traceCache memoises generated traces: several experiments run the same
 // workload through many machine configurations, and generation is a
 // measurable fraction of a quick run.
+//
+// The cache is bounded by LRU eviction: when it is full, the least recently
+// used trace is dropped. (It used to discard the whole map at the bound,
+// which threw away the hot traces mid-campaign and forced every design after
+// the flush to regenerate its workload.)
 type traceCache struct {
 	mu     sync.Mutex
 	traces map[string]*trace.Trace
+	// order holds the cached keys from least to most recently used.
+	order []string
+	max   int
+	// inflight dedupes concurrent generations of the same key
+	// (singleflight): sweep workers claim jobs workload-major, so at every
+	// workload boundary several workers miss the cache for the same trace
+	// at once and must share one generation, not race P of them.
+	inflight map[string]*traceCall
 }
 
-var sharedTraces = &traceCache{traces: make(map[string]*trace.Trace)}
+// traceCall is one in-flight generation; done is closed once tr/err are set.
+type traceCall struct {
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
+}
+
+// traceCacheEntries bounds the shared cache so long experiment campaigns do
+// not hold every trace alive at once.
+const traceCacheEntries = 24
+
+var sharedTraces = newTraceCache(traceCacheEntries)
+
+func newTraceCache(max int) *traceCache {
+	return &traceCache{
+		traces:   make(map[string]*trace.Trace),
+		inflight: make(map[string]*traceCall),
+		max:      max,
+	}
+}
 
 func (tc *traceCache) get(spec workload.Spec, opts workload.Options) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s/%d/%d/%d/%d", spec.Name, opts.Threads, opts.Scale, opts.AccessesPerThread, opts.SeedOffset)
 	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	if tr, ok := tc.traces[key]; ok {
+		tc.touch(key)
+		tc.mu.Unlock()
 		return tr, nil
 	}
+	if call, ok := tc.inflight[key]; ok {
+		// Another worker is generating this trace: wait for its result
+		// instead of duplicating the work.
+		tc.mu.Unlock()
+		<-call.done
+		return call.tr, call.err
+	}
+	call := &traceCall{done: make(chan struct{})}
+	tc.inflight[key] = call
+	tc.mu.Unlock()
+
+	// Generate outside the lock: generations of *different* keys must not
+	// serialise behind one another.
 	tr, err := workload.Generate(spec, opts)
-	if err != nil {
-		return nil, err
+
+	tc.mu.Lock()
+	delete(tc.inflight, key)
+	if err == nil {
+		for len(tc.traces) >= tc.max && len(tc.order) > 0 {
+			oldest := tc.order[0]
+			tc.order = tc.order[1:]
+			delete(tc.traces, oldest)
+		}
+		tc.traces[key] = tr
+		tc.order = append(tc.order, key)
 	}
-	// Bound the cache so long experiment campaigns do not hold every trace
-	// alive at once.
-	if len(tc.traces) > 24 {
-		tc.traces = make(map[string]*trace.Trace)
+	tc.mu.Unlock()
+	call.tr, call.err = tr, err
+	close(call.done)
+	return tr, err
+}
+
+// touch moves key to the most-recently-used end. Callers hold tc.mu.
+func (tc *traceCache) touch(key string) {
+	for i, k := range tc.order {
+		if k == key {
+			copy(tc.order[i:], tc.order[i+1:])
+			tc.order[len(tc.order)-1] = key
+			return
+		}
 	}
-	tc.traces[key] = tr
-	return tr, nil
 }
 
 // job is one simulation: a workload run on one machine configuration.
@@ -169,8 +234,10 @@ type job struct {
 
 // runJobs executes the jobs on the sweep runner and returns results keyed by
 // job key. Ordering, seeding and error selection are deterministic: the same
-// jobs produce identical results at any Parallelism.
-func (c Config) runJobs(jobs []job) (map[string]machine.RunResult, error) {
+// jobs produce identical results at any Parallelism. Cancelling the context
+// aborts the sweep early (in-flight simulations stop between accesses) and
+// surfaces ctx's error.
+func (c Config) runJobs(ctx context.Context, jobs []job) (map[string]machine.RunResult, error) {
 	c = c.withDefaults()
 	sjobs := make([]sweep.Job[machine.RunResult], len(jobs))
 	for i, j := range jobs {
@@ -183,7 +250,9 @@ func (c Config) runJobs(jobs []job) (map[string]machine.RunResult, error) {
 		sjobs[i] = sweep.Job[machine.RunResult]{
 			Key:  j.key,
 			Seed: &seed,
-			Run:  func(seed int64) (machine.RunResult, error) { return c.runOne(j, seed) },
+			Run: func(ctx context.Context, seed int64) (machine.RunResult, error) {
+				return c.runOne(ctx, j, seed)
+			},
 		}
 	}
 	var progress func(sweep.Progress)
@@ -191,15 +260,15 @@ func (c Config) runJobs(jobs []job) (map[string]machine.RunResult, error) {
 		progress = func(p sweep.Progress) {
 			if p.Err != nil {
 				// p.Err already names the job key (sweep wraps it).
-				c.Progress(fmt.Sprintf("fail [%d/%d] %v", p.Done, p.Total, p.Err))
+				c.Progress(Event{Kind: EventSimulationFailed, Job: p.Key, Done: p.Done, Total: p.Total, Elapsed: p.Elapsed, Err: p.Err})
 				return
 			}
-			c.Progress(fmt.Sprintf("done [%d/%d] %-40s %v", p.Done, p.Total, p.Key, p.Elapsed.Round(1e6)))
+			c.Progress(Event{Kind: EventSimulationDone, Job: p.Key, Done: p.Done, Total: p.Total, Elapsed: p.Elapsed})
 		}
 	}
 	// BaseSeed is deliberately not set: every job carries an explicit seed
 	// (seedOff + c.Seed above), so sweep's key-derived seeding never applies.
-	results, err := sweep.Run(sjobs, sweep.Options{
+	results, err := sweep.Run(ctx, sjobs, sweep.Options{
 		Parallelism: c.Parallelism,
 		Progress:    progress,
 	})
@@ -216,7 +285,7 @@ func (c Config) runJobs(jobs []job) (map[string]machine.RunResult, error) {
 	return out, nil
 }
 
-func (c Config) runOne(j job, seed int64) (machine.RunResult, error) {
+func (c Config) runOne(ctx context.Context, j job, seed int64) (machine.RunResult, error) {
 	accesses := c.AccessesPerThread
 	if j.accesses > 0 {
 		accesses = j.accesses
@@ -238,13 +307,13 @@ func (c Config) runOne(j job, seed int64) (machine.RunResult, error) {
 		if err != nil {
 			return machine.RunResult{}, err
 		}
-		return m.RunSource(src, machine.RunOptions{WarmupFraction: c.WarmupFraction})
+		return m.RunSource(ctx, src, machine.RunOptions{WarmupFraction: c.WarmupFraction})
 	}
 	tr, err := sharedTraces.get(j.spec, opts)
 	if err != nil {
 		return machine.RunResult{}, err
 	}
-	return m.Run(tr, machine.RunOptions{WarmupFraction: c.WarmupFraction})
+	return m.Run(ctx, tr, machine.RunOptions{WarmupFraction: c.WarmupFraction})
 }
 
 // machinePools reuses machines across jobs that share a configuration:

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
 }
 
 func TestTableIRemoteFractions(t *testing.T) {
-	res, err := TableI(testConfig())
+	res, err := TableI(context.Background(), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestTableIRemoteFractions(t *testing.T) {
 }
 
 func TestFig2ShowsLatencyNotBandwidth(t *testing.T) {
-	res, err := Fig2(testConfig())
+	res, err := Fig2(context.Background(), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFig2ShowsLatencyNotBandwidth(t *testing.T) {
 }
 
 func TestFig3LargerLLCsCutMemoryAccesses(t *testing.T) {
-	res, err := Fig3(testConfig())
+	res, err := Fig3(context.Background(), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig3LargerLLCsCutMemoryAccesses(t *testing.T) {
 }
 
 func TestFig6C3DWinsOnAverage(t *testing.T) {
-	res, err := Fig6(testConfig())
+	res, err := Fig6(context.Background(), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFig6C3DWinsOnAverage(t *testing.T) {
 }
 
 func TestFig8ReadsFallWritesDoNot(t *testing.T) {
-	res, err := Fig8(testConfig())
+	res, err := Fig8(context.Background(), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFig8ReadsFallWritesDoNot(t *testing.T) {
 }
 
 func TestFig9C3DCutsTrafficAndStaysNearFullDir(t *testing.T) {
-	res, err := Fig9(testConfig())
+	res, err := Fig9(context.Background(), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestFig9C3DCutsTrafficAndStaysNearFullDir(t *testing.T) {
 func TestSec6CFilterRemovesAllMcfBroadcasts(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workloads = []string{"streamcluster"}
-	res, err := Sec6C(cfg)
+	res, err := Sec6C(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,10 @@ func TestSec6CFilterRemovesAllMcfBroadcasts(t *testing.T) {
 }
 
 func TestVerifyPasses(t *testing.T) {
-	res := Verify(VerifyConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1, IncludeFullDirVariant: true})
+	res, err := Verify(context.Background(), VerifyConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1, IncludeFullDirVariant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Passed() {
 		t.Fatalf("protocol verification failed:\n%s", res.Table())
 	}
@@ -223,7 +227,7 @@ func TestLatencySensitivityShapes(t *testing.T) {
 	}
 	cfg := testConfig()
 	cfg.Workloads = []string{"streamcluster"}
-	f10, err := Fig10(cfg)
+	f10, err := Fig10(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +239,7 @@ func TestLatencySensitivityShapes(t *testing.T) {
 	if f10.Speedup[30]["c3d"] < f10.Speedup[50]["c3d"] {
 		t.Error("a faster DRAM cache should not reduce C3D's speedup")
 	}
-	f11, err := Fig11(cfg)
+	f11, err := Fig11(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +256,7 @@ func TestPrivateVsSharedAndAblation(t *testing.T) {
 	}
 	cfg := testConfig()
 	cfg.Workloads = []string{"streamcluster"}
-	pvs, err := PrivateVsShared(cfg)
+	pvs, err := PrivateVsShared(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +265,7 @@ func TestPrivateVsSharedAndAblation(t *testing.T) {
 		t.Errorf("private caches should cut more inter-socket traffic than the shared organisation: %.3f vs %.3f",
 			row["c3d"], row["shared"])
 	}
-	abl, err := Ablation(cfg)
+	abl, err := Ablation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

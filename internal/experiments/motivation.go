@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"c3d/internal/machine"
@@ -34,7 +35,7 @@ func (r TableIResult) Table() *stats.Table {
 }
 
 // TableI runs the Table I characterisation.
-func TableI(cfg Config) (TableIResult, error) {
+func TableI(ctx context.Context, cfg Config) (TableIResult, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
@@ -46,7 +47,7 @@ func TableI(cfg Config) (TableIResult, error) {
 			mcfg: cfg.machineConfig(cfg.Sockets, machine.Baseline, spec.PreferredPolicy),
 		})
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return TableIResult{}, err
 	}
@@ -102,7 +103,7 @@ func (r Fig2Result) Table() *stats.Table {
 }
 
 // Fig2 runs the NUMA bottleneck analysis.
-func Fig2(cfg Config) (Fig2Result, error) {
+func Fig2(ctx context.Context, cfg Config) (Fig2Result, error) {
 	cfg = cfg.withDefaults()
 	mutations := map[string]func(*machine.Config){
 		"baseline":   nil,
@@ -126,7 +127,7 @@ func Fig2(cfg Config) (Fig2Result, error) {
 			})
 		}
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return Fig2Result{}, err
 	}
@@ -192,7 +193,7 @@ func (r Fig3Result) Table() *stats.Table {
 }
 
 // Fig3 runs the LLC capacity sweep.
-func Fig3(cfg Config) (Fig3Result, error) {
+func Fig3(ctx context.Context, cfg Config) (Fig3Result, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
@@ -209,7 +210,7 @@ func Fig3(cfg Config) (Fig3Result, error) {
 			})
 		}
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return Fig3Result{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,81 +23,83 @@ type Entry struct {
 	// Description is a one-line summary.
 	Description string
 	// Run executes the experiment.
-	Run func(Config) (Result, error)
+	Run func(context.Context, Config) (Result, error)
 }
 
 var registry = []Entry{
 	{
 		ID: "table1", Paper: "Table I",
 		Description: "fraction of memory accesses satisfied by remote memory (4-socket baseline)",
-		Run:         func(c Config) (Result, error) { r, err := TableI(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := TableI(ctx, c); return r, err },
 	},
 	{
 		ID: "fig2", Paper: "Fig. 2",
 		Description: "NUMA bottleneck analysis: idealised latency/bandwidth configurations",
-		Run:         func(c Config) (Result, error) { r, err := Fig2(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig2(ctx, c); return r, err },
 	},
 	{
 		ID: "fig3", Paper: "Fig. 3",
 		Description: "memory accesses versus LLC capacity, normalised to a 16MB LLC",
-		Run:         func(c Config) (Result, error) { r, err := Fig3(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig3(ctx, c); return r, err },
 	},
 	{
 		ID: "fig6", Paper: "Fig. 6",
 		Description: "4-socket performance comparison of the coherence designs",
-		Run:         func(c Config) (Result, error) { r, err := Fig6(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig6(ctx, c); return r, err },
 	},
 	{
 		ID: "fig7", Paper: "Fig. 7",
 		Description: "2-socket performance comparison of the coherence designs",
-		Run:         func(c Config) (Result, error) { r, err := Fig7(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig7(ctx, c); return r, err },
 	},
 	{
 		ID: "fig8", Paper: "Fig. 8",
 		Description: "C3D remote memory traffic normalised to the baseline",
-		Run:         func(c Config) (Result, error) { r, err := Fig8(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig8(ctx, c); return r, err },
 	},
 	{
 		ID: "fig9", Paper: "Fig. 9",
 		Description: "inter-socket traffic of each design normalised to the baseline",
-		Run:         func(c Config) (Result, error) { r, err := Fig9(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig9(ctx, c); return r, err },
 	},
 	{
 		ID: "fig10", Paper: "Fig. 10",
 		Description: "sensitivity to DRAM cache latency (30/40/50ns)",
-		Run:         func(c Config) (Result, error) { r, err := Fig10(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig10(ctx, c); return r, err },
 	},
 	{
 		ID: "fig11", Paper: "Fig. 11",
 		Description: "sensitivity to inter-socket latency (5/10/20/30ns)",
-		Run:         func(c Config) (Result, error) { r, err := Fig11(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Fig11(ctx, c); return r, err },
 	},
 	{
 		ID: "sec6c", Paper: "§VI-C",
 		Description: "broadcast reduction from the TLB private-page filter (suite + mcf)",
-		Run:         func(c Config) (Result, error) { r, err := Sec6C(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Sec6C(ctx, c); return r, err },
 	},
 	{
 		ID: "verify", Paper: "§IV-C",
 		Description: "model-check the C3D protocol (SWMR, data-value, deadlock freedom)",
-		Run: func(c Config) (Result, error) {
+		Run: func(ctx context.Context, c Config) (Result, error) {
 			vc := DefaultVerifyConfig()
+			vc.Parallelism = c.Parallelism
+			vc.Progress = c.Progress
 			if c.AccessesPerThread > 0 && c.AccessesPerThread < 50_000 {
 				// Quick configurations bound the larger search.
 				vc.MaxStates = 200_000
 			}
-			return Verify(vc), nil
+			return Verify(ctx, vc)
 		},
 	},
 	{
 		ID: "shared", Paper: "§II-C",
 		Description: "private versus shared DRAM cache organisation",
-		Run:         func(c Config) (Result, error) { r, err := PrivateVsShared(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := PrivateVsShared(ctx, c); return r, err },
 	},
 	{
 		ID: "ablation", Paper: "DESIGN.md",
 		Description: "isolate the clean property, the non-inclusive directory and the miss predictor",
-		Run:         func(c Config) (Result, error) { r, err := Ablation(c); return r, err },
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Ablation(ctx, c); return r, err },
 	},
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"c3d/internal/machine"
@@ -47,8 +48,8 @@ var Fig10Latencies = []float64{30, 40, 50}
 // Fig10 runs the DRAM cache latency sensitivity study: each design's
 // geometric-mean speedup over the baseline at 30, 40 and 50 ns DRAM cache
 // latency (memory stays at 50 ns).
-func Fig10(cfg Config) (SensitivityResult, error) {
-	return latencySensitivity(cfg, "DRAM cache latency", "fig10", Fig10Latencies,
+func Fig10(ctx context.Context, cfg Config) (SensitivityResult, error) {
+	return latencySensitivity(ctx, cfg, "DRAM cache latency", "fig10", Fig10Latencies,
 		func(m *machine.Config, v float64) { m.DRAMCacheLatencyNs = v })
 }
 
@@ -58,12 +59,12 @@ var Fig11Latencies = []float64{5, 10, 20, 30}
 // Fig11 runs the inter-socket latency sensitivity study. The baseline is
 // re-run at each latency (the link speed affects it too), exactly as in the
 // paper.
-func Fig11(cfg Config) (SensitivityResult, error) {
-	return latencySensitivity(cfg, "inter-socket latency", "fig11", Fig11Latencies,
+func Fig11(ctx context.Context, cfg Config) (SensitivityResult, error) {
+	return latencySensitivity(ctx, cfg, "inter-socket latency", "fig11", Fig11Latencies,
 		func(m *machine.Config, v float64) { m.HopLatencyNs = v })
 }
 
-func latencySensitivity(cfg Config, parameter, tag string, values []float64,
+func latencySensitivity(ctx context.Context, cfg Config, parameter, tag string, values []float64,
 	apply func(*machine.Config, float64)) (SensitivityResult, error) {
 	cfg = cfg.withDefaults()
 	designs := append([]machine.Design{machine.Baseline}, sensitivityDesigns...)
@@ -82,7 +83,7 @@ func latencySensitivity(cfg Config, parameter, tag string, values []float64,
 			}
 		}
 	}
-	results, err := cfg.runJobs(jobs)
+	results, err := cfg.runJobs(ctx, jobs)
 	if err != nil {
 		return SensitivityResult{}, err
 	}

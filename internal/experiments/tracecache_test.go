@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"c3d/internal/workload"
+)
+
+func cacheOpts(accesses int) workload.Options {
+	return workload.Options{Threads: 2, Scale: 512, AccessesPerThread: accesses}
+}
+
+// TestTraceCacheLRUEviction checks the cache keeps recently used traces and
+// evicts the least recently used one — not the whole map — when full.
+func TestTraceCacheLRUEviction(t *testing.T) {
+	tc := newTraceCache(3)
+	spec := workload.MustGet("streamcluster")
+
+	// Fill: a(100) b(101) c(102), LRU order a, b, c.
+	a, err := tc.get(spec, cacheOpts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.get(spec, cacheOpts(101)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tc.get(spec, cacheOpts(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch a: LRU order becomes b, c, a.
+	a2, err := tc.get(spec, cacheOpts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Fatal("hot trace was regenerated on a cache hit")
+	}
+
+	// Insert d: b (least recently used) must go; a, c, d stay.
+	if _, err := tc.get(spec, cacheOpts(103)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.traces) != 3 {
+		t.Fatalf("cache holds %d entries, want 3", len(tc.traces))
+	}
+	if a3, _ := tc.get(spec, cacheOpts(100)); a3 != a {
+		t.Error("recently used trace a was evicted")
+	}
+	if c2, _ := tc.get(spec, cacheOpts(102)); c2 != c {
+		t.Error("recently used trace c was evicted")
+	}
+
+	// b is gone: getting it again regenerates (a different pointer), and the
+	// cache stays at its bound.
+	b2, err := tc.get(spec, cacheOpts(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.traces) != 3 {
+		t.Fatalf("cache grew past its bound: %d entries", len(tc.traces))
+	}
+	if b3, _ := tc.get(spec, cacheOpts(101)); b3 != b2 {
+		t.Error("regenerated trace not cached")
+	}
+}
+
+// TestTraceCacheOrderConsistency checks the recency list and map never
+// diverge across a mixed hit/miss/evict sequence.
+func TestTraceCacheOrderConsistency(t *testing.T) {
+	tc := newTraceCache(2)
+	spec := workload.MustGet("streamcluster")
+	for _, accesses := range []int{100, 101, 100, 102, 103, 101, 100} {
+		if _, err := tc.get(spec, cacheOpts(accesses)); err != nil {
+			t.Fatal(err)
+		}
+		if len(tc.order) != len(tc.traces) {
+			t.Fatalf("order list (%d) and map (%d) diverged", len(tc.order), len(tc.traces))
+		}
+		for _, k := range tc.order {
+			if _, ok := tc.traces[k]; !ok {
+				t.Fatalf("order references evicted key %s", k)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"c3d/internal/core"
@@ -25,9 +26,10 @@ type VerifyConfig struct {
 	// Parallelism is the number of model-checker workers per configuration
 	// (<= 0 means GOMAXPROCS). Reports are bit-identical at any value.
 	Parallelism int
-	// Progress, if non-nil, receives the per-model state-count callbacks of
-	// the checker (mc.Options.Progress).
-	Progress func(states int)
+	// Progress, if non-nil, receives a structured EventStatesExplored event
+	// per checker progress tick (Event.Job names the model, Event.States the
+	// count).
+	Progress func(Event)
 }
 
 // DefaultVerifyConfig verifies 2-socket and 3-socket configurations with one
@@ -75,22 +77,37 @@ func (r VerifyResult) Table() *stats.Table {
 // Verify model-checks the C3D protocol the way §IV-C does: exhaustive
 // exploration of small configurations, checking SWMR, the data-value
 // invariant (per-location SC) and absence of deadlock.
-func Verify(cfg VerifyConfig) VerifyResult {
+//
+// Cancelling the context aborts the searches; the partial reports explored so
+// far are returned alongside ctx's error.
+func Verify(ctx context.Context, cfg VerifyConfig) (VerifyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Sockets <= 0 {
 		cfg = DefaultVerifyConfig()
 	}
 	var result VerifyResult
 	run := func(sockets int, trackDRAM bool) {
+		if ctx.Err() != nil {
+			return
+		}
 		model := core.NewProtocolModel(core.ProtocolConfig{
 			Sockets:        sockets,
 			LoadsPerCore:   cfg.LoadsPerCore,
 			StoresPerCore:  cfg.StoresPerCore,
 			TrackDRAMCache: trackDRAM,
 		})
-		result.Reports = append(result.Reports, mc.Run(model, mc.Options{
+		var progress func(int)
+		if cfg.Progress != nil {
+			progress = func(states int) {
+				cfg.Progress(Event{Kind: EventStatesExplored, Job: model.Name(), States: states})
+			}
+		}
+		result.Reports = append(result.Reports, mc.Run(ctx, model, mc.Options{
 			MaxStates:   cfg.MaxStates,
 			Parallelism: cfg.Parallelism,
-			Progress:    cfg.Progress,
+			Progress:    progress,
 		}))
 	}
 	// Always include the 2-socket configuration (fast, exhaustive), then the
@@ -105,5 +122,5 @@ func Verify(cfg VerifyConfig) VerifyResult {
 			run(cfg.Sockets, true)
 		}
 	}
-	return result
+	return result, ctx.Err()
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 )
@@ -13,13 +14,16 @@ import (
 // it across -parallel values.
 func TestVerifyDeterministicAcrossParallelism(t *testing.T) {
 	run := func(parallelism int) []byte {
-		res := Verify(VerifyConfig{
+		res, verr := Verify(context.Background(), VerifyConfig{
 			Sockets:               2,
 			LoadsPerCore:          1,
 			StoresPerCore:         1,
 			IncludeFullDirVariant: true,
 			Parallelism:           parallelism,
 		})
+		if verr != nil {
+			t.Fatal(verr)
+		}
 		if !res.Passed() {
 			t.Fatalf("verification failed at parallelism %d:\n%s", parallelism, res.Table())
 		}
@@ -40,13 +44,16 @@ func TestVerifyDeterministicAcrossParallelism(t *testing.T) {
 // (frontier trimming) through the experiment layer.
 func TestVerifyBoundedDeterministic(t *testing.T) {
 	run := func(parallelism int) []byte {
-		res := Verify(VerifyConfig{
+		res, verr := Verify(context.Background(), VerifyConfig{
 			Sockets:       2,
 			LoadsPerCore:  1,
 			StoresPerCore: 2,
 			MaxStates:     5000,
 			Parallelism:   parallelism,
 		})
+		if verr != nil {
+			t.Fatal(verr)
+		}
 		out, err := json.Marshal(res.Reports)
 		if err != nil {
 			t.Fatal(err)

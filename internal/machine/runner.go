@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"c3d/internal/addr"
@@ -25,8 +26,8 @@ func DefaultRunOptions() RunOptions { return RunOptions{WarmupFraction: 0.25} }
 // measured-region results. It is a thin adapter over RunSource: the
 // materialised trace is wrapped in its streaming view, so both paths share
 // one execution engine and produce bit-identical results.
-func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
-	return m.RunSource(tr.Source(), opts)
+func (m *Machine) Run(ctx context.Context, tr *trace.Trace, opts RunOptions) (RunResult, error) {
+	return m.RunSource(ctx, tr.Source(), opts)
 }
 
 // RunSource executes a streaming trace's parallel region on the machine and
@@ -40,7 +41,14 @@ func (m *Machine) Run(tr *trace.Trace, opts RunOptions) (RunResult, error) {
 // access streams are — stream length dictates simulation time, not memory.
 // The source is replayed twice: once by the page-placement pre-pass and once
 // for execution.
-func (m *Machine) RunSource(src trace.Source, opts RunOptions) (RunResult, error) {
+//
+// Cancelling the context aborts the run between simulated accesses (checked
+// every few thousand records, so aborts are prompt even at paper-scale stream
+// lengths) and returns ctx's error; the machine must be Reset before reuse.
+func (m *Machine) RunSource(ctx context.Context, src trace.Source, opts RunOptions) (RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	threads := src.Threads()
 	if threads == 0 {
 		return RunResult{}, fmt.Errorf("machine: trace %q has no threads", src.Name())
@@ -53,7 +61,7 @@ func (m *Machine) RunSource(src trace.Source, opts RunOptions) (RunResult, error
 		return RunResult{}, fmt.Errorf("machine: warm-up fraction %f outside [0,1)", opts.WarmupFraction)
 	}
 
-	if err := m.placePages(src); err != nil {
+	if err := m.placePages(ctx, src); err != nil {
 		return RunResult{}, err
 	}
 
@@ -75,7 +83,7 @@ func (m *Machine) RunSource(src trace.Source, opts RunOptions) (RunResult, error
 	// Warm-up phase.
 	warmup := int(opts.WarmupFraction * float64(maxLen))
 	if warmup > 0 {
-		if err := m.execute(cores, warmup); err != nil {
+		if err := m.execute(ctx, cores, warmup); err != nil {
 			return RunResult{}, err
 		}
 		for _, cr := range cores {
@@ -86,7 +94,7 @@ func (m *Machine) RunSource(src trace.Source, opts RunOptions) (RunResult, error
 	}
 
 	// Measured phase.
-	if err := m.execute(cores, -1); err != nil {
+	if err := m.execute(ctx, cores, -1); err != nil {
 		return RunResult{}, err
 	}
 	var cycles sim.Time
@@ -113,13 +121,18 @@ func (m *Machine) RunSource(src trace.Source, opts RunOptions) (RunResult, error
 
 // MustRun is Run for callers that treat failures as programming errors
 // (benchmarks, examples).
-func (m *Machine) MustRun(tr *trace.Trace, opts RunOptions) RunResult {
-	res, err := m.Run(tr, opts)
+func (m *Machine) MustRun(ctx context.Context, tr *trace.Trace, opts RunOptions) RunResult {
+	res, err := m.Run(ctx, tr, opts)
 	if err != nil {
 		panic(err)
 	}
 	return res
 }
+
+// cancelCheckMask throttles context checks in the simulation hot loops: one
+// atomic-load-sized check every 4096 simulated accesses keeps the overhead
+// unmeasurable while bounding the cancellation latency to microseconds.
+const cancelCheckMask = 1<<12 - 1
 
 // coreRunner tracks one core's progress through its access stream. It
 // prefetches a single record from its reader so the scheduling heap can ask
@@ -161,14 +174,20 @@ func (cr *coreRunner) fill() bool {
 // (relevant to FT1), then the parallel sections interleaved round-robin so
 // that concurrent first touches spread across sockets the way they would in
 // a live run.
-func (m *Machine) placePages(src trace.Source) error {
+func (m *Machine) placePages(ctx context.Context, src trace.Source) error {
 	rr := src.OpenInit()
+	steps := 0
 	for {
 		rec, ok := rr.Next()
 		if !ok {
 			break
 		}
 		m.pageTable.Touch(addr.PageOf(rec.Addr), 0, false)
+		if steps++; steps&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	if err := rr.Err(); err != nil {
 		return fmt.Errorf("machine: placement pre-pass (init): %w", err)
@@ -179,6 +198,9 @@ func (m *Machine) placePages(src trace.Source) error {
 	}
 	active := len(readers)
 	for active > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for t, r := range readers {
 			if r == nil {
 				continue
@@ -211,7 +233,7 @@ func (m *Machine) placePages(src trace.Source) error {
 // results are bit-identical to the previous implementation. Executing a
 // record only advances the picked core's clock (monotonically), so after each
 // step only the heap root needs fixing.
-func (m *Machine) execute(cores []*coreRunner, limit int) error {
+func (m *Machine) execute(ctx context.Context, cores []*coreRunner, limit int) error {
 	h := runnerHeap{runners: make([]*coreRunner, 0, len(cores))}
 	for _, cr := range cores {
 		cr.limit = limit
@@ -224,7 +246,13 @@ func (m *Machine) execute(cores []*coreRunner, limit int) error {
 			return fmt.Errorf("machine: core %d stream: %w", cr.idx, cr.rdErr)
 		}
 	}
+	steps := 0
 	for len(h.runners) > 0 {
+		if steps++; steps&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		pick := h.runners[0]
 		pick.core.Execute(pick.pending, m)
 		pick.hasPending = false

@@ -2,6 +2,8 @@ package machine
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -25,7 +27,7 @@ func TestRunSourceMatchesRun(t *testing.T) {
 			cfg.CoresPerSocket = 2
 
 			tr := workload.MustGenerate(spec, opts)
-			want, err := New(cfg).Run(tr, DefaultRunOptions())
+			want, err := New(cfg).Run(context.Background(), tr, DefaultRunOptions())
 			if err != nil {
 				t.Fatalf("%s/%v: materialised run: %v", name, design, err)
 			}
@@ -34,7 +36,7 @@ func TestRunSourceMatchesRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := New(cfg).RunSource(src, DefaultRunOptions())
+			got, err := New(cfg).RunSource(context.Background(), src, DefaultRunOptions())
 			if err != nil {
 				t.Fatalf("%s/%v: streaming run: %v", name, design, err)
 			}
@@ -51,7 +53,7 @@ func TestRunSourceMatchesRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			replayed, err := New(cfg).RunSource(fs, DefaultRunOptions())
+			replayed, err := New(cfg).RunSource(context.Background(), fs, DefaultRunOptions())
 			if err != nil {
 				t.Fatalf("%s/%v: file replay run: %v", name, design, err)
 			}
@@ -70,7 +72,7 @@ func TestRunSourceValidation(t *testing.T) {
 	m := New(cfg)
 
 	empty := (&trace.Trace{Name: "empty"}).Source()
-	if _, err := m.RunSource(empty, DefaultRunOptions()); err == nil {
+	if _, err := m.RunSource(context.Background(), empty, DefaultRunOptions()); err == nil {
 		t.Error("source without threads accepted")
 	}
 
@@ -79,14 +81,34 @@ func TestRunSourceValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RunSource(src, DefaultRunOptions()); err == nil {
+	if _, err := m.RunSource(context.Background(), src, DefaultRunOptions()); err == nil {
 		t.Error("more threads than cores accepted")
 	}
 	src4, err := workload.NewSource(spec, workload.Options{Threads: 4, Scale: 512, AccessesPerThread: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RunSource(src4, RunOptions{WarmupFraction: 1.5}); err == nil {
+	if _, err := m.RunSource(context.Background(), src4, RunOptions{WarmupFraction: 1.5}); err == nil {
 		t.Error("out-of-range warm-up fraction accepted")
+	}
+}
+
+// TestRunSourceCancelled checks a cancelled context aborts the run with
+// ctx's error instead of simulating the whole stream.
+func TestRunSourceCancelled(t *testing.T) {
+	spec := workload.MustGet("streamcluster")
+	opts := workload.Options{Threads: 8, Scale: 512, AccessesPerThread: 50_000}
+	cfg := DefaultConfig(4, C3D)
+	cfg.Scale = 512
+	cfg.CoresPerSocket = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src, err := workload.NewSource(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg).RunSource(ctx, src, DefaultRunOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

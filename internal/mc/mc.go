@@ -141,19 +141,23 @@ func (v Violation) MarshalJSON() ([]byte, error) {
 // is excluded from the JSON form so serialised reports can be compared
 // byte-for-byte (CI does exactly that).
 type Report struct {
-	Model           string        `json:"model"`
-	StatesExplored  int           `json:"states_explored"`
-	TransitionsSeen int           `json:"transitions_seen"`
-	MaxDepthReached int           `json:"max_depth_reached"`
-	QuiescentStates int           `json:"quiescent_states"`
-	Violations      []Violation   `json:"violations,omitempty"`
-	Truncated       bool          `json:"truncated,omitempty"`
-	Elapsed         time.Duration `json:"-"`
+	Model           string      `json:"model"`
+	StatesExplored  int         `json:"states_explored"`
+	TransitionsSeen int         `json:"transitions_seen"`
+	MaxDepthReached int         `json:"max_depth_reached"`
+	QuiescentStates int         `json:"quiescent_states"`
+	Violations      []Violation `json:"violations,omitempty"`
+	Truncated       bool        `json:"truncated,omitempty"`
+	// Interrupted is set when the search was aborted by context
+	// cancellation; the counters above cover only the explored prefix and
+	// are not deterministic.
+	Interrupted bool          `json:"interrupted,omitempty"`
+	Elapsed     time.Duration `json:"-"`
 }
 
-// OK reports whether the run completed without violations and without
-// truncation.
-func (r Report) OK() bool { return len(r.Violations) == 0 && !r.Truncated }
+// OK reports whether the run completed without violations, without
+// truncation and without being interrupted.
+func (r Report) OK() bool { return len(r.Violations) == 0 && !r.Truncated && !r.Interrupted }
 
 // Passed reports whether no violations were found (the search may still have
 // been truncated by the options).
@@ -164,6 +168,8 @@ func (r Report) String() string {
 	status := "PASS"
 	if !r.Passed() {
 		status = "FAIL"
+	} else if r.Interrupted {
+		status = "INTERRUPTED"
 	} else if r.Truncated {
 		status = "PASS (truncated)"
 	}

@@ -2,6 +2,7 @@ package mc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -59,7 +60,7 @@ func cleanChain(n int) chainModel {
 }
 
 func TestRunCleanChain(t *testing.T) {
-	r := Run(cleanChain(10), Options{})
+	r := Run(context.Background(), cleanChain(10), Options{})
 	if !r.OK() {
 		t.Fatalf("clean chain reported violations: %v", r)
 	}
@@ -80,7 +81,7 @@ func TestRunCleanChain(t *testing.T) {
 func TestRunDetectsInvariantViolation(t *testing.T) {
 	m := cleanChain(10)
 	m.badState = 5
-	r := Run(m, Options{})
+	r := Run(context.Background(), m, Options{})
 	if r.Passed() {
 		t.Fatal("planted invariant violation not detected")
 	}
@@ -96,7 +97,7 @@ func TestRunDetectsInvariantViolation(t *testing.T) {
 func TestRunDetectsTransitionViolation(t *testing.T) {
 	m := cleanChain(10)
 	m.badTrans = 3
-	r := Run(m, Options{})
+	r := Run(context.Background(), m, Options{})
 	if r.Passed() || r.Violations[0].Kind != "transition" {
 		t.Fatalf("planted transition violation not detected: %v", r)
 	}
@@ -105,7 +106,7 @@ func TestRunDetectsTransitionViolation(t *testing.T) {
 func TestRunDetectsDeadlock(t *testing.T) {
 	m := cleanChain(10)
 	m.deadlockAt = 7
-	r := Run(m, Options{})
+	r := Run(context.Background(), m, Options{})
 	if r.Passed() || r.Violations[0].Kind != "deadlock" {
 		t.Fatalf("planted deadlock not detected: %v", r)
 	}
@@ -115,7 +116,7 @@ func TestRunDetectsDeadlock(t *testing.T) {
 }
 
 func TestRunRespectsMaxStates(t *testing.T) {
-	r := Run(cleanChain(1000), Options{MaxStates: 10})
+	r := Run(context.Background(), cleanChain(1000), Options{MaxStates: 10})
 	if !r.Truncated {
 		t.Error("search should report truncation")
 	}
@@ -131,7 +132,7 @@ func TestRunRespectsMaxStates(t *testing.T) {
 }
 
 func TestRunRespectsMaxDepth(t *testing.T) {
-	r := Run(cleanChain(1000), Options{MaxDepth: 5})
+	r := Run(context.Background(), cleanChain(1000), Options{MaxDepth: 5})
 	if !r.Truncated {
 		t.Error("depth-bounded search should report truncation")
 	}
@@ -144,7 +145,7 @@ func TestRunProgressCallback(t *testing.T) {
 	called := 0
 	// The callback fires every 100k states by default; a long chain triggers
 	// it.
-	r := Run(cleanChain(200_001), Options{Progress: func(int) { called++ }})
+	r := Run(context.Background(), cleanChain(200_001), Options{Progress: func(int) { called++ }})
 	if !r.Passed() {
 		t.Fatalf("unexpected violations: %v", r)
 	}
@@ -155,7 +156,7 @@ func TestRunProgressCallback(t *testing.T) {
 
 func TestRunProgressInterval(t *testing.T) {
 	var ticks []int
-	r := Run(cleanChain(100), Options{
+	r := Run(context.Background(), cleanChain(100), Options{
 		ProgressInterval: 25,
 		Progress:         func(n int) { ticks = append(ticks, n) },
 	})
@@ -177,7 +178,7 @@ func TestRunProgressFiresAtCompletion(t *testing.T) {
 	// tick with the total (the old engine only fired on exact multiples of
 	// 100k and never at completion).
 	var ticks []int
-	r := Run(cleanChain(10), Options{Progress: func(n int) { ticks = append(ticks, n) }})
+	r := Run(context.Background(), cleanChain(10), Options{Progress: func(n int) { ticks = append(ticks, n) }})
 	if len(ticks) != 1 || ticks[0] != r.StatesExplored {
 		t.Errorf("ticks = %v; want exactly [%d]", ticks, r.StatesExplored)
 	}
@@ -190,7 +191,7 @@ func TestRunProgressFiresAtCompletion(t *testing.T) {
 // benchmark.
 func TestC3DProtocolTwoSockets(t *testing.T) {
 	m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
-	r := Run(m, Options{})
+	r := Run(context.Background(), m, Options{})
 	if !r.OK() {
 		t.Fatalf("C3D protocol verification failed:\n%s", r)
 	}
@@ -204,7 +205,7 @@ func TestC3DProtocolTwoSockets(t *testing.T) {
 
 func TestC3DFullDirVariantTwoSockets(t *testing.T) {
 	m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1, TrackDRAMCache: true})
-	r := Run(m, Options{})
+	r := Run(context.Background(), m, Options{})
 	if !r.OK() {
 		t.Fatalf("c3d-full-dir protocol verification failed:\n%s", r)
 	}
@@ -217,7 +218,7 @@ func TestC3DProtocolThreeSocketsBounded(t *testing.T) {
 	m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 3, LoadsPerCore: 1, StoresPerCore: 1})
 	// Bound the search so the unit test stays fast; the c3dcheck command runs
 	// it exhaustively.
-	r := Run(m, Options{MaxStates: 60_000})
+	r := Run(context.Background(), m, Options{MaxStates: 60_000})
 	if !r.Passed() {
 		t.Fatalf("C3D protocol verification failed:\n%s", r)
 	}
@@ -303,11 +304,11 @@ func reportJSON(t *testing.T, r Report) []byte {
 func requireIdenticalAcrossParallelism(t *testing.T, m Model, opts Options) Report {
 	t.Helper()
 	opts.Parallelism = 1
-	serial := Run(m, opts)
+	serial := Run(context.Background(), m, opts)
 	want := reportJSON(t, serial)
 	for _, p := range []int{4, 8} {
 		opts.Parallelism = p
-		got := reportJSON(t, Run(m, opts))
+		got := reportJSON(t, Run(context.Background(), m, opts))
 		if !bytes.Equal(want, got) {
 			t.Fatalf("report differs between parallelism 1 and %d:\n  serial: %s\nparallel: %s", p, want, got)
 		}
@@ -432,8 +433,8 @@ func TestAppendFastPathMatchesFallback(t *testing.T) {
 	mk := func() Model {
 		return core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
 	}
-	fast := reportJSON(t, Run(mk(), Options{Parallelism: 2}))
-	slow := reportJSON(t, Run(noAppend{mk()}, Options{Parallelism: 2}))
+	fast := reportJSON(t, Run(context.Background(), mk(), Options{Parallelism: 2}))
+	slow := reportJSON(t, Run(context.Background(), noAppend{mk()}, Options{Parallelism: 2}))
 	if !bytes.Equal(fast, slow) {
 		t.Fatalf("SuccessorsAppend fast path and Successors fallback disagree:\nfast: %s\nslow: %s", fast, slow)
 	}
@@ -451,7 +452,7 @@ func TestModelCheckAllocationGuard(t *testing.T) {
 	}
 	run := func() {
 		m := core.NewProtocolModel(core.ProtocolConfig{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1})
-		if r := Run(m, Options{Parallelism: 1}); !r.OK() {
+		if r := Run(context.Background(), m, Options{Parallelism: 1}); !r.OK() {
 			t.Errorf("verification failed: %s", r)
 		}
 	}
@@ -476,5 +477,22 @@ func TestViolationString(t *testing.T) {
 	v = Violation{Kind: "invariant", State: "s", Depth: 1, Err: errors.New("boom")}
 	if !strings.Contains(v.String(), "boom") {
 		t.Errorf("Violation.String() = %q", v.String())
+	}
+}
+
+// TestRunCancelled checks a cancelled context aborts the search with a
+// partial, Interrupted-marked report instead of exploring to completion.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Run(ctx, cleanChain(1_000_000), Options{Parallelism: 2})
+	if !r.Interrupted {
+		t.Fatal("report not marked interrupted")
+	}
+	if r.OK() {
+		t.Fatal("interrupted report must not be OK")
+	}
+	if r.StatesExplored >= 1_000_000 {
+		t.Fatalf("explored %d states despite pre-cancelled context", r.StatesExplored)
 	}
 }

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -18,7 +19,14 @@ import (
 // level is still finished and the violation with the lexicographically
 // smallest canonical state is reported — matching Murϕ's default behaviour of
 // stopping at the first (shallowest) violation, but deterministically so.
-func Run(m Model, opts Options) Report {
+//
+// Cancelling the context aborts the search between states (workers check it
+// once per claimed chunk); the returned report carries the counters explored
+// so far and Interrupted set. An interrupted report is not deterministic.
+func Run(ctx context.Context, m Model, opts Options) Report {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	parallelism := opts.Parallelism
 	if parallelism <= 0 {
@@ -29,7 +37,7 @@ func Run(m Model, opts Options) Report {
 		interval = DefaultProgressInterval
 	}
 
-	s := &search{model: m, visited: newVisitedSet()}
+	s := &search{model: m, visited: newVisitedSet(), ctx: ctx}
 	s.appendModel, _ = m.(AppendModel)
 	s.workers = make([]*worker, parallelism)
 	for i := range s.workers {
@@ -47,6 +55,10 @@ func Run(m Model, opts Options) Report {
 	depth := 0
 	progressMark := 0
 	for len(frontier) > 0 {
+		if ctx.Err() != nil {
+			report.Interrupted = true
+			break
+		}
 		// Deterministic truncation: a level that would overflow the state
 		// budget is trimmed to the lexicographically smallest remaining
 		// states. Sorting happens only here, so unbounded searches never pay
@@ -74,6 +86,11 @@ func Run(m Model, opts Options) Report {
 		}
 
 		s.runLevel(frontier, depth, expand)
+		if ctx.Err() != nil {
+			// The level was cut short: merge what the workers did finish and
+			// stop. Counters are partial, which Interrupted flags.
+			report.Interrupted = true
+		}
 
 		levelViolation := (*Violation)(nil)
 		for _, w := range s.workers {
@@ -103,6 +120,9 @@ func Run(m Model, opts Options) Report {
 			report.Violations = append(report.Violations, v)
 			break
 		}
+		if report.Interrupted {
+			break
+		}
 
 		// Merge the per-worker frontier buffers into the next level. The
 		// merged order depends on scheduling, but the *set* does not, and
@@ -124,12 +144,13 @@ func Run(m Model, opts Options) Report {
 	return report
 }
 
-// search is the shared context of one Run.
+// search is the shared state of one Run.
 type search struct {
 	model       Model
 	appendModel AppendModel // nil when the model has no append fast path
 	visited     *visitedSet
 	workers     []*worker
+	ctx         context.Context
 
 	// level-scoped fields, set by runLevel.
 	frontier []string
@@ -172,7 +193,10 @@ func (s *search) runLevel(frontier []string, depth int, expand bool) {
 	s.frontier, s.depth, s.expand = frontier, depth, expand
 	if len(s.workers) == 1 || len(frontier) < 2*levelChunk {
 		w := s.workers[0]
-		for _, st := range frontier {
+		for i, st := range frontier {
+			if i&(levelChunk-1) == 0 && s.ctx.Err() != nil {
+				return
+			}
 			w.process(st)
 		}
 		return
@@ -184,6 +208,9 @@ func (s *search) runLevel(frontier []string, depth int, expand bool) {
 		go func(w *worker) {
 			defer wg.Done()
 			for {
+				if s.ctx.Err() != nil {
+					return
+				}
 				hi := int(s.cursor.Add(levelChunk))
 				lo := hi - levelChunk
 				if lo >= len(s.frontier) {

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"c3d/pkg/c3d"
+)
+
+// Job lifecycle states.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+func terminal(state string) bool {
+	return state == stateDone || state == stateFailed || state == stateCancelled
+}
+
+// Server owns the job table and the worker pool. Build one with New, wire
+// Handler into an http.Server, and Close it on shutdown.
+type Server struct {
+	cfg Config
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for listing and bounded retention
+	nextID int
+	closed bool
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+	s.wg.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every running job, stops the workers and waits for them.
+// Submissions racing with Close are rejected, never lost in a closed
+// channel: sends happen only under s.mu with closed still false, and the
+// channel is closed only after closed is set under the same lock.
+func (s *Server) Close() {
+	s.stop()
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.queue)
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// submit registers and enqueues a job. The enqueue attempt and the
+// registration share one critical section: a full queue rejects before
+// anything is registered, and no send can race Close's channel close.
+func (s *Server) submit(spec JobSpec) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server shutting down")
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), spec)
+	select {
+	case s.queue <- j:
+	default:
+		return nil, fmt.Errorf("job queue full (%d pending)", s.cfg.QueueDepth)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	return j, nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+// Callers hold s.mu.
+func (s *Server) evictLocked() {
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		if excess > 0 && terminal(s.jobs[id].state()) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) statuses() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].statusDoc())
+	}
+	return out
+}
+
+func (s *Server) counts() (queued, running, finished int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		switch j.state() {
+		case stateQueued:
+			queued++
+		case stateRunning:
+			running++
+		default:
+			finished++
+		}
+	}
+	return
+}
+
+// run executes one job on the calling worker goroutine.
+func (s *Server) run(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.begin(cancel) {
+		// Cancelled while still queued.
+		return
+	}
+
+	sess, err := j.spec.Params.Session(c3d.WithProgress(j.recordEvent))
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	var result []byte
+	switch j.spec.Kind {
+	case "experiment":
+		var results []c3d.ExperimentResult
+		results, err = sess.Sweep(ctx, j.spec.Experiments...)
+		if err == nil {
+			// Render exactly the bytes `c3dexp -json` prints: one shared
+			// writer, so server and CLI results are comparable with cmp.
+			var buf bytes.Buffer
+			if err = c3d.WriteResultsJSON(&buf, results); err == nil {
+				result = buf.Bytes()
+			}
+		}
+	case "simulate":
+		var res *c3d.SimulateResult
+		res, err = sess.Simulate(ctx, j.spec.Workload)
+		if err == nil {
+			result, err = json.MarshalIndent(res, "", "  ")
+			result = append(result, '\n')
+		}
+	case "verify":
+		var res *c3d.VerifyResult
+		res, err = sess.Verify(ctx, c3d.VerifyRequest{
+			Sockets:       j.spec.Verify.Sockets,
+			LoadsPerCore:  j.spec.Verify.LoadsPerCore,
+			StoresPerCore: j.spec.Verify.StoresPerCore,
+			MaxStates:     j.spec.Verify.MaxStates,
+			BaseOnly:      j.spec.Verify.BaseOnly,
+		})
+		if err == nil {
+			if !res.Passed() {
+				err = fmt.Errorf("verification found violations")
+			}
+			var buf bytes.Buffer
+			if werr := c3d.WriteReportsJSON(&buf, res.Reports); werr == nil {
+				// Reports are kept even when verification fails: the result
+				// document is how clients see which invariant broke.
+				result = buf.Bytes()
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.spec.Kind)
+	}
+	j.finish(result, err)
+}
+
+// job is one scheduled unit of work and its observable history.
+type job struct {
+	id      string
+	spec    JobSpec
+	created time.Time
+
+	mu        sync.Mutex
+	st        string
+	err       string
+	result    []byte
+	started   time.Time
+	finished  time.Time
+	events    [][]byte
+	notify    chan struct{}
+	cancel    context.CancelFunc
+	cancelled bool // cancel requested (possibly before the job began)
+}
+
+func newJob(id string, spec JobSpec) *job {
+	return &job{
+		id:      id,
+		spec:    spec,
+		created: time.Now(),
+		st:      stateQueued,
+		notify:  make(chan struct{}),
+	}
+}
+
+func (j *job) state() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st
+}
+
+func (j *job) statusDoc() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		State:    j.st,
+		Error:    j.err,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Events:   len(j.events),
+	}
+}
+
+func (j *job) outcome() (state string, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st, j.result, j.err
+}
+
+// begin transitions queued -> running; it reports false when the job was
+// cancelled before starting (requestCancel already moved it to the terminal
+// state).
+func (j *job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelled {
+		return false
+	}
+	j.st = stateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.appendEventLocked(statusLine(j.st))
+	return true
+}
+
+func (j *job) finish(result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.result = result
+	switch {
+	case err == nil:
+		j.st = stateDone
+	case errors.Is(err, context.Canceled):
+		j.st = stateCancelled
+		j.err = err.Error()
+	default:
+		j.st = stateFailed
+		j.err = err.Error()
+	}
+	j.appendEventLocked(statusLine(j.st))
+}
+
+// requestCancel flags the job, cancels its context when running, and flips a
+// still-queued job to cancelled immediately — clients must not have to wait
+// for a worker to dequeue it to see the cancel took effect.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminal(j.st) {
+		return
+	}
+	j.cancelled = true
+	if j.cancel != nil {
+		j.cancel()
+		return
+	}
+	j.st = stateCancelled
+	j.err = context.Canceled.Error()
+	j.finished = time.Now()
+	j.appendEventLocked(statusLine(j.st))
+}
+
+// wireEvent is the JSON-lines shape of one progress event.
+type wireEvent struct {
+	Kind      string  `json:"kind"`
+	State     string  `json:"state,omitempty"`
+	Job       string  `json:"job,omitempty"`
+	Done      int     `json:"done,omitempty"`
+	Total     int     `json:"total,omitempty"`
+	States    int     `json:"states,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+func statusLine(state string) []byte {
+	line, _ := json.Marshal(wireEvent{Kind: "job_state", State: state})
+	return append(line, '\n')
+}
+
+// recordEvent is the session progress hook: it serialises the event once and
+// wakes every streaming subscriber.
+func (j *job) recordEvent(e c3d.Event) {
+	we := wireEvent{
+		Kind:      e.Kind.String(),
+		Job:       e.Job,
+		Done:      e.Done,
+		Total:     e.Total,
+		States:    e.States,
+		ElapsedMs: float64(e.Elapsed.Microseconds()) / 1000,
+	}
+	if e.Err != nil {
+		we.Err = e.Err.Error()
+	}
+	line, err := json.Marshal(we)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	j.appendEventLocked(line)
+	j.mu.Unlock()
+}
+
+// appendEventLocked stores a serialised line and signals subscribers.
+// Callers hold j.mu.
+func (j *job) appendEventLocked(line []byte) {
+	j.events = append(j.events, line)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// eventsSince returns the serialised events from index on, the job's current
+// state, and a channel that is closed on the next append — the streaming
+// handler's replay-then-follow primitive.
+func (j *job) eventsSince(i int) ([][]byte, string, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i > len(j.events) {
+		i = len(j.events)
+	}
+	return j.events[i:], j.st, j.notify
+}

@@ -1,0 +1,282 @@
+// Package server is the job-service core behind cmd/c3dd: an HTTP/JSON API
+// that accepts simulation, experiment-campaign and verification jobs,
+// schedules them on a bounded worker pool, streams structured progress as
+// JSON lines, and serves deterministic results.
+//
+// Every job runs through pkg/c3d — the same Session facade the CLIs use — so
+// a server-run experiment's result bytes are identical to `c3dexp -json`
+// output for the same parameters, at any parallelism, which the test suite
+// and the CI daemon-smoke gate verify with byte comparisons. Machine reuse
+// comes for free: the SDK's experiment layer pools machines by
+// configuration, so a long-lived daemon serving many jobs stops paying
+// construction costs once the pools are warm.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"c3d/pkg/c3d"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// MaxConcurrent bounds jobs running at once (default 1: simulations are
+	// internally parallel already, so one job usually saturates the host;
+	// raise it to overlap small jobs).
+	MaxConcurrent int
+	// QueueDepth bounds jobs waiting to run (default 256). Submissions
+	// beyond it are rejected with 503 instead of queueing unboundedly.
+	QueueDepth int
+	// MaxJobs bounds retained finished jobs (default 1024): the oldest
+	// finished jobs are evicted first, so a long-lived daemon's job table
+	// does not grow without bound.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// JobSpec is the submission body of POST /v1/jobs.
+type JobSpec struct {
+	// Kind selects what to run: "experiment", "simulate" or "verify".
+	Kind string `json:"kind"`
+	// Params configures the session exactly as the CLI flags do.
+	Params c3d.Params `json:"params"`
+	// Experiments lists experiment ids for kind "experiment" (empty or
+	// ["all"] = the full set).
+	Experiments []string `json:"experiments,omitempty"`
+	// Workload names the workload for kind "simulate".
+	Workload string `json:"workload,omitempty"`
+	// Verify parameterises kind "verify".
+	Verify VerifySpec `json:"verify,omitempty"`
+}
+
+// VerifySpec mirrors c3d.VerifyRequest in JSON form.
+type VerifySpec struct {
+	Sockets       int  `json:"sockets,omitempty"`
+	LoadsPerCore  int  `json:"loads,omitempty"`
+	StoresPerCore int  `json:"stores,omitempty"`
+	MaxStates     int  `json:"max_states,omitempty"`
+	BaseOnly      bool `json:"base_only,omitempty"`
+}
+
+// validate rejects malformed specs at submission time, so a queued job can
+// only fail for run-time reasons. Building (and discarding) the session runs
+// the SDK's full option validation — unknown workloads, out-of-range
+// warm-up — not just the enumerated-field parse.
+func (j JobSpec) validate() error {
+	if _, err := j.Params.Session(); err != nil {
+		return err
+	}
+	switch j.Kind {
+	case "experiment":
+		known := make(map[string]bool)
+		for _, id := range c3d.ExperimentIDs() {
+			known[id] = true
+		}
+		for _, id := range j.Experiments {
+			if id != "all" && !known[id] {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+		}
+	case "simulate":
+		if j.Workload == "" {
+			return fmt.Errorf("kind %q needs a workload", j.Kind)
+		}
+		found := false
+		for _, w := range c3d.Workloads() {
+			if w.Name == j.Workload {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown workload %q", j.Workload)
+		}
+	case "verify":
+		if j.Verify.Sockets < 0 || j.Verify.MaxStates < 0 {
+			return fmt.Errorf("negative verify bounds")
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want experiment, simulate or verify)", j.Kind)
+	}
+	return nil
+}
+
+// JobStatus is the status document of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    string    `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Events   int       `json:"events"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET    /healthz              liveness + version + scheduler counters
+//	POST   /v1/jobs              submit a JobSpec  -> {"id": ...}
+//	GET    /v1/jobs              list job statuses
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/events  progress stream as JSON lines (replays, then follows)
+//	GET    /v1/jobs/{id}/result  the finished job's result document
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	queued, running, finished := s.counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"version":  c3d.Version(),
+		"queued":   queued,
+		"running":  running,
+		"finished": finished,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.state()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statuses())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.statusDoc())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	state, result, errMsg := j.outcome()
+	switch {
+	case state == stateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case state == stateFailed && len(result) > 0:
+		// A failed job can still carry a result document — a verification
+		// that found violations stores its reports, which is how clients see
+		// exactly which invariant broke. Serve it with the job's error in a
+		// header so failure stays distinguishable from success.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-C3D-Job-Error", errMsg)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write(result)
+	case terminal(state):
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s %s: %s", j.id, state, errMsg))
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; poll the status or events endpoint", j.id, state))
+	}
+}
+
+// handleEvents streams the job's progress as JSON lines: everything recorded
+// so far immediately, then live events until the job reaches a terminal
+// state or the client disconnects. The final line is always the terminal
+// status marker.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	next := 0
+	for {
+		lines, state, notify := j.eventsSince(next)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+		next += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal(state) {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": j.state()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"c3d/pkg/c3d"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+	return out.ID
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil && resp.StatusCode == http.StatusOK {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status: HTTP %d", code)
+		}
+		if st.State == want {
+			return st
+		}
+		if terminal(st.State) && st.State != want {
+			t.Fatalf("job %s reached %q (err %q), want %q", id, st.State, st.Error, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, want)
+	return JobStatus{}
+}
+
+// quickSpec is a seconds-scale experiment job.
+func quickSpec(parallel int) JobSpec {
+	return JobSpec{
+		Kind:        "experiment",
+		Experiments: []string{"table1"},
+		Params: c3d.Params{
+			Quick:       true,
+			Workloads:   []string{"streamcluster"},
+			Accesses:    2000,
+			Parallelism: parallel,
+		},
+	}
+}
+
+// TestEndToEnd drives the full daemon flow over real HTTP: healthz, submit,
+// progress stream (replay + follow to the terminal marker), result fetch.
+func TestEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	id := postJob(t, ts, quickSpec(0))
+
+	// The events stream must replay history and follow until the terminal
+	// state marker — reading it to EOF IS the completion wait.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Fatalf("events content-type %q", got)
+	}
+	var kinds []string
+	sawSimulation := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev struct {
+			Kind  string `json:"kind"`
+			State string `json:"state"`
+			Done  int    `json:"done"`
+			Total int    `json:"total"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Kind)
+		if ev.Kind == "simulation_done" {
+			sawSimulation = true
+			if ev.Total != 1 || ev.Done != 1 {
+				t.Errorf("progress counts %d/%d, want 1/1", ev.Done, ev.Total)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSimulation {
+		t.Fatalf("no simulation_done event in stream: %v", kinds)
+	}
+	if len(kinds) == 0 || kinds[len(kinds)-1] != "job_state" {
+		t.Fatalf("stream did not end with a job_state marker: %v", kinds)
+	}
+
+	st := waitState(t, ts, id, stateDone)
+	if st.Kind != "experiment" {
+		t.Errorf("status kind %q", st.Kind)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %d", resp2.StatusCode)
+	}
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []c3d.ExperimentResult
+	if err := json.Unmarshal(body, &results); err != nil {
+		t.Fatalf("result not a result array: %v", err)
+	}
+	if len(results) != 1 || results[0].ID != "table1" {
+		t.Fatalf("unexpected results: %s", body)
+	}
+}
+
+// TestServerResultMatchesCLIBytes is the determinism acceptance gate: a
+// server-run sweep's result document must be byte-identical to what
+// `c3dexp -json` prints for the same parameters — at any parallelism. The
+// CLI path is reproduced exactly: Params -> Session -> Sweep ->
+// WriteResultsJSON, which is precisely what cmd/c3dexp executes.
+func TestServerResultMatchesCLIBytes(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+
+	fetch := func(parallel int) []byte {
+		id := postJob(t, ts, quickSpec(parallel))
+		waitState(t, ts, id, stateDone)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// The CLI code path, verbatim (cmd/c3dexp with the same flags).
+	sess, err := quickSpec(0).Params.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sess.Sweep(t.Context(), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli bytes.Buffer
+	if err := c3d.WriteResultsJSON(&cli, results); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parallel := range []int{1, 4} {
+		if got := fetch(parallel); !bytes.Equal(got, cli.Bytes()) {
+			t.Errorf("server result (parallel=%d) differs from CLI bytes:\nserver: %s\ncli:    %s",
+				parallel, got, cli.Bytes())
+		}
+	}
+}
+
+// TestSimulateAndVerifyJobs covers the two other job kinds end to end.
+func TestSimulateAndVerifyJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	simID := postJob(t, ts, JobSpec{
+		Kind:     "simulate",
+		Workload: "streamcluster",
+		Params:   c3d.Params{Threads: 8, Scale: 512, Accesses: 2000},
+	})
+	waitState(t, ts, simID, stateDone)
+	var sim c3d.SimulateResult
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+simID+"/result", &sim); code != http.StatusOK {
+		t.Fatalf("simulate result: HTTP %d", code)
+	}
+	if sim.Workload != "streamcluster" || sim.Cycles == 0 {
+		t.Fatalf("implausible simulate result: %+v", sim.RunResult)
+	}
+
+	verID := postJob(t, ts, JobSpec{
+		Kind:   "verify",
+		Verify: VerifySpec{Sockets: 2},
+	})
+	waitState(t, ts, verID, stateDone)
+	var reports []c3d.Report
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+verID+"/result", &reports); code != http.StatusOK {
+		t.Fatalf("verify result: HTTP %d", code)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("want 2 verify reports, got %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.StatesExplored == 0 {
+			t.Errorf("report %s explored no states", r.Model)
+		}
+	}
+}
+
+// TestCancelJob checks DELETE aborts a running job promptly and the status
+// reflects it.
+func TestCancelJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// A job big enough to still be running when the cancel lands.
+	id := postJob(t, ts, JobSpec{
+		Kind:        "experiment",
+		Experiments: []string{"all"},
+		Params:      c3d.Params{Quick: true, Accesses: 60_000},
+	})
+	waitState(t, ts, id, stateRunning)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := waitState(t, ts, id, stateCancelled)
+	if !strings.Contains(st.Error, "context canceled") {
+		t.Errorf("cancelled job error = %q", st.Error)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", nil); code != http.StatusConflict {
+		t.Errorf("result of cancelled job: HTTP %d, want 409", code)
+	}
+}
+
+// TestCancelQueuedJob checks cancelling a job that has not started flips it
+// to cancelled immediately, without waiting for a worker to dequeue it.
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	long := JobSpec{
+		Kind:        "experiment",
+		Experiments: []string{"all"},
+		Params:      c3d.Params{Quick: true, Accesses: 60_000},
+	}
+	first := postJob(t, ts, long) // occupies the single worker
+	waitState(t, ts, first, stateRunning)
+	queued := postJob(t, ts, quickSpec(0))
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.State != stateCancelled {
+		t.Fatalf("cancelled queued job reports state %q, want %q immediately", out.State, stateCancelled)
+	}
+
+	// Unblock the worker so Close does not wait out the long campaign.
+	reqFirst, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+first, nil)
+	if resp, err := http.DefaultClient.Do(reqFirst); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// TestSubmitValidation checks malformed specs are rejected at the door.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"unknown kind":       `{"kind":"frobnicate"}`,
+		"unknown experiment": `{"kind":"experiment","experiments":["fig99"]}`,
+		"missing workload":   `{"kind":"simulate"}`,
+		"bad design":         `{"kind":"simulate","workload":"streamcluster","params":{"design":"warp-drive"}}`,
+		"unknown field":      `{"kind":"simulate","workload":"streamcluster","bogus":1}`,
+		"negative sockets":   `{"kind":"simulate","workload":"streamcluster","params":{"sockets":-4}}`,
+		"bad warmup":         `{"kind":"simulate","workload":"streamcluster","params":{"warmup":1.5}}`,
+		"unknown workload":   `{"kind":"experiment","params":{"workloads":["not-a-workload"]}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", code)
+	}
+}
+
+// TestListAndRetention checks /v1/jobs ordering and the finished-job
+// retention bound.
+func TestListAndRetention(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxJobs: 3})
+	spec := JobSpec{
+		Kind:     "simulate",
+		Workload: "streamcluster",
+		Params:   c3d.Params{Threads: 4, Scale: 512, Accesses: 500},
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id := postJob(t, ts, spec)
+		waitState(t, ts, id, stateDone)
+		ids = append(ids, id)
+	}
+	var list []JobStatus
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("list: HTTP %d", code)
+	}
+	if len(list) != 3 {
+		t.Fatalf("retained %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if want := ids[len(ids)-3+i]; st.ID != want {
+			t.Errorf("list[%d] = %s, want %s (newest-3 in insertion order)", i, st.ID, want)
+		}
+	}
+}
+
+// TestQueueBound checks submissions beyond the queue depth are rejected with
+// 503 rather than queued unboundedly.
+func TestQueueBound(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	defer s.Close()
+	// Fill the single queue slot without letting the worker drain it: the
+	// worker takes one job, a second occupies the queue, the third must
+	// bounce. Use a long job to hold the worker.
+	long := JobSpec{
+		Kind:        "experiment",
+		Experiments: []string{"all"},
+		Params:      c3d.Params{Quick: true, Accesses: 60_000},
+	}
+	if _, err := s.submit(long); err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a moment to claim the first job.
+	time.Sleep(100 * time.Millisecond)
+	if _, err := s.submit(long); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.submit(long); err == nil {
+		t.Fatal("third submission should have been rejected (queue full)")
+	} else if !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("unexpected rejection error: %v", err)
+	}
+	// Cancel everything so Close doesn't wait for the long jobs.
+	for _, st := range s.statuses() {
+		j, _ := s.job(st.ID)
+		j.requestCancel()
+	}
+}

@@ -20,6 +20,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,7 +41,9 @@ type Job[T any] struct {
 	Seed *int64
 	// Run executes the job. The seed parameter is the job's seed as decided
 	// above; jobs that use randomness must derive it all from this value.
-	Run func(seed int64) (T, error)
+	// The context is the sweep's context: long-running jobs should observe
+	// its cancellation.
+	Run func(ctx context.Context, seed int64) (T, error)
 }
 
 // Progress describes one completed job. Completion order is wall-clock order
@@ -111,7 +114,16 @@ func SeedFor(base int64, key string) int64 {
 // Run executes the jobs and returns one result per job, in job order. The
 // returned error is the error of the first failing job in job order (every
 // job still runs; per-job errors are also available in the results).
-func Run[T any](jobs []Job[T], opts Options) ([]Result[T], error) {
+//
+// Cancelling the context stops the sweep early: no new job is started once
+// ctx is done, jobs already running receive the cancelled context, jobs that
+// never started carry ctx's error in their result, and Run returns ctx's
+// error. A cancelled sweep is the one case where results are not
+// deterministic — which jobs completed depends on wall-clock timing.
+func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Result[T], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	parallelism := opts.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -120,6 +132,7 @@ func Run[T any](jobs []Job[T], opts Options) ([]Result[T], error) {
 		parallelism = len(jobs)
 	}
 	results := make([]Result[T], len(jobs))
+	started := make([]bool, len(jobs))
 
 	var (
 		mu   sync.Mutex
@@ -130,6 +143,9 @@ func Run[T any](jobs []Job[T], opts Options) ([]Result[T], error) {
 	worker := func() {
 		defer wg.Done()
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			mu.Lock()
 			if next >= len(jobs) {
 				mu.Unlock()
@@ -137,6 +153,7 @@ func Run[T any](jobs []Job[T], opts Options) ([]Result[T], error) {
 			}
 			i := next
 			next++
+			started[i] = true
 			mu.Unlock()
 
 			job := jobs[i]
@@ -145,7 +162,7 @@ func Run[T any](jobs []Job[T], opts Options) ([]Result[T], error) {
 				seed = *job.Seed
 			}
 			start := time.Now()
-			value, err := job.Run(seed)
+			value, err := job.Run(ctx, seed)
 			elapsed := time.Since(start)
 			if err != nil {
 				err = fmt.Errorf("sweep job %s: %w", job.Key, err)
@@ -166,6 +183,16 @@ func Run[T any](jobs []Job[T], opts Options) ([]Result[T], error) {
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		// Mark every job that never started so callers can tell "not run"
+		// from "ran and produced a zero value".
+		for i := range results {
+			if !started[i] {
+				results[i] = Result[T]{Key: jobs[i].Key, Err: fmt.Errorf("sweep job %s: %w", jobs[i].Key, err)}
+			}
+		}
+		return results, err
+	}
 	for i := range results {
 		if results[i].Err != nil {
 			return results, results[i].Err

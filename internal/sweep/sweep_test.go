@@ -2,12 +2,14 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -21,7 +23,7 @@ func jitterJobs(n int) []Job[string] {
 		key := fmt.Sprintf("job-%03d", i)
 		jobs[i] = Job[string]{
 			Key: key,
-			Run: func(seed int64) (string, error) {
+			Run: func(_ context.Context, seed int64) (string, error) {
 				rng := rand.New(rand.NewSource(seed))
 				time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
 				return fmt.Sprintf("%s:%d:%d", key, i, rng.Intn(1<<30)), nil
@@ -38,11 +40,11 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
 		par := par
 		t.Run(fmt.Sprintf("parallel-%d", par), func(t *testing.T) {
-			serial, err := Run(jitterJobs(40), Options{Parallelism: 1, BaseSeed: 7})
+			serial, err := Run(context.Background(), jitterJobs(40), Options{Parallelism: 1, BaseSeed: 7})
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallel, err := Run(jitterJobs(40), Options{Parallelism: par, BaseSeed: 7})
+			parallel, err := Run(context.Background(), jitterJobs(40), Options{Parallelism: par, BaseSeed: 7})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,14 +71,14 @@ func TestRunResultOrder(t *testing.T) {
 		i := i
 		jobs[i] = Job[int]{
 			Key: strconv.Itoa(i),
-			Run: func(int64) (int, error) {
+			Run: func(context.Context, int64) (int, error) {
 				// Earlier jobs sleep longer, inverting completion order.
 				time.Sleep(time.Duration(len(jobs)-i) * time.Millisecond)
 				return i * i, nil
 			},
 		}
 	}
-	results, err := Run(jobs, Options{Parallelism: 8})
+	results, err := Run(context.Background(), jobs, Options{Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +95,14 @@ func TestRunFirstErrorByJobOrder(t *testing.T) {
 	errA := errors.New("a failed")
 	errB := errors.New("b failed")
 	jobs := []Job[int]{
-		{Key: "ok", Run: func(int64) (int, error) { return 1, nil }},
-		{Key: "a", Run: func(int64) (int, error) {
+		{Key: "ok", Run: func(context.Context, int64) (int, error) { return 1, nil }},
+		{Key: "a", Run: func(context.Context, int64) (int, error) {
 			time.Sleep(20 * time.Millisecond) // finishes after b
 			return 0, errA
 		}},
-		{Key: "b", Run: func(int64) (int, error) { return 0, errB }},
+		{Key: "b", Run: func(context.Context, int64) (int, error) { return 0, errB }},
 	}
-	_, err := Run(jobs, Options{Parallelism: 3})
+	_, err := Run(context.Background(), jobs, Options{Parallelism: 3})
 	if !errors.Is(err, errA) {
 		t.Fatalf("err = %v, want the job-order-first error %v", err, errA)
 	}
@@ -121,7 +123,7 @@ func TestSeedForStability(t *testing.T) {
 	}
 	// Seeds are properties of (base, key) only: run in any batch, any order.
 	jobs := jitterJobs(4)
-	res, err := Run(jobs, Options{BaseSeed: 3})
+	res, err := Run(context.Background(), jobs, Options{BaseSeed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,9 +142,9 @@ func TestExplicitSeedOverride(t *testing.T) {
 	jobs := []Job[int64]{{
 		Key:  "pinned",
 		Seed: &want,
-		Run:  func(seed int64) (int64, error) { return seed, nil },
+		Run:  func(_ context.Context, seed int64) (int64, error) { return seed, nil },
 	}}
-	res, err := Run(jobs, Options{BaseSeed: 99})
+	res, err := Run(context.Background(), jobs, Options{BaseSeed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +159,7 @@ func TestProgressSerialisedAndComplete(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[string]int{}
 	maxDone := 0
-	_, err := Run(jitterJobs(25), Options{
+	_, err := Run(context.Background(), jitterJobs(25), Options{
 		Parallelism: 5,
 		Progress: func(p Progress) {
 			// Already serialised by the runner; the map write would race
@@ -205,9 +207,62 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestRunCancelledStopsEarly is the cancellation contract: once ctx is
+// cancelled no further job starts, jobs that never started carry ctx's error,
+// and Run returns it.
+func TestRunCancelledStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const total = 64
+	var startedJobs atomic.Int32
+	release := make(chan struct{})
+	jobs := make([]Job[int], total)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: strconv.Itoa(i),
+			Run: func(ctx context.Context, _ int64) (int, error) {
+				startedJobs.Add(1)
+				<-release
+				return i, ctx.Err()
+			},
+		}
+	}
+	go func() {
+		// Let the two workers pick up their first jobs, then cancel and
+		// unblock them.
+		for startedJobs.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		close(release)
+	}()
+	results, err := Run(ctx, jobs, Options{Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := int(startedJobs.Load()); n >= total {
+		t.Fatalf("all %d jobs started despite cancellation", n)
+	}
+	if len(results) != total {
+		t.Fatalf("got %d results, want one per job", len(results))
+	}
+	unstarted := 0
+	for i, r := range results {
+		if r.Key != jobs[i].Key {
+			t.Fatalf("result %d has key %q, want %q", i, r.Key, jobs[i].Key)
+		}
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) {
+			unstarted++
+		}
+	}
+	if unstarted == 0 {
+		t.Fatal("no job result carries the cancellation error")
+	}
+}
+
 // TestRunEmpty checks the degenerate sweep.
 func TestRunEmpty(t *testing.T) {
-	results, err := Run[int](nil, Options{})
+	results, err := Run[int](context.Background(), nil, Options{})
 	if err != nil || len(results) != 0 {
 		t.Fatalf("empty sweep: %v, %d results", err, len(results))
 	}

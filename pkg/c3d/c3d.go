@@ -1,0 +1,149 @@
+// Package c3d is the public SDK of the C3D reproduction: one composable,
+// cancellable API in front of every capability of the simulator — single
+// simulations, the paper's experiment campaigns, protocol verification and
+// the streaming trace codec.
+//
+// The entry point is a Session built from functional options:
+//
+//	sess, err := c3d.New(
+//		c3d.WithSockets(4),
+//		c3d.WithDesign(c3d.C3D),
+//		c3d.WithQuick(),
+//	)
+//	if err != nil { ... }
+//	res, err := sess.Simulate(ctx, "streamcluster")
+//
+// Every long-running method takes a context.Context and stops promptly when
+// it is cancelled — simulations abort between accesses, sweeps stop claiming
+// jobs, model-checking searches abandon their frontier — and every failure is
+// reported as an error (the SDK never panics on invalid configuration).
+// Progress is delivered through the structured Event type via WithProgress.
+//
+// cmd/c3dsim, cmd/c3dexp, cmd/c3dcheck, cmd/c3dtrace and the cmd/c3dd job
+// daemon are all thin clients of this package, so embedding the SDK gives
+// exactly the CLI/service code path: results are bit-identical across all of
+// them at any parallelism.
+package c3d
+
+import (
+	"fmt"
+
+	"c3d/internal/experiments"
+	"c3d/internal/machine"
+	"c3d/internal/mc"
+	"c3d/internal/numa"
+	"c3d/internal/stats"
+	"c3d/internal/trace"
+)
+
+// Aliases re-export the stable result and parameter types so SDK users never
+// import internal packages.
+type (
+	// Design selects the coherence design to evaluate.
+	Design = machine.Design
+	// Policy selects the NUMA page placement policy.
+	Policy = numa.Policy
+	// MachineConfig is the full simulated-machine configuration (Table II).
+	MachineConfig = machine.Config
+	// RunResult is the detailed result of one simulation.
+	RunResult = machine.RunResult
+	// Report is one model-checking report.
+	Report = mc.Report
+	// Table is a rendered result table (text, CSV and JSON forms).
+	Table = stats.Table
+	// Event is a structured progress notification (see WithProgress).
+	Event = experiments.Event
+	// EventKind classifies an Event.
+	EventKind = experiments.EventKind
+	// TraceSource is a streaming view of a workload trace.
+	TraceSource = trace.Source
+	// TraceRecord is one memory access of a trace.
+	TraceRecord = trace.Record
+	// TraceStats summarises a trace stream.
+	TraceStats = trace.Stats
+	// VerifyResult collects the reports of one Verify call.
+	VerifyResult = experiments.VerifyResult
+)
+
+// The evaluated coherence designs (§V-A).
+const (
+	Baseline   = machine.Baseline
+	Snoopy     = machine.Snoopy
+	FullDir    = machine.FullDir
+	C3D        = machine.C3D
+	C3DFullDir = machine.C3DFullDir
+	SharedDRAM = machine.SharedDRAM
+)
+
+// The NUMA placement policies (§V, "Memory Allocation Policy").
+const (
+	Interleave  = numa.Interleave
+	FirstTouch1 = numa.FirstTouch1
+	FirstTouch2 = numa.FirstTouch2
+)
+
+// Progress event kinds.
+const (
+	EventSimulationDone   = experiments.EventSimulationDone
+	EventSimulationFailed = experiments.EventSimulationFailed
+	EventStatesExplored   = experiments.EventStatesExplored
+)
+
+// ParseDesign converts a design name (baseline, snoopy, full-dir, c3d,
+// c3d-full-dir, shared) into a Design.
+func ParseDesign(s string) (Design, error) { return machine.ParseDesign(s) }
+
+// ParsePolicy converts a policy name (INT, FT1, FT2) into a Policy.
+func ParsePolicy(s string) (Policy, error) { return numa.ParsePolicy(s) }
+
+// Designs returns every design in evaluation order.
+func Designs() []Design { return machine.Designs() }
+
+// Session is the facade in front of the simulator: an immutable bundle of
+// configuration defaults that every method applies to its run. Sessions are
+// cheap to create and safe for concurrent use — the c3dd daemon builds one
+// per job.
+type Session struct {
+	cfg config
+}
+
+// New builds a Session from the options, validating them eagerly: an
+// impossible configuration is reported here, not as a panic mid-run.
+func New(opts ...Option) (*Session, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg}, nil
+}
+
+// With returns a copy of the session with extra options applied — per-call
+// overrides without mutating the receiver.
+func (s *Session) With(opts ...Option) (*Session, error) {
+	cfg := s.cfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg}, nil
+}
+
+// newMachine converts machine.New's configuration panic into an error at the
+// SDK boundary.
+func newMachine(cfg machine.Config) (m *machine.Machine, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("c3d: invalid machine configuration: %w", e)
+			} else {
+				err = fmt.Errorf("c3d: invalid machine configuration: %v", r)
+			}
+		}
+	}()
+	return machine.New(cfg), nil
+}

@@ -1,0 +1,302 @@
+package c3d
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"c3d/internal/experiments"
+	"c3d/internal/machine"
+	"c3d/internal/workload"
+)
+
+// TestNewValidatesOptions checks impossible configurations fail at New, not
+// mid-run.
+func TestNewValidatesOptions(t *testing.T) {
+	cases := map[string][]Option{
+		"negative sockets":  {WithSockets(-1)},
+		"negative threads":  {WithThreads(-4)},
+		"negative scale":    {WithScale(-64)},
+		"negative accesses": {WithAccesses(-1)},
+		"warmup >= 1":       {WithWarmup(1.5)},
+		"unknown workload":  {WithWorkloads("streamcluster", "not-a-workload")},
+	}
+	for name, opts := range cases {
+		if _, err := New(opts...); err == nil {
+			t.Errorf("%s: New accepted the configuration", name)
+		}
+	}
+	if _, err := New(WithSockets(4), WithDesign(C3D), WithQuick()); err != nil {
+		t.Fatalf("valid configuration rejected: %v", err)
+	}
+}
+
+// TestNewMachineWrapsPanic checks the machine.New panic is converted into an
+// error at the SDK boundary.
+func TestNewMachineWrapsPanic(t *testing.T) {
+	if _, err := newMachine(machine.Config{}); err == nil {
+		t.Fatal("newMachine accepted the zero configuration")
+	} else if !strings.Contains(err.Error(), "invalid machine configuration") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestSimulateMatchesDirectRun is the SDK parity contract: Simulate must be
+// bit-identical to assembling the machine and workload by hand the way the
+// pre-SDK CLI did.
+func TestSimulateMatchesDirectRun(t *testing.T) {
+	const (
+		threads  = 8
+		scale    = 512
+		accesses = 2000
+	)
+	sess, err := New(
+		WithDesign(C3D),
+		WithSockets(4),
+		WithThreads(threads),
+		WithScale(scale),
+		WithAccesses(accesses),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Simulate(t.Context(), "streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := workload.MustGet("streamcluster")
+	mcfg := machine.DefaultConfig(4, machine.C3D)
+	mcfg.Scale = scale
+	mcfg.MemPolicy = spec.PreferredPolicy
+	src, err := workload.NewSource(spec, workload.Options{
+		Threads: threads, Scale: scale, AccessesPerThread: accesses,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := machine.New(mcfg).RunSource(t.Context(), src, machine.DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gj, _ := json.Marshal(got.RunResult)
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("SDK result differs from direct run:\nsdk:    %s\ndirect: %s", gj, wj)
+	}
+	if got.ThreadsClamped || got.EffectiveThreads != threads {
+		t.Fatalf("unexpected thread resolution: %+v", got)
+	}
+}
+
+// TestSimulateStreamingMatchesMaterialised checks WithStreaming(false) is
+// bit-identical to the default streaming path.
+func TestSimulateStreamingMatchesMaterialised(t *testing.T) {
+	run := func(streaming bool) RunResult {
+		sess, err := New(WithThreads(8), WithScale(512), WithAccesses(1500), WithStreaming(streaming))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Simulate(t.Context(), "canneal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Streamed != streaming {
+			t.Fatalf("Streamed = %v, want %v", res.Streamed, streaming)
+		}
+		return res.RunResult
+	}
+	a, _ := json.Marshal(run(true))
+	b, _ := json.Marshal(run(false))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("streaming and materialised runs differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestSimulateClampsThreads checks an over-wide request is clamped and the
+// clamp surfaced, instead of erroring or lying.
+func TestSimulateClampsThreads(t *testing.T) {
+	sess, err := New(WithSockets(2), WithCoresPerSocket(4), WithThreads(64),
+		WithScale(512), WithAccesses(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Simulate(t.Context(), "streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ThreadsClamped || res.RequestedThreads != 64 || res.EffectiveThreads != 8 {
+		t.Fatalf("clamp not surfaced: %+v", res)
+	}
+}
+
+// TestExperimentCancelledStopsSweepEarly is the acceptance gate for context
+// cancellation: cancelling mid-campaign must abort promptly, before the
+// remaining simulations run.
+func TestExperimentCancelledStopsSweepEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	sess, err := New(
+		WithQuick(),
+		WithAccesses(4000),
+		WithParallelism(1), // serialise so "stopped early" is observable
+		WithProgress(func(e Event) {
+			if done.Add(1) == 1 {
+				cancel() // cancel after the first completed simulation
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig6 is 6 designs x 9 workloads = 54 simulations.
+	_, err = sess.Experiment(ctx, "fig6")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := done.Load(); n >= 54 {
+		t.Fatalf("campaign ran all %d simulations despite cancellation", n)
+	}
+}
+
+// TestVerifyCancelled checks a cancelled verification returns ctx's error
+// with partial, Interrupted-marked reports.
+func TestVerifyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Verify(ctx, VerifyRequest{Sockets: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, rep := range res.Reports {
+		if !rep.Interrupted {
+			t.Errorf("report %s not marked interrupted", rep.Model)
+		}
+	}
+}
+
+// TestExperimentMatchesInternalRun checks the SDK routes through the same
+// experiment code path as direct internal use.
+func TestExperimentMatchesInternalRun(t *testing.T) {
+	sess, err := New(WithQuick(), WithWorkloads("streamcluster"), WithAccesses(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Experiment(t.Context(), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := experiments.QuickConfig()
+	cfg.Workloads = []string{"streamcluster"}
+	cfg.AccessesPerThread = 2000
+	want, err := experiments.TableI(t.Context(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := json.Marshal(got.Table)
+	wj, _ := json.Marshal(want.Table())
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("SDK experiment differs from internal run:\n%s\n%s", gj, wj)
+	}
+}
+
+// TestTraceRoundTripThroughSDK checks TraceSource -> TraceEncode ->
+// OpenTrace preserves the stream statistics, and that encoding observes
+// cancellation.
+func TestTraceRoundTripThroughSDK(t *testing.T) {
+	sess, err := New(WithThreads(4), WithAccesses(800), WithScale(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sess.TraceSource("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats, err := ComputeTraceStats(t.Context(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/t.c3dt"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TraceEncode(t.Context(), f, src, TraceV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	gotStats, err := ComputeTraceStats(t.Context(), tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("round-trip stats differ:\n%+v\n%+v", gotStats, wantStats)
+	}
+
+	// Cancelled encode must fail, not spin through the whole stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := TraceEncode(ctx, &buf, src, TraceV2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled encode: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParamsValidation checks Params surfaces bad enumerated values.
+func TestParamsValidation(t *testing.T) {
+	if _, err := (Params{Design: "warp-drive"}).Options(); err == nil {
+		t.Error("bad design accepted")
+	}
+	if _, err := (Params{Policy: "NUMA9000"}).Options(); err == nil {
+		t.Error("bad policy accepted")
+	}
+	stream := true
+	opts, err := (Params{Quick: true, Design: "c3d", Policy: "FT2", Sockets: 2,
+		Threads: 8, Accesses: 100, Scale: 512, Parallelism: 2, Stream: &stream,
+		Seed: 42, Workloads: []string{"streamcluster"}}).Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(opts...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkloadsListing sanity-checks the registry projection.
+func TestWorkloadsListing(t *testing.T) {
+	ws := Workloads()
+	if len(ws) == 0 {
+		t.Fatal("no workloads listed")
+	}
+	suite := 0
+	for _, w := range ws {
+		if w.Name == "" || w.DefaultThreads <= 0 {
+			t.Errorf("implausible workload info: %+v", w)
+		}
+		if w.InSuite {
+			suite++
+		}
+	}
+	if suite != 9 {
+		t.Errorf("suite size %d, want the paper's nine", suite)
+	}
+}

@@ -1,0 +1,188 @@
+package c3d
+
+import (
+	"fmt"
+
+	"c3d/internal/experiments"
+	"c3d/internal/numa"
+	"c3d/internal/workload"
+)
+
+// Option configures a Session (and, via Simulate's variadic parameter,
+// a single call).
+type Option func(*config)
+
+// config is the resolved option set. Zero-valued fields mean "use the
+// layer's default"; explicit choices are tracked with *Set flags where the
+// zero value is itself meaningful.
+type config struct {
+	design    Design
+	designSet bool
+
+	sockets        int
+	coresPerSocket int
+	threads        int
+	scale          int
+	accesses       int
+
+	warmup    float64
+	warmupSet bool
+
+	policy    Policy
+	policySet bool
+
+	parallelism int
+
+	streaming    bool
+	streamingSet bool
+
+	seed      int64
+	workloads []string
+	quick     bool
+
+	broadcastFilter bool
+
+	progress func(Event)
+}
+
+func defaultConfig() config {
+	return config{design: C3D}
+}
+
+func (c config) validate() error {
+	switch {
+	case c.sockets < 0:
+		return fmt.Errorf("c3d: negative socket count %d", c.sockets)
+	case c.threads < 0:
+		return fmt.Errorf("c3d: negative thread count %d", c.threads)
+	case c.scale < 0:
+		return fmt.Errorf("c3d: negative scale %d", c.scale)
+	case c.accesses < 0:
+		return fmt.Errorf("c3d: negative accesses per thread %d", c.accesses)
+	case c.warmupSet && (c.warmup < 0 || c.warmup >= 1):
+		return fmt.Errorf("c3d: warm-up fraction %v outside [0,1)", c.warmup)
+	case c.parallelism < 0:
+		return fmt.Errorf("c3d: negative parallelism %d", c.parallelism)
+	}
+	for _, name := range c.workloads {
+		if _, err := workload.Get(name); err != nil {
+			return fmt.Errorf("c3d: %w", err)
+		}
+	}
+	return nil
+}
+
+// WithDesign selects the coherence design for Simulate (default C3D). The
+// experiment campaigns fix their own design sets and ignore it.
+func WithDesign(d Design) Option {
+	return func(c *config) { c.design = d; c.designSet = true }
+}
+
+// WithSockets sets the socket count (default: 4, or what the experiment
+// fixes).
+func WithSockets(n int) Option { return func(c *config) { c.sockets = n } }
+
+// WithCoresPerSocket overrides the derived cores-per-socket count.
+func WithCoresPerSocket(n int) Option { return func(c *config) { c.coresPerSocket = n } }
+
+// WithThreads sets the workload thread count (default: the workload's native
+// count for Simulate, the experiment configuration's for campaigns).
+func WithThreads(n int) Option { return func(c *config) { c.threads = n } }
+
+// WithScale sets the capacity/footprint scale factor shared by machine and
+// workload (default workload.DefaultScale).
+func WithScale(n int) Option { return func(c *config) { c.scale = n } }
+
+// WithAccesses sets accesses per thread (default: the workload's native
+// count).
+func WithAccesses(n int) Option { return func(c *config) { c.accesses = n } }
+
+// WithWarmup sets the warm-up fraction of each thread's stream (default
+// 0.25).
+func WithWarmup(f float64) Option {
+	return func(c *config) { c.warmup = f; c.warmupSet = true }
+}
+
+// WithPolicy pins the NUMA placement policy (default: the workload's
+// preferred policy).
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.policy = p; c.policySet = true }
+}
+
+// WithParallelism bounds concurrent simulations / model-checker workers
+// (0 = GOMAXPROCS). Results are bit-identical at any value.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithStreaming chooses between streaming generation (bounded memory at any
+// stream length) and materialised traces (shared across designs via the
+// trace cache). Results are bit-identical either way. Default: streaming for
+// Simulate, materialised for experiment campaigns.
+func WithStreaming(on bool) Option {
+	return func(c *config) { c.streaming = on; c.streamingSet = true }
+}
+
+// WithSeed offsets workload generation (0 reproduces the default runs).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithWorkloads restricts experiment campaigns to a workload subset
+// (default: the paper's nine).
+func WithWorkloads(names ...string) Option {
+	return func(c *config) { c.workloads = append([]string(nil), names...) }
+}
+
+// WithQuick switches experiment campaigns to the reduced quick
+// configuration (minutes-scale instead of paper-scale).
+func WithQuick() Option { return func(c *config) { c.quick = true } }
+
+// WithBroadcastFilter enables the §IV-D private-page broadcast filter
+// (meaningful for the C3D design only).
+func WithBroadcastFilter(on bool) Option {
+	return func(c *config) { c.broadcastFilter = on }
+}
+
+// WithProgress registers a structured progress callback. Callbacks are
+// serialised; Event.String reproduces the classic CLI progress lines.
+func WithProgress(fn func(Event)) Option { return func(c *config) { c.progress = fn } }
+
+// experimentsConfig resolves the session options into an experiment
+// campaign configuration.
+func (c config) experimentsConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	if c.quick {
+		cfg = experiments.QuickConfig()
+	}
+	if c.sockets > 0 {
+		cfg.Sockets = c.sockets
+	}
+	if c.threads > 0 {
+		cfg.Threads = c.threads
+	}
+	if c.coresPerSocket > 0 {
+		cfg.CoresPerSocket = c.coresPerSocket
+	}
+	if c.accesses > 0 {
+		cfg.AccessesPerThread = c.accesses
+	}
+	if c.scale > 0 {
+		cfg.Scale = c.scale
+	}
+	if c.warmupSet {
+		cfg.WarmupFraction = c.warmup
+	}
+	if len(c.workloads) > 0 {
+		cfg.Workloads = append([]string(nil), c.workloads...)
+	}
+	cfg.Parallelism = c.parallelism
+	cfg.Streaming = c.streamingSet && c.streaming
+	cfg.Seed = c.seed
+	cfg.Progress = c.progress
+	return cfg
+}
+
+// workloadPolicy resolves the placement policy for a workload spec.
+func (c config) workloadPolicy(spec workload.Spec) numa.Policy {
+	if c.policySet {
+		return c.policy
+	}
+	return spec.PreferredPolicy
+}

@@ -1,0 +1,114 @@
+package c3d
+
+import "fmt"
+
+// Params is the flat, serialisable form of a session configuration: the
+// shape CLI flags parse into and the c3dd job API accepts as JSON. Both
+// resolve a Params to the same []Option via Options(), which is what makes
+// the CLIs and the daemon provably one code path.
+type Params struct {
+	// Quick switches experiment campaigns to the reduced configuration.
+	Quick bool `json:"quick,omitempty"`
+	// Design names the coherence design for simulations ("c3d", ...).
+	Design string `json:"design,omitempty"`
+	// Policy pins the NUMA placement policy ("INT", "FT1", "FT2"); empty
+	// means the workload's preferred policy.
+	Policy string `json:"policy,omitempty"`
+	// Sockets, Threads, Accesses and Scale override the configuration's
+	// machine and workload shape (0 = default).
+	Sockets  int `json:"sockets,omitempty"`
+	Threads  int `json:"threads,omitempty"`
+	Accesses int `json:"accesses,omitempty"`
+	Scale    int `json:"scale,omitempty"`
+	// Warmup overrides the warm-up fraction (nil = default 0.25).
+	Warmup *float64 `json:"warmup,omitempty"`
+	// Workloads restricts experiment campaigns to a subset.
+	Workloads []string `json:"workloads,omitempty"`
+	// Parallelism bounds concurrent simulations / checker workers
+	// (0 = GOMAXPROCS; results identical at any value).
+	Parallelism int `json:"parallel,omitempty"`
+	// Stream selects streaming generation (nil = the method's default:
+	// streaming for simulations, materialised for campaigns).
+	Stream *bool `json:"stream,omitempty"`
+	// Seed offsets workload generation.
+	Seed int64 `json:"seed,omitempty"`
+	// BroadcastFilter enables the §IV-D private-page broadcast filter.
+	BroadcastFilter bool `json:"broadcast_filter,omitempty"`
+}
+
+// Options resolves the params into session options, validating the
+// enumerated fields (design, policy) and rejecting negative numeric
+// overrides — dropping them silently would run a configuration the caller
+// never asked for.
+func (p Params) Options() ([]Option, error) {
+	for name, v := range map[string]int{
+		"sockets":  p.Sockets,
+		"threads":  p.Threads,
+		"accesses": p.Accesses,
+		"scale":    p.Scale,
+		"parallel": p.Parallelism,
+	} {
+		if v < 0 {
+			return nil, fmt.Errorf("c3d: negative %s %d", name, v)
+		}
+	}
+	var opts []Option
+	if p.Quick {
+		opts = append(opts, WithQuick())
+	}
+	if p.Design != "" {
+		d, err := ParseDesign(p.Design)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithDesign(d))
+	}
+	if p.Policy != "" {
+		pol, err := ParsePolicy(p.Policy)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithPolicy(pol))
+	}
+	if p.Sockets > 0 {
+		opts = append(opts, WithSockets(p.Sockets))
+	}
+	if p.Threads > 0 {
+		opts = append(opts, WithThreads(p.Threads))
+	}
+	if p.Accesses > 0 {
+		opts = append(opts, WithAccesses(p.Accesses))
+	}
+	if p.Scale > 0 {
+		opts = append(opts, WithScale(p.Scale))
+	}
+	if p.Warmup != nil {
+		opts = append(opts, WithWarmup(*p.Warmup))
+	}
+	if len(p.Workloads) > 0 {
+		opts = append(opts, WithWorkloads(p.Workloads...))
+	}
+	if p.Parallelism > 0 {
+		opts = append(opts, WithParallelism(p.Parallelism))
+	}
+	if p.Stream != nil {
+		opts = append(opts, WithStreaming(*p.Stream))
+	}
+	if p.Seed != 0 {
+		opts = append(opts, WithSeed(p.Seed))
+	}
+	if p.BroadcastFilter {
+		opts = append(opts, WithBroadcastFilter(true))
+	}
+	return opts, nil
+}
+
+// Session builds a Session directly from the params (plus any extra
+// options, applied after).
+func (p Params) Session(extra ...Option) (*Session, error) {
+	opts, err := p.Options()
+	if err != nil {
+		return nil, err
+	}
+	return New(append(opts, extra...)...)
+}

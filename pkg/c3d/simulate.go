@@ -1,0 +1,148 @@
+package c3d
+
+import (
+	"context"
+	"fmt"
+
+	"c3d/internal/machine"
+	"c3d/internal/workload"
+)
+
+// SimulateResult is the outcome of one Simulate call: the full machine-level
+// result plus how the request was resolved.
+type SimulateResult struct {
+	RunResult
+	// RequestedThreads is the thread count asked for (the workload's native
+	// count when none was set) and EffectiveThreads the count that actually
+	// ran: a request exceeding the machine's cores is clamped, and
+	// ThreadsClamped set, so callers can surface the difference instead of
+	// silently reporting on a smaller run.
+	RequestedThreads int
+	EffectiveThreads int
+	ThreadsClamped   bool
+	// Streamed reports whether the run used the streaming generator
+	// (bounded memory) or a materialised trace. Results are bit-identical
+	// either way.
+	Streamed bool
+}
+
+// Simulate runs one workload on one machine configuration under the
+// session's design and returns the detailed statistics. Per-call options
+// override the session's for this run only.
+//
+// Cancelling the context aborts the simulation between accesses and returns
+// ctx's error.
+func (s *Session) Simulate(ctx context.Context, workloadName string, opts ...Option) (*SimulateResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := s.cfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	spec, err := workload.Get(workloadName)
+	if err != nil {
+		return nil, err
+	}
+
+	mcfg := cfg.machineConfigFor(spec)
+	scale := mcfg.Scale
+
+	requested := spec.DefaultThreads
+	if cfg.threads > 0 {
+		requested = cfg.threads
+	}
+	threads := requested
+	clamped := false
+	if threads > mcfg.Cores() {
+		threads = mcfg.Cores()
+		clamped = true
+	}
+
+	m, err := newMachine(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	genOpts := workload.Options{
+		Threads:           threads,
+		Scale:             scale,
+		AccessesPerThread: cfg.accesses,
+		SeedOffset:        cfg.seed,
+	}
+	runOpts := machine.DefaultRunOptions()
+	if cfg.warmupSet {
+		runOpts.WarmupFraction = cfg.warmup
+	}
+
+	// Streaming is Simulate's default long-run mode: memory stays bounded at
+	// any stream length. WithStreaming(false) opts into a materialised trace.
+	streamed := !cfg.streamingSet || cfg.streaming
+	var res RunResult
+	if streamed {
+		src, err := workload.NewSource(spec, genOpts)
+		if err != nil {
+			return nil, err
+		}
+		res, err = m.RunSource(ctx, src, runOpts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tr, err := workload.Generate(spec, genOpts)
+		if err != nil {
+			return nil, err
+		}
+		res, err = m.Run(ctx, tr, runOpts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &SimulateResult{
+		RunResult:        res,
+		RequestedThreads: requested,
+		EffectiveThreads: threads,
+		ThreadsClamped:   clamped,
+		Streamed:         streamed,
+	}
+	return out, nil
+}
+
+// machineConfigFor resolves the session options into the machine
+// configuration a simulation of spec would run on — the single source of
+// truth shared by Simulate and MachineConfigFor.
+func (c config) machineConfigFor(spec workload.Spec) machine.Config {
+	sockets := c.sockets
+	if sockets <= 0 {
+		sockets = 4
+	}
+	scale := c.scale
+	if scale <= 0 {
+		scale = workload.DefaultScale
+	}
+	mcfg := machine.DefaultConfig(sockets, c.design)
+	mcfg.Scale = scale
+	mcfg.MemPolicy = c.workloadPolicy(spec)
+	mcfg.EnableBroadcastFilter = c.broadcastFilter
+	if c.coresPerSocket > 0 {
+		mcfg.CoresPerSocket = c.coresPerSocket
+	}
+	return mcfg
+}
+
+// MachineConfigFor resolves the machine configuration Simulate would use for
+// a workload under this session — useful for inspecting capacities before a
+// run.
+func (s *Session) MachineConfigFor(workloadName string) (MachineConfig, error) {
+	spec, err := workload.Get(workloadName)
+	if err != nil {
+		return MachineConfig{}, err
+	}
+	mcfg := s.cfg.machineConfigFor(spec)
+	if err := mcfg.Validate(); err != nil {
+		return MachineConfig{}, fmt.Errorf("c3d: %w", err)
+	}
+	return mcfg, nil
+}

@@ -1,0 +1,226 @@
+package c3d
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"c3d/internal/trace"
+	"c3d/internal/workload"
+)
+
+// WorkloadInfo describes one registered workload.
+type WorkloadInfo struct {
+	// Name is the workload name as used in the paper's figures.
+	Name string `json:"name"`
+	// Class is the suite the workload models ("parallel", "scale-out", ...).
+	Class string `json:"class"`
+	// SharedBytes is the unscaled size of the data shared by all threads.
+	SharedBytes uint64 `json:"shared_bytes"`
+	// DefaultThreads is the native thread count.
+	DefaultThreads int `json:"default_threads"`
+	// ReadFraction and CommFraction characterise the access mix.
+	ReadFraction float64 `json:"read_fraction"`
+	CommFraction float64 `json:"comm_fraction"`
+	// DefaultPolicy is the best-performing placement policy from the
+	// paper's profiling.
+	DefaultPolicy Policy `json:"-"`
+	// InSuite reports whether the workload is part of the paper's
+	// nine-workload evaluation suite (the default experiment set).
+	InSuite bool `json:"in_suite"`
+}
+
+// Workloads lists every registered workload, suite members first.
+func Workloads() []WorkloadInfo {
+	suite := make(map[string]bool)
+	for _, name := range workload.Names() {
+		suite[name] = true
+	}
+	var out []WorkloadInfo
+	for _, name := range workload.AllNames() {
+		spec := workload.MustGet(name)
+		out = append(out, WorkloadInfo{
+			Name:           spec.Name,
+			Class:          spec.Class.String(),
+			SharedBytes:    spec.SharedBytes,
+			DefaultThreads: spec.DefaultThreads,
+			ReadFraction:   spec.ReadFraction,
+			CommFraction:   spec.CommFraction,
+			DefaultPolicy:  spec.PreferredPolicy,
+			InSuite:        suite[spec.Name],
+		})
+	}
+	return out
+}
+
+// TraceFormat selects the on-disk trace format for TraceEncode.
+type TraceFormat int
+
+const (
+	// TraceV2 is the chunked, streamable format (the default).
+	TraceV2 TraceFormat = iota
+	// TraceV1 is the legacy flat format.
+	TraceV1
+)
+
+// ParseTraceFormat converts "v1"/"v2" into a TraceFormat.
+func ParseTraceFormat(s string) (TraceFormat, error) {
+	switch s {
+	case "v2":
+		return TraceV2, nil
+	case "v1":
+		return TraceV1, nil
+	default:
+		return 0, fmt.Errorf("c3d: unknown trace format %q (want v1 or v2)", s)
+	}
+}
+
+// TraceSource builds a streaming generator source for a workload under the
+// session options (threads, scale, accesses, seed): records are produced on
+// demand, so the source can drive paper-scale stream lengths at bounded
+// memory.
+func (s *Session) TraceSource(workloadName string, opts ...Option) (TraceSource, error) {
+	cfg := s.cfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	spec, err := workload.Get(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewSource(spec, workload.Options{
+		Threads:           cfg.threads,
+		Scale:             cfg.scale,
+		AccessesPerThread: cfg.accesses,
+		SeedOffset:        cfg.seed,
+	})
+}
+
+// TraceFile is an open on-disk trace: a TraceSource plus the file it reads
+// from. Close it when done.
+type TraceFile struct {
+	TraceSource
+	f *os.File
+}
+
+// Close releases the underlying file.
+func (t *TraceFile) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	return t.f.Close()
+}
+
+// OpenTrace opens a binary trace written by TraceEncode (or cmd/c3dtrace).
+// Chunked v2 files are streamed at bounded memory (one chunk per reader);
+// legacy v1 files have no chunk framing and are decoded whole.
+func OpenTrace(path string) (*TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src, err := trace.OpenSource(f, fi.Size())
+	switch {
+	case errors.Is(err, trace.ErrLegacyVersion):
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		tr, err := trace.Decode(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+		return &TraceFile{TraceSource: tr.Source()}, nil
+	case err != nil:
+		f.Close()
+		return nil, err
+	default:
+		return &TraceFile{TraceSource: src, f: f}, nil
+	}
+}
+
+// TraceEncode writes the source to w in the selected binary format.
+// Cancelling the context aborts the walk between records.
+func TraceEncode(ctx context.Context, w io.Writer, src TraceSource, format TraceFormat) error {
+	src = withContext(ctx, src)
+	switch format {
+	case TraceV1:
+		tr, err := trace.Materialize(src)
+		if err != nil {
+			return err
+		}
+		return tr.Encode(w)
+	default:
+		return trace.EncodeSource(w, src)
+	}
+}
+
+// ComputeTraceStats walks every stream of the source and summarises it.
+// Cancelling the context aborts the walk between records.
+func ComputeTraceStats(ctx context.Context, src TraceSource) (TraceStats, error) {
+	return trace.ComputeStatsSource(withContext(ctx, src))
+}
+
+// withContext wraps a source so its readers observe ctx cancellation: the
+// trace codec itself is context-free, and this adapter is how the SDK makes
+// encode/stat walks over arbitrarily long streams abortable.
+func withContext(ctx context.Context, src TraceSource) TraceSource {
+	if ctx == nil || ctx.Done() == nil {
+		return src
+	}
+	return &ctxSource{Source: src, ctx: ctx}
+}
+
+type ctxSource struct {
+	trace.Source
+	ctx context.Context
+}
+
+func (c *ctxSource) OpenInit() trace.RecordReader {
+	return &ctxReader{RecordReader: c.Source.OpenInit(), ctx: c.ctx}
+}
+
+func (c *ctxSource) OpenThread(t int) trace.RecordReader {
+	return &ctxReader{RecordReader: c.Source.OpenThread(t), ctx: c.ctx}
+}
+
+type ctxReader struct {
+	trace.RecordReader
+	ctx   context.Context
+	steps int
+	err   error
+}
+
+func (r *ctxReader) Next() (TraceRecord, bool) {
+	if r.err != nil {
+		return TraceRecord{}, false
+	}
+	// Check on the first record and every 4096 thereafter, so even short
+	// streams observe cancellation promptly.
+	if r.steps++; r.steps&4095 == 1 {
+		if err := r.ctx.Err(); err != nil {
+			r.err = err
+			return TraceRecord{}, false
+		}
+	}
+	return r.RecordReader.Next()
+}
+
+func (r *ctxReader) Err() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.RecordReader.Err()
+}

@@ -1,0 +1,47 @@
+package c3d
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Build metadata, stamped by the Makefile via
+//
+//	-ldflags "-X c3d/pkg/c3d.buildVersion=... -X c3d/pkg/c3d.buildCommit=... -X c3d/pkg/c3d.buildDate=..."
+//
+// and shared by every binary's -version flag.
+var (
+	buildVersion = "dev"
+	buildCommit  = ""
+	buildDate    = ""
+)
+
+// Version returns the build's version string. Unstamped builds (plain
+// `go build`) fall back to the module's VCS metadata when available.
+func Version() string {
+	commit, date := buildCommit, buildDate
+	if commit == "" {
+		if info, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range info.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					if len(s.Value) >= 12 {
+						commit = s.Value[:12]
+					} else {
+						commit = s.Value
+					}
+				case "vcs.time":
+					date = s.Value
+				}
+			}
+		}
+	}
+	out := buildVersion
+	if commit != "" {
+		out += fmt.Sprintf(" (%s)", commit)
+	}
+	if date != "" {
+		out += " " + date
+	}
+	return out
+}
