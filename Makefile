@@ -16,7 +16,7 @@ LDFLAGS := -X c3d/pkg/c3d.buildVersion=$(VERSION) \
            -X c3d/pkg/c3d.buildCommit=$(GIT_SHA) \
            -X c3d/pkg/c3d.buildDate=$(BUILD_DATE)
 
-.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism trace-roundtrip fuzz-smoke daemon-smoke ci
+.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke ci
 
 all: build
 
@@ -74,6 +74,19 @@ determinism:
 	cmp /tmp/c3d-mc-p1.json /tmp/c3d-mc-p8.json
 	@echo "model-check reports bit-identical across parallelism levels"
 
+# Generalized-fabric gate through the real CLI: one quick workload on the
+# mesh and fully-connected topologies at 8 sockets, each byte-compared
+# across parallelism levels — the topology registry must be as deterministic
+# as the paper's shapes.
+topology-smoke:
+	$(GO) run ./cmd/c3dexp -exp fig8 -quick -sockets 8 -topology mesh -workloads streamcluster -accesses 2000 -json -parallel 1 > /tmp/c3d-topo-mesh-p1.json
+	$(GO) run ./cmd/c3dexp -exp fig8 -quick -sockets 8 -topology mesh -workloads streamcluster -accesses 2000 -json -parallel 8 > /tmp/c3d-topo-mesh-p8.json
+	cmp /tmp/c3d-topo-mesh-p1.json /tmp/c3d-topo-mesh-p8.json
+	$(GO) run ./cmd/c3dexp -exp fig8 -quick -sockets 8 -topology full -workloads streamcluster -accesses 2000 -json -parallel 1 > /tmp/c3d-topo-full-p1.json
+	$(GO) run ./cmd/c3dexp -exp fig8 -quick -sockets 8 -topology full -workloads streamcluster -accesses 2000 -json -parallel 8 > /tmp/c3d-topo-full-p8.json
+	cmp /tmp/c3d-topo-full-p1.json /tmp/c3d-topo-full-p8.json
+	@echo "mesh@8 and fully-connected@8 results bit-identical across parallelism levels"
+
 # Trace codec round-trip gate through the real CLI: generate → encode →
 # decode must preserve every stream statistic bit-for-bit.
 trace-roundtrip:
@@ -108,4 +121,4 @@ daemon-smoke:
 	cmp /tmp/c3dd-smoke-result.json /tmp/c3dd-smoke-cli.json
 	@echo "daemon result bit-identical to c3dexp -json"
 
-ci: lint build race bench-json determinism trace-roundtrip fuzz-smoke daemon-smoke
+ci: lint build race bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke

@@ -39,6 +39,7 @@ func main() {
 		accesses  = flag.Int("accesses", 0, "override accesses per thread")
 		scale     = flag.Int("scale", 0, "override the capacity/footprint scale factor")
 		sockets   = flag.Int("sockets", 0, "override the socket count (where the experiment allows it)")
+		topology  = flag.String("topology", "", "fabric topology: p2p, ring, mesh or full (default: each machine's socket-count default; the scaling experiment sweeps its own grid)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's nine)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS; results identical at any value)")
 		stream    = flag.Bool("stream", false, "drive simulations from streaming generators (bounded memory at any -accesses; results identical)")
@@ -79,6 +80,7 @@ func main() {
 	params := c3d.Params{
 		Quick:       *quick,
 		Sockets:     *sockets,
+		Topology:    *topology,
 		Threads:     *threads,
 		Accesses:    *accesses,
 		Scale:       *scale,

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +25,8 @@ func main() {
 	var (
 		workloadName = flag.String("workload", "streamcluster", "workload name (see c3dtrace -list)")
 		designName   = flag.String("design", "c3d", "coherence design: baseline, snoopy, full-dir, c3d, c3d-full-dir, shared")
-		sockets      = flag.Int("sockets", 4, "number of sockets (2 or 4)")
+		sockets      = flag.Int("sockets", 4, "number of sockets (2-16)")
+		topology     = flag.String("topology", "", "fabric topology: p2p, ring, mesh or full (default: the socket count's default)")
 		threads      = flag.Int("threads", 0, "workload threads (default: the workload's native count; clamped to the machine's cores)")
 		accesses     = flag.Int("accesses", 0, "accesses per thread (default: the workload's native count)")
 		scale        = flag.Int("scale", 0, "capacity/footprint scale factor (default 64)")
@@ -32,6 +34,7 @@ func main() {
 		warmup       = flag.Float64("warmup", 0.25, "fraction of each thread's stream used as cache warm-up")
 		filter       = flag.Bool("broadcast-filter", false, "enable the §IV-D private-page broadcast filter (C3D only)")
 		stream       = flag.Bool("stream", true, "generate the access streams incrementally: memory stays bounded at any -accesses (long-run mode); results are bit-identical to -stream=false")
+		asJSON       = flag.Bool("json", false, "emit the full result (counters, topology, per-core stats) as JSON instead of the text summary")
 		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -43,6 +46,7 @@ func main() {
 	sess, err := c3d.Params{
 		Design:          *designName,
 		Policy:          *policyName,
+		Topology:        *topology,
 		Sockets:         *sockets,
 		Threads:         *threads,
 		Accesses:        *accesses,
@@ -61,7 +65,12 @@ func main() {
 	if *stream {
 		mode = "streaming"
 	}
-	fmt.Printf("%s %s (design=%s sockets=%d)...\n", mode, *workloadName, *designName, *sockets)
+	progressOut := os.Stdout
+	if *asJSON {
+		// Keep stdout pure JSON.
+		progressOut = os.Stderr
+	}
+	fmt.Fprintf(progressOut, "%s %s (design=%s sockets=%d)...\n", mode, *workloadName, *designName, *sockets)
 	start := time.Now()
 	res, err := sess.Simulate(ctx, *workloadName)
 	exitOn(err)
@@ -72,9 +81,16 @@ func main() {
 			res.RequestedThreads, res.Cores, res.EffectiveThreads)
 	}
 
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(res))
+		return
+	}
+
 	c := res.Counters
-	fmt.Printf("\n%s on %d-socket %s (policy %v), simulated in %v\n",
-		res.Workload, res.Sockets, res.Design, res.Policy, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\n%s on %d-socket %s (policy %v, topology %s), simulated in %v\n",
+		res.Workload, res.Sockets, res.Design, res.Policy, res.Topology, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  threads                %d\n", res.EffectiveThreads)
 	fmt.Printf("  cycles                 %d\n", res.Cycles)
 	fmt.Printf("  aggregate IPC          %.3f\n", res.IPC())

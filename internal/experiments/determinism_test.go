@@ -87,3 +87,30 @@ func TestStreamingMatchesMaterialised(t *testing.T) {
 			materialised, streamed)
 	}
 }
+
+// TestScalingDeterministicAcrossParallelism is the cross-topology
+// determinism contract: the scaling experiment sweeps every topology the
+// registry can host at each socket count, and its serialised result must be
+// byte-identical at Parallelism 1 and 8.
+func TestScalingDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) []byte {
+		cfg := testConfig()
+		cfg.AccessesPerThread = 2000
+		cfg.Workloads = []string{"streamcluster"}
+		cfg.Parallelism = parallelism
+		res, err := Scaling(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("Scaling at parallelism %d: %v", parallelism, err)
+		}
+		out, err := json.Marshal(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("scaling results differ across parallelism levels:\n  serial: %s\nparallel: %s", serial, parallel)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"c3d/internal/interconnect"
 	"c3d/internal/machine"
 	"c3d/internal/numa"
 	"c3d/internal/stats"
@@ -33,6 +34,10 @@ type Config struct {
 	// Sockets is the machine size for experiments that do not fix it
 	// themselves (Fig. 7 always uses 2, everything else 4).
 	Sockets int
+	// Topology pins the fabric topology for every machine the experiment
+	// builds (empty = the socket count's default: p2p for 2, ring beyond).
+	// The scaling experiment sweeps its own topology grid and ignores it.
+	Topology interconnect.Topology
 	// Threads is the number of workload threads (and cores used).
 	Threads int
 	// CoresPerSocket is derived from Threads/Sockets when zero.
@@ -119,6 +124,7 @@ func (c Config) workloadNames() []string {
 // experiment config.
 func (c Config) machineConfig(sockets int, design machine.Design, policy numa.Policy) machine.Config {
 	mc := machine.DefaultConfig(sockets, design)
+	mc.Topology = c.Topology
 	mc.Scale = c.Scale
 	mc.MemPolicy = policy
 	if c.CoresPerSocket > 0 {
@@ -299,6 +305,15 @@ func (c Config) runOne(ctx context.Context, j job, seed int64) (machine.RunResul
 	mcfg := j.mcfg
 	if j.mutate != nil {
 		j.mutate(&mcfg)
+	}
+	// Validate before construction: machine.New panics on a bad config, and
+	// a panic in a sweep worker kills the whole process (CLI or daemon). A
+	// session-level check cannot catch everything — experiments fix their
+	// own socket counts, so a topology that suits the session's shape can
+	// still be unhostable here (fig7's 2-socket machines under -topology
+	// ring) — and must surface as a job error, not a crash.
+	if err := mcfg.Validate(); err != nil {
+		return machine.RunResult{}, err
 	}
 	m := acquireMachine(mcfg)
 	defer releaseMachine(mcfg, m)

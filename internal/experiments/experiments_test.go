@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"c3d/internal/interconnect"
 	"c3d/internal/machine"
 	"c3d/internal/workload"
 )
@@ -20,7 +21,7 @@ func testConfig() Config {
 }
 
 func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
-	wantIDs := []string{"table1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "sec6c", "verify"}
+	wantIDs := []string{"table1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "sec6c", "verify", "scaling"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true
@@ -218,6 +219,106 @@ func TestQuickAndDefaultConfigs(t *testing.T) {
 	mc := def.machineConfig(4, machine.C3D, workload.MustGet("streamcluster").PreferredPolicy)
 	if mc.CoresPerSocket != 8 {
 		t.Errorf("machineConfig cores/socket = %d, want 8", mc.CoresPerSocket)
+	}
+}
+
+// TestScalingStudyShapesAndSanity checks the socket-scaling grid: quick
+// configurations sweep {2,4,8} sockets across every hosting topology with
+// both designs, baseline rows are exactly 1.0 speedup, and the one-hop
+// fully-connected fabric moves fewer bytes per access than the ring at 8
+// sockets (it pays links for hops).
+func TestScalingStudyShapesAndSanity(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerThread = 2000
+	cfg.Workloads = []string{"streamcluster"}
+	res, err := Scaling(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 socket counts x 3 hosting topologies x 2 designs.
+	if len(res.Points) != 18 {
+		t.Fatalf("scaling produced %d points, want 18: %+v", len(res.Points), res.Points)
+	}
+	byKey := map[string]ScalingPoint{}
+	for _, p := range res.Points {
+		if p.Design == "baseline" && p.Speedup != 1.0 {
+			t.Errorf("baseline speedup at %d/%s = %v, want exactly 1", p.Sockets, p.Topology, p.Speedup)
+		}
+		if p.OffSocketBytesPerAccess <= 0 {
+			t.Errorf("no off-socket traffic recorded at %d/%s/%s", p.Sockets, p.Topology, p.Design)
+		}
+		byKey[key(p.Sockets, p.Topology, p.Design)] = p
+	}
+	for _, n := range []int{2, 4, 8} {
+		for _, topo := range []string{"mesh", "full"} {
+			if _, ok := byKey[key(n, topo, "c3d")]; !ok {
+				t.Errorf("missing scaling point %d/%s/c3d", n, topo)
+			}
+		}
+	}
+	ring8 := byKey[key(8, "ring", "baseline")]
+	full8 := byKey[key(8, "full", "baseline")]
+	if full8.OffSocketBytesPerAccess >= ring8.OffSocketBytesPerAccess {
+		t.Errorf("fully-connected@8 should move fewer bytes/access than ring@8: %v vs %v",
+			full8.OffSocketBytesPerAccess, ring8.OffSocketBytesPerAccess)
+	}
+	if ring8.Diameter != 4 || full8.Diameter != 1 {
+		t.Errorf("diameters ring8=%d full8=%d, want 4 and 1", ring8.Diameter, full8.Diameter)
+	}
+	if full8.Links != 56 || ring8.Links != 16 {
+		t.Errorf("links ring8=%d full8=%d, want 16 and 56", ring8.Links, full8.Links)
+	}
+}
+
+// TestTopologyConfigReachesMachines checks Config.Topology flows into the
+// machines an ordinary experiment builds: table1 on a fully-connected
+// 4-socket fabric must differ from the ring default (fewer hops, same
+// remote-access pattern) while remaining deterministic.
+func TestTopologyConfigReachesMachines(t *testing.T) {
+	run := func(topo interconnect.Topology) TableIResult {
+		cfg := testConfig()
+		cfg.AccessesPerThread = 2000
+		cfg.Workloads = []string{"streamcluster"}
+		cfg.Topology = topo
+		res, err := TableI(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ring := run("") // default for 4 sockets
+	full := run(interconnect.FullyConnected)
+	full2 := run(interconnect.FullyConnected)
+	// Same topology twice: identical (determinism). Different topology:
+	// the timing feedback must show up somewhere — if the knob never
+	// reached the machine the two runs would be bit-identical.
+	differs := false
+	for wl, frac := range ring.RemoteFraction {
+		if full.RemoteFraction[wl] != full2.RemoteFraction[wl] {
+			t.Errorf("fully-connected rerun diverged for %s", wl)
+		}
+		if full.RemoteFraction[wl] != frac {
+			differs = true
+		}
+	}
+	if !differs && ring.Average == full.Average {
+		t.Error("topology override produced bit-identical results: the knob never reached the machines")
+	}
+}
+
+// TestTopologyShapeConflictIsAnErrorNotAPanic pins the failure mode of a
+// topology that suits the session's shape but not an experiment's own: fig7
+// builds 2-socket machines, which a ring cannot host. That must surface as a
+// job error — a panic here runs inside a sweep worker goroutine and would
+// take down the whole process (CLI or c3dd daemon).
+func TestTopologyShapeConflictIsAnErrorNotAPanic(t *testing.T) {
+	cfg := testConfig()
+	cfg.AccessesPerThread = 500
+	cfg.Workloads = []string{"streamcluster"}
+	cfg.Topology = interconnect.Ring
+	_, err := Fig7(context.Background(), cfg)
+	if err == nil || !strings.Contains(err.Error(), "hosts 3-16 sockets, not 2") {
+		t.Fatalf("fig7 under -topology ring: err = %v, want a hosting error", err)
 	}
 }
 

@@ -101,6 +101,11 @@ var registry = []Entry{
 		Description: "isolate the clean property, the non-inclusive directory and the miss predictor",
 		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Ablation(ctx, c); return r, err },
 	},
+	{
+		ID: "scaling", Paper: "§V (ext.)",
+		Description: "socket-scaling study: speedup and off-socket traffic vs socket count x topology x design",
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Scaling(ctx, c); return r, err },
+	},
 }
 
 // IDs returns every experiment id in presentation order.

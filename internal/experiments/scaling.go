@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"c3d/internal/interconnect"
+	"c3d/internal/machine"
+	"c3d/internal/stats"
+	"c3d/internal/workload"
+)
+
+// scalingDesigns are the designs the socket-scaling study compares: the
+// no-DRAM-cache baseline and the proposed C3D design. The study's question is
+// how C3D's advantage moves as the fabric grows, so the intermediate naive
+// designs are left out to keep the campaign tractable.
+var scalingDesigns = []machine.Design{machine.Baseline, machine.C3D}
+
+// scalingSocketCounts returns the machine sizes the study sweeps. Quick
+// configurations stop at 8 sockets; full runs include the 16-socket ceiling
+// of the built-in fabrics.
+func scalingSocketCounts(cfg Config) []int {
+	if cfg.AccessesPerThread > 0 && cfg.AccessesPerThread < 50_000 {
+		return []int{2, 4, 8}
+	}
+	return []int{2, 4, 8, 16}
+}
+
+// ScalingPoint is one (sockets, topology, design) cell of the study.
+type ScalingPoint struct {
+	Sockets  int
+	Topology string
+	Design   string
+	// Diameter is the topology's largest hop count at this socket count —
+	// the latency side of the fabric trade-off.
+	Diameter int
+	// Links is the number of directed fabric links — the cost side.
+	Links int
+	// Speedup is the geomean speedup over the same-shape baseline (1.0 for
+	// the baseline rows by construction).
+	Speedup float64
+	// OffSocketBytesPerAccess is the geomean inter-socket traffic per memory
+	// access.
+	OffSocketBytesPerAccess float64
+}
+
+// ScalingResult is the socket-scaling study: how each design's performance
+// and off-socket traffic move with socket count and fabric topology. It
+// extends the paper's two fixed shapes (2×16 p2p, 4×8 ring) along the §V
+// design-space axis the hardware trend points at: more sockets, richer
+// fabrics.
+type ScalingResult struct {
+	// Points holds one entry per (sockets, topology, design), in sweep
+	// order: socket count ascending, topologies in registry order, designs
+	// in evaluation order.
+	Points []ScalingPoint
+}
+
+// Table renders the study with one row per point.
+func (r ScalingResult) Table() *stats.Table {
+	t := stats.NewTable("sockets", "topology", "diam", "links", "design", "speedup", "off-socket B/acc")
+	for _, p := range r.Points {
+		t.AddRow(
+			strconv.Itoa(p.Sockets),
+			p.Topology,
+			strconv.Itoa(p.Diameter),
+			strconv.Itoa(p.Links),
+			p.Design,
+			fmt.Sprintf("%.3f", p.Speedup),
+			fmt.Sprintf("%.1f", p.OffSocketBytesPerAccess),
+		)
+	}
+	return t
+}
+
+// scalingShape is one machine shape of the study.
+type scalingShape struct {
+	sockets int
+	topo    interconnect.Topology
+}
+
+// scalingShapes enumerates the (sockets, topology) grid: every registered
+// topology that can host each socket count, in deterministic registry order.
+func scalingShapes(cfg Config) []scalingShape {
+	var shapes []scalingShape
+	for _, n := range scalingSocketCounts(cfg) {
+		for _, topo := range interconnect.Topologies() {
+			if interconnect.SupportsSockets(topo, n) != nil {
+				continue
+			}
+			shapes = append(shapes, scalingShape{sockets: n, topo: topo})
+		}
+	}
+	return shapes
+}
+
+// Scaling runs the socket-scaling study. The thread count is held at the
+// configuration's (the paper's 32 by default), so the sweep answers "what
+// does the same workload cost on a bigger machine": cores per socket shrink
+// as sockets grow, page placement spreads across more homes, and every
+// remote access crosses the selected fabric. Results are deterministic at
+// any Config.Parallelism.
+func Scaling(ctx context.Context, cfg Config) (ScalingResult, error) {
+	cfg = cfg.withDefaults()
+	shapes := scalingShapes(cfg)
+	names := cfg.workloadNames()
+
+	var jobs []job
+	for _, sh := range shapes {
+		for _, name := range names {
+			spec := workload.MustGet(name)
+			for _, d := range scalingDesigns {
+				mcfg := cfg.machineConfig(sh.sockets, d, spec.PreferredPolicy)
+				mcfg.Topology = sh.topo
+				jobs = append(jobs, job{
+					key:  key("scaling", sh.sockets, sh.topo, name, d),
+					spec: spec,
+					mcfg: mcfg,
+				})
+			}
+		}
+	}
+	results, err := cfg.runJobs(ctx, jobs)
+	if err != nil {
+		return ScalingResult{}, err
+	}
+
+	out := ScalingResult{}
+	for _, sh := range shapes {
+		fabric := interconnect.New(interconnect.Config{Sockets: sh.sockets, Topology: sh.topo})
+		for _, d := range scalingDesigns {
+			speedup := geomeanOver(names, func(name string) float64 {
+				base := results[key("scaling", sh.sockets, sh.topo, name, machine.Baseline)]
+				return results[key("scaling", sh.sockets, sh.topo, name, d)].SpeedupOver(base)
+			})
+			traffic := geomeanOver(names, func(name string) float64 {
+				r := results[key("scaling", sh.sockets, sh.topo, name, d)]
+				accesses := r.Counters.Loads + r.Counters.Stores
+				if accesses == 0 {
+					return 0
+				}
+				return float64(r.InterSocketBytes) / float64(accesses)
+			})
+			out.Points = append(out.Points, ScalingPoint{
+				Sockets:                 sh.sockets,
+				Topology:                sh.topo.String(),
+				Design:                  d.String(),
+				Diameter:                fabric.Diameter(),
+				Links:                   fabric.LinkCount(),
+				Speedup:                 speedup,
+				OffSocketBytesPerAccess: traffic,
+			})
+		}
+	}
+	return out, nil
+}

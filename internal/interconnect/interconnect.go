@@ -1,13 +1,20 @@
-// Package interconnect models the inter-socket fabric of a 2- or 4-socket
-// NUMA machine: a point-to-point link for two sockets and a ring for four,
+// Package interconnect models the inter-socket fabric of a NUMA machine,
 // with per-hop latency, per-link bandwidth, and packet-size accounting
 // matching Table II of the C3D paper (20 ns per hop, 25.6 GB/s per link,
 // 16-byte control packets and 80-byte data packets).
 //
+// Topologies are pluggable: a registry maps names to TopologySpecs, and the
+// built-ins cover the paper's two shapes (point-to-point for 2 sockets, ring
+// for 4) plus generalized mesh and fully-connected fabrics for 2-16 sockets.
+// A spec instantiates into a Layout — the directed link set plus a
+// precomputed next-hop table — so routing on the message hot path is two
+// array reads per hop regardless of topology. See TopologySpec for how to
+// register a new topology without touching this package's dispatch.
+//
 // The fabric is where the NUMA bottleneck lives: every remote-memory access,
 // directory lookup, forwarded block, snoop and invalidation crosses it, and
-// the experiments in Figs. 8–9 report precisely the byte counts this package
-// accumulates.
+// the experiments in Figs. 8–9 (and the socket-scaling study) report
+// precisely the byte counts this package accumulates.
 package interconnect
 
 import (
@@ -15,29 +22,6 @@ import (
 
 	"c3d/internal/sim"
 )
-
-// Topology selects the physical arrangement of sockets.
-type Topology int
-
-const (
-	// PointToPoint directly connects every pair of sockets (used for the
-	// 2-socket configuration; every pair is one hop apart).
-	PointToPoint Topology = iota
-	// Ring connects socket i to sockets (i±1) mod N (used for the
-	// 4-socket configuration, mirroring commodity AMD/Intel designs).
-	Ring
-)
-
-func (t Topology) String() string {
-	switch t {
-	case PointToPoint:
-		return "p2p"
-	case Ring:
-		return "ring"
-	default:
-		return fmt.Sprintf("Topology(%d)", int(t))
-	}
-}
 
 // MessageClass distinguishes small control packets from data-carrying ones
 // for traffic accounting.
@@ -94,19 +78,31 @@ type Config struct {
 	LinkBandwidthGBs float64
 }
 
-// DefaultConfig returns the Table II fabric for the given socket count:
-// point-to-point for 2 sockets, ring for 4, 20 ns per hop, 25.6 GB/s links.
-func DefaultConfig(sockets int) Config {
-	topo := Ring
-	if sockets <= 2 {
-		topo = PointToPoint
+// Validate checks that the topology is registered and can host the socket
+// count.
+func (c Config) Validate() error {
+	if c.Sockets < 1 {
+		return fmt.Errorf("interconnect: need at least one socket, got %d", c.Sockets)
+	}
+	return SupportsSockets(c.Topology, c.Sockets)
+}
+
+// DefaultConfig returns the Table II fabric for the given socket count —
+// point-to-point for 2 sockets, ring beyond, 20 ns per hop, 25.6 GB/s links —
+// or an error when no default topology hosts the count (fewer than 1 or more
+// than 16 sockets). Callers wanting a non-default topology set Config.Topology
+// themselves and Validate it.
+func DefaultConfig(sockets int) (Config, error) {
+	topo, err := DefaultTopology(sockets)
+	if err != nil {
+		return Config{}, err
 	}
 	return Config{
 		Sockets:          sockets,
 		Topology:         topo,
 		HopLatency:       sim.NsToCycles(20),
 		LinkBandwidthGBs: 25.6,
-	}
+	}, nil
 }
 
 // Stats accumulates fabric traffic.
@@ -127,51 +123,113 @@ type Fabric struct {
 	// entries are socket pairs with no direct link. A flat slice keeps the
 	// per-hop link lookup on the message hot path free of map hashing.
 	links []*sim.Resource
+	// next is the topology's precomputed next-hop table (Layout.Next) and
+	// hops the per-pair hop counts derived from walking it.
+	next  []int
+	hops  []int
 	stats Stats
 	// zeroLatency models the Fig. 2 "0_qpi_lat" idealisation.
 	zeroLatency bool
 }
 
-// New builds a fabric from cfg. It panics if the socket count is not
-// supported by the topology (point-to-point needs >=2, ring needs >=3 to be
-// meaningful, and both need at least 1).
+// New builds a fabric from cfg. It panics when the configuration does not
+// validate (an unregistered topology, or a socket count the topology cannot
+// host) — fabric construction happens inside machine construction, where the
+// configuration has already been validated.
 func New(cfg Config) *Fabric {
-	if cfg.Sockets < 1 {
-		panic("interconnect: need at least one socket")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
-	f := &Fabric{cfg: cfg, links: make([]*sim.Resource, cfg.Sockets*cfg.Sockets)}
+	spec, err := topologySpec(cfg.Topology)
+	if err != nil {
+		panic("interconnect: " + err.Error())
+	}
+	n := cfg.Sockets
+	layout := spec.Build(n)
+	if layout.Sockets != n || len(layout.Next) != n*n {
+		panic(fmt.Sprintf("interconnect: topology %q built a malformed layout for %d sockets", cfg.Topology, n))
+	}
+	f := &Fabric{cfg: cfg, links: make([]*sim.Resource, n*n), next: layout.Next}
 	bpc := sim.GBsToBytesPerCycle(cfg.LinkBandwidthGBs)
-	addLink := func(a, b int) {
-		if f.links[a*cfg.Sockets+b] == nil {
-			f.links[a*cfg.Sockets+b] = sim.NewResource(fmt.Sprintf("link%d-%d", a, b), bpc)
+	for _, l := range layout.Links {
+		a, b := l[0], l[1]
+		f.checkSocket(a)
+		f.checkSocket(b)
+		if a != b && f.links[a*n+b] == nil {
+			f.links[a*n+b] = sim.NewResource(fmt.Sprintf("link%d-%d", a, b), bpc)
 		}
 	}
-	switch cfg.Topology {
-	case PointToPoint:
-		for i := 0; i < cfg.Sockets; i++ {
-			for j := 0; j < cfg.Sockets; j++ {
-				if i != j {
-					addLink(i, j)
-				}
+	f.hops = hopTable(layout)
+	// Every routed hop must have a link, or Send would dereference nil deep
+	// in the hot loop; catch a malformed registration here instead.
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			if nh := f.next[from*n+to]; f.links[from*n+nh] == nil {
+				panic(fmt.Sprintf("interconnect: topology %q routes %d->%d via missing link %d->%d",
+					cfg.Topology, from, to, from, nh))
 			}
 		}
-	case Ring:
-		for i := 0; i < cfg.Sockets; i++ {
-			next := (i + 1) % cfg.Sockets
-			addLink(i, next)
-			addLink(next, i)
-		}
-	default:
-		panic(fmt.Sprintf("interconnect: unknown topology %v", cfg.Topology))
 	}
 	return f
+}
+
+// hopTable derives per-pair hop counts by walking the next-hop table,
+// panicking on routes that do not terminate within Sockets-1 hops (a cycle in
+// a malformed layout).
+func hopTable(l Layout) []int {
+	n := l.Sockets
+	hops := make([]int, n*n)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			cur, count := from, 0
+			for cur != to {
+				cur = l.Next[cur*n+to]
+				count++
+				if count >= n {
+					panic(fmt.Sprintf("interconnect: route %d->%d does not terminate", from, to))
+				}
+			}
+			hops[from*n+to] = count
+		}
+	}
+	return hops
 }
 
 // Config returns the fabric's configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() Topology { return f.cfg.Topology }
+
 // Stats returns a snapshot of the accumulated traffic.
 func (f *Fabric) Stats() Stats { return f.stats }
+
+// LinkCount returns the number of directed links the topology instantiated —
+// the per-topology cost side of the latency/cost trade-off (a fully
+// connected fabric has N*(N-1) links, a ring 2N).
+func (f *Fabric) LinkCount() int {
+	count := 0
+	for _, l := range f.links {
+		if l != nil {
+			count++
+		}
+	}
+	return count
+}
+
+// Diameter returns the largest hop count between any socket pair.
+func (f *Fabric) Diameter() int {
+	max := 0
+	for _, h := range f.hops {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
 
 // ResetStats clears traffic counters and link occupancy.
 func (f *Fabric) ResetStats() {
@@ -204,46 +262,9 @@ func (f *Fabric) SetInfiniteBandwidth() {
 // Hops returns the number of fabric hops between two sockets (0 if they are
 // the same socket).
 func (f *Fabric) Hops(from, to int) int {
-	if from == to {
-		return 0
-	}
-	switch f.cfg.Topology {
-	case PointToPoint:
-		return 1
-	case Ring:
-		d := from - to
-		if d < 0 {
-			d = -d
-		}
-		if wrap := f.cfg.Sockets - d; wrap < d {
-			d = wrap
-		}
-		return d
-	default:
-		panic("interconnect: unknown topology")
-	}
-}
-
-// route returns the step increment and hop count of the route from from to
-// to (dist 0 when they are the same socket). For the ring it walks the
-// shorter direction, breaking ties clockwise; point-to-point is always one
-// hop. step is always in [0, sockets), so callers walk the route with
-// cur = (cur + step) % sockets starting at cur = from — allocation-free,
-// which matters because this is the simulator's hottest path.
-func (f *Fabric) route(from, to int) (step, dist int) {
-	n := f.cfg.Sockets
-	if from == to {
-		return 0, 0
-	}
-	if f.cfg.Topology == PointToPoint {
-		return ((to-from)%n + n) % n, 1
-	}
-	cw := (to - from + n) % n
-	ccw := (from - to + n) % n
-	if ccw < cw {
-		return n - 1, ccw // n-1 is -1 mod n
-	}
-	return 1, cw
+	f.checkSocket(from)
+	f.checkSocket(to)
+	return f.hops[from*f.cfg.Sockets+to]
 }
 
 // Send models one message travelling from socket `from` to socket `to`
@@ -257,6 +278,7 @@ func (f *Fabric) Send(now sim.Time, from, to int, class MessageClass) sim.Time {
 	}
 	f.checkSocket(from)
 	f.checkSocket(to)
+	n := f.cfg.Sockets
 	bytes := class.Bytes()
 	f.stats.Messages++
 	switch class {
@@ -266,10 +288,9 @@ func (f *Fabric) Send(now sim.Time, from, to int, class MessageClass) sim.Time {
 		f.stats.DataMsgs++
 	}
 	t := now
-	prev := from
-	step, dist := f.route(from, to)
-	for i := 0; i < dist; i++ {
-		next := (prev + step) % f.cfg.Sockets
+	cur := from
+	for cur != to {
+		next := f.next[cur*n+to]
 		f.stats.HopsTraversed++
 		f.stats.TotalBytes += uint64(bytes)
 		switch class {
@@ -278,13 +299,13 @@ func (f *Fabric) Send(now sim.Time, from, to int, class MessageClass) sim.Time {
 		case Data:
 			f.stats.DataBytes += uint64(bytes)
 		}
-		link := f.links[prev*f.cfg.Sockets+next]
+		link := f.links[cur*n+next]
 		_, done := link.Acquire(t, bytes)
 		if !f.zeroLatency {
 			done = done.Add(f.cfg.HopLatency)
 		}
 		t = done
-		prev = next
+		cur = next
 	}
 	return t
 }

@@ -1,0 +1,319 @@
+package interconnect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Topology names a registered fabric topology. The value is the registry key:
+// comparing, printing and parsing all go through the same string, so a
+// topology added by RegisterTopology is immediately usable everywhere a
+// built-in one is (machine configs, CLI flags, the daemon's JobSpec).
+type Topology string
+
+// The built-in topologies.
+const (
+	// PointToPoint directly connects the two sockets of the paper's 2-socket
+	// configuration (every pair is one hop apart).
+	PointToPoint Topology = "p2p"
+	// Ring connects socket i to sockets (i±1) mod N, mirroring commodity
+	// AMD/Intel designs; the paper's 4-socket configuration uses it.
+	Ring Topology = "ring"
+	// Mesh arranges the sockets in a 2D grid with links between grid
+	// neighbours and deterministic XY routing (column first, then row).
+	Mesh Topology = "mesh"
+	// FullyConnected links every socket pair directly: one hop everywhere,
+	// at the cost of N*(N-1) directed links.
+	FullyConnected Topology = "full"
+)
+
+func (t Topology) String() string { return string(t) }
+
+// Layout is a topology instantiated for a concrete socket count: the directed
+// link set plus the precomputed next-hop table the fabric walks on every
+// message. Layouts are built once at fabric construction, so routing on the
+// hot path is two array reads per hop.
+type Layout struct {
+	// Sockets is the socket count the layout was built for.
+	Sockets int
+	// Links lists every directed link as a {from, to} pair. Order does not
+	// matter (the fabric stores links in a dense matrix); duplicates are
+	// ignored.
+	Links [][2]int
+	// Next is the dense next-hop table: Next[from*Sockets+to] is the socket
+	// a message at `from` heading for `to` crosses next (Next[i*Sockets+i]
+	// is i). Every (from, Next[from*Sockets+to]) pair must be a link.
+	Next []int
+}
+
+// TopologySpec describes one registered topology: its identity, the socket
+// counts it can host, and how to build a Layout for one of them.
+//
+// To add a topology, register a spec from an init function:
+//
+//	func init() {
+//		interconnect.RegisterTopology(interconnect.TopologySpec{
+//			Name:        "torus",
+//			Description: "2D torus with wraparound links",
+//			MinSockets:  4,
+//			MaxSockets:  16,
+//			Build:       buildTorus,
+//		})
+//	}
+//
+// Nothing else changes: ParseTopology accepts the new name, Topologies()
+// lists it, machine.Config.Topology / c3dsim -topology / the daemon JobSpec
+// route to it, and the fabric drives it through the same precomputed
+// next-hop tables as the built-ins.
+type TopologySpec struct {
+	// Name is the registry key ("p2p", "ring", ...).
+	Name Topology
+	// Description is a one-line summary for listings.
+	Description string
+	// Rank orders Topologies(): lower first, ties broken by name. The
+	// built-ins use 0-3; unset (0) third-party specs sort with them by name.
+	Rank int
+	// MinSockets and MaxSockets bound the socket counts the topology hosts.
+	MinSockets, MaxSockets int
+	// Build returns the layout for a socket count within the bounds. It is
+	// only called with supported counts.
+	Build func(sockets int) Layout
+}
+
+var (
+	topoMu  sync.RWMutex
+	topoReg = make(map[Topology]TopologySpec)
+)
+
+// RegisterTopology adds a topology to the registry. It panics on a duplicate
+// name or a malformed spec — registration happens in init functions, where
+// misconfiguration should fail loudly.
+func RegisterTopology(spec TopologySpec) {
+	if spec.Name == "" {
+		panic("interconnect: RegisterTopology with empty name")
+	}
+	if spec.Build == nil {
+		panic(fmt.Sprintf("interconnect: topology %q has no Build function", spec.Name))
+	}
+	if spec.MinSockets < 1 || spec.MaxSockets < spec.MinSockets {
+		panic(fmt.Sprintf("interconnect: topology %q has invalid socket bounds [%d,%d]",
+			spec.Name, spec.MinSockets, spec.MaxSockets))
+	}
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	if _, dup := topoReg[spec.Name]; dup {
+		panic(fmt.Sprintf("interconnect: topology %q registered twice", spec.Name))
+	}
+	topoReg[spec.Name] = spec
+}
+
+// topologySpec returns the spec registered under t.
+func topologySpec(t Topology) (TopologySpec, error) {
+	topoMu.RLock()
+	spec, ok := topoReg[t]
+	topoMu.RUnlock()
+	if !ok {
+		return TopologySpec{}, fmt.Errorf("unknown topology %q (known: %v)", string(t), Topologies())
+	}
+	return spec, nil
+}
+
+// ParseTopology converts a topology name back into a Topology, mirroring
+// machine.ParseDesign: only registered names parse.
+func ParseTopology(s string) (Topology, error) {
+	if _, err := topologySpec(Topology(s)); err != nil {
+		return "", fmt.Errorf("interconnect: %w", err)
+	}
+	return Topology(s), nil
+}
+
+// Topologies returns every registered topology in deterministic order:
+// ascending Rank, ties broken by name.
+func Topologies() []Topology {
+	topoMu.RLock()
+	specs := make([]TopologySpec, 0, len(topoReg))
+	for _, spec := range topoReg {
+		specs = append(specs, spec)
+	}
+	topoMu.RUnlock()
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].Rank != specs[j].Rank {
+			return specs[i].Rank < specs[j].Rank
+		}
+		return specs[i].Name < specs[j].Name
+	})
+	out := make([]Topology, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SupportsSockets reports whether the topology can host the given socket
+// count, with a descriptive error when it cannot.
+func SupportsSockets(t Topology, sockets int) error {
+	spec, err := topologySpec(t)
+	if err != nil {
+		return fmt.Errorf("interconnect: %w", err)
+	}
+	if sockets < spec.MinSockets || sockets > spec.MaxSockets {
+		return fmt.Errorf("interconnect: topology %q hosts %d-%d sockets, not %d",
+			string(t), spec.MinSockets, spec.MaxSockets, sockets)
+	}
+	return nil
+}
+
+// DefaultTopology returns the topology a machine of the given socket count
+// uses when none is selected: point-to-point for one or two sockets (the
+// paper's 2-socket shape) and a ring beyond that (the paper's 4-socket
+// shape), up to the 16-socket ceiling of the built-in fabrics.
+func DefaultTopology(sockets int) (Topology, error) {
+	switch {
+	case sockets < 1:
+		return "", fmt.Errorf("interconnect: need at least one socket, got %d", sockets)
+	case sockets <= 2:
+		return PointToPoint, nil
+	case sockets <= maxFabricSockets:
+		return Ring, nil
+	default:
+		return "", fmt.Errorf("interconnect: no default topology hosts %d sockets (max %d); pick one explicitly",
+			sockets, maxFabricSockets)
+	}
+}
+
+// maxFabricSockets is the ceiling of the built-in topologies. It bounds the
+// precomputed route tables, not anything fundamental: a registered topology
+// may set its own MaxSockets.
+const maxFabricSockets = 16
+
+// --- built-in layout builders ---
+
+func init() {
+	RegisterTopology(TopologySpec{
+		Name:        PointToPoint,
+		Description: "direct link between two sockets (the paper's 2-socket shape)",
+		Rank:        0,
+		MinSockets:  1,
+		MaxSockets:  2,
+		Build:       buildFullyConnected,
+	})
+	RegisterTopology(TopologySpec{
+		Name:        Ring,
+		Description: "bidirectional ring, shorter direction wins, ties clockwise (the paper's 4-socket shape)",
+		Rank:        1,
+		MinSockets:  3,
+		MaxSockets:  maxFabricSockets,
+		Build:       buildRing,
+	})
+	RegisterTopology(TopologySpec{
+		Name:        Mesh,
+		Description: "2D mesh with XY routing (column first, then row)",
+		Rank:        2,
+		MinSockets:  2,
+		MaxSockets:  maxFabricSockets,
+		Build:       buildMesh,
+	})
+	RegisterTopology(TopologySpec{
+		Name:        FullyConnected,
+		Description: "every socket pair directly linked: one hop everywhere",
+		Rank:        3,
+		MinSockets:  2,
+		MaxSockets:  maxFabricSockets,
+		Build:       buildFullyConnected,
+	})
+}
+
+// buildFullyConnected links every pair directly; the next hop is always the
+// destination. It also serves the degenerate 1- and 2-socket point-to-point
+// shapes.
+func buildFullyConnected(n int) Layout {
+	l := Layout{Sockets: n, Next: make([]int, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			l.Next[i*n+j] = j
+			if i != j {
+				l.Links = append(l.Links, [2]int{i, j})
+			}
+		}
+	}
+	return l
+}
+
+// buildRing links socket i to (i±1) mod n and routes along the shorter
+// direction, breaking ties clockwise — exactly the walk the pre-registry
+// fabric performed, so ring results are bit-identical to it.
+func buildRing(n int) Layout {
+	l := Layout{Sockets: n, Next: make([]int, n*n)}
+	for i := 0; i < n; i++ {
+		l.Links = append(l.Links, [2]int{i, (i + 1) % n}, [2]int{(i + 1) % n, i})
+	}
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			switch {
+			case from == to:
+				l.Next[from*n+to] = from
+			default:
+				cw := (to - from + n) % n
+				ccw := (from - to + n) % n
+				if ccw < cw {
+					l.Next[from*n+to] = (from + n - 1) % n
+				} else {
+					l.Next[from*n+to] = (from + 1) % n
+				}
+			}
+		}
+	}
+	return l
+}
+
+// meshGrid picks the mesh's shape for n sockets: the most square exact
+// factorisation rows x cols with rows <= cols. Exact factorisation keeps the
+// grid perfect (no missing corner), which keeps XY routing valid for every
+// pair; prime counts degenerate to a 1 x n chain.
+func meshGrid(n int) (rows, cols int) {
+	rows = 1
+	for r := 2; r*r <= n; r++ {
+		if n%r == 0 {
+			rows = r
+		}
+	}
+	return rows, n / rows
+}
+
+// buildMesh lays the sockets out row-major on the meshGrid shape, links grid
+// neighbours, and routes XY: first along the row to the destination column,
+// then along the column. XY routing is deterministic and deadlock-free, and
+// the hop count is the Manhattan distance.
+func buildMesh(n int) Layout {
+	rows, cols := meshGrid(n)
+	l := Layout{Sockets: n, Next: make([]int, n*n)}
+	for s := 0; s < n; s++ {
+		r, c := s/cols, s%cols
+		if c+1 < cols {
+			l.Links = append(l.Links, [2]int{s, s + 1}, [2]int{s + 1, s})
+		}
+		if r+1 < rows {
+			l.Links = append(l.Links, [2]int{s, s + cols}, [2]int{s + cols, s})
+		}
+	}
+	for from := 0; from < n; from++ {
+		fr, fc := from/cols, from%cols
+		for to := 0; to < n; to++ {
+			_, tc := to/cols, to%cols
+			switch {
+			case from == to:
+				l.Next[from*n+to] = from
+			case fc < tc:
+				l.Next[from*n+to] = from + 1
+			case fc > tc:
+				l.Next[from*n+to] = from - 1
+			case fr < to/cols:
+				l.Next[from*n+to] = from + cols
+			default:
+				l.Next[from*n+to] = from - cols
+			}
+		}
+	}
+	return l
+}

@@ -14,6 +14,17 @@ type baselineEngine struct {
 	m *Machine
 }
 
+func init() {
+	RegisterDesign(DesignSpec{
+		Name:           Baseline,
+		Description:    "reference machine without DRAM caches (§V-A)",
+		Rank:           0,
+		Evaluated:      true,
+		NewEngine:      func(m *Machine) Engine { return &baselineEngine{m: m} },
+		NewDirectories: SparseGenericDirectory,
+	})
+}
+
 func (e *baselineEngine) Name() string { return "baseline" }
 
 // dirLookupAt models the request's trip to the home directory: the control

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"c3d/internal/addr"
 	"c3d/internal/cache"
 	"c3d/internal/core"
@@ -23,6 +25,44 @@ import (
 //     thread-private pages when the §IV-D classifier is enabled.
 type c3dEngine struct {
 	m *Machine
+}
+
+func init() {
+	RegisterDesign(DesignSpec{
+		Name:             C3D,
+		Description:      "clean private DRAM caches plus a non-inclusive directory with broadcast invalidations (§IV)",
+		Rank:             3,
+		Evaluated:        true,
+		HasDRAMCache:     true,
+		PrivateDRAMCache: true,
+		CleanDRAMCache:   true,
+		NewEngine:        func(m *Machine) Engine { return &c3dEngine{m: m} },
+		NewDirectories: func(id int, cfg Config) SocketDirectories {
+			return SocketDirectories{C3D: core.NewDirectory(core.DirConfig{
+				Name:    fmt.Sprintf("gdir.%d", id),
+				Sockets: cfg.Sockets,
+				Entries: cfg.DirEntries(),
+				Ways:    cfg.DirWays,
+			})}
+		},
+	})
+	RegisterDesign(DesignSpec{
+		Name:             C3DFullDir,
+		Description:      "C3D with an idealised full directory that also tracks DRAM cache blocks (§V-A)",
+		Rank:             4,
+		Evaluated:        true,
+		HasDRAMCache:     true,
+		PrivateDRAMCache: true,
+		CleanDRAMCache:   true,
+		NewEngine:        func(m *Machine) Engine { return &c3dEngine{m: m} },
+		NewDirectories: func(id int, cfg Config) SocketDirectories {
+			return SocketDirectories{C3D: core.NewDirectory(core.DirConfig{
+				Name:           fmt.Sprintf("gdir.%d", id),
+				Sockets:        cfg.Sockets,
+				TrackDRAMCache: true,
+			})}
+		},
+	})
 }
 
 func (e *c3dEngine) Name() string {

@@ -1,9 +1,18 @@
 // Package machine composes the substrates — cores, caches, DRAM caches,
-// directories, interconnect, memory — into a 2- or 4-socket NUMA machine and
-// runs workload traces through it under one of the evaluated coherence
-// designs (§V-A): the baseline without DRAM caches, the naive snoopy and
-// full-directory DRAM cache designs, C3D, the idealised c3d-full-dir, and a
-// shared (memory-side) DRAM cache organisation.
+// directories, interconnect, memory — into a multi-socket NUMA machine and
+// runs workload traces through it under one of the registered coherence
+// designs. The built-ins are the paper's six (§V-A): the baseline without
+// DRAM caches, the naive snoopy and full-directory DRAM cache designs, C3D,
+// the idealised c3d-full-dir, and a shared (memory-side) DRAM cache
+// organisation.
+//
+// Designs are pluggable: a registry maps names to DesignSpecs, each bundling
+// the design's structural traits with the factories for its coherence engine
+// and per-socket directory slices. Machine construction dispatches purely
+// through the registry — there is no design switch to extend — so a new
+// design is one RegisterDesign call in an init function; see DesignSpec for
+// the recipe. The fabric topology is equally pluggable through
+// interconnect.RegisterTopology, selected by Config.Topology.
 //
 // The timing model follows the paper's own simulator: simple 1-IPC in-order
 // cores with blocking loads and a store queue, and a memory system whose
@@ -18,85 +27,97 @@ import (
 	"fmt"
 
 	"c3d/internal/dramcache"
+	"c3d/internal/interconnect"
 	"c3d/internal/numa"
 	"c3d/internal/sim"
 )
 
-// Design selects the coherence design to evaluate.
-type Design int
+// Design names a registered coherence design. The value is the registry key:
+// comparing, printing and parsing all go through the same string, so a
+// design added by RegisterDesign is immediately usable everywhere a built-in
+// one is (machine configs, experiment campaigns, CLI flags, the daemon's
+// JobSpec).
+type Design string
 
+// The built-in designs (§V-A).
 const (
 	// Baseline is the reference machine without DRAM caches (§V-A).
-	Baseline Design = iota
+	Baseline Design = "baseline"
 	// Snoopy adds private dirty DRAM caches kept coherent by snooping every
 	// remote socket on a local miss (§III-A).
-	Snoopy
+	Snoopy Design = "snoopy"
 	// FullDir adds private dirty DRAM caches tracked by an idealised
 	// inclusive full directory (§III-B).
-	FullDir
+	FullDir Design = "full-dir"
 	// C3D is the proposed design: clean private DRAM caches plus a
 	// non-inclusive directory with broadcast invalidations for untracked
 	// writes (§IV).
-	C3D
+	C3D Design = "c3d"
 	// C3DFullDir is C3D with an idealised full directory that also tracks
 	// DRAM cache blocks, eliminating broadcasts (§V-A).
-	C3DFullDir
+	C3DFullDir Design = "c3d-full-dir"
 	// SharedDRAM places each DRAM cache in front of its socket's memory as a
 	// memory-side cache: no replication, no coherence, but also no reduction
 	// in off-socket traffic (§II-C).
-	SharedDRAM
+	SharedDRAM Design = "shared"
 )
 
-var designNames = map[Design]string{
-	Baseline:   "baseline",
-	Snoopy:     "snoopy",
-	FullDir:    "full-dir",
-	C3D:        "c3d",
-	C3DFullDir: "c3d-full-dir",
-	SharedDRAM: "shared",
-}
+func (d Design) String() string { return string(d) }
 
-func (d Design) String() string {
-	if n, ok := designNames[d]; ok {
-		return n
-	}
-	return fmt.Sprintf("Design(%d)", int(d))
-}
-
-// ParseDesign converts a design name back into a Design.
+// ParseDesign converts a design name back into a Design. Only registered
+// names parse.
 func ParseDesign(s string) (Design, error) {
-	for d, n := range designNames {
-		if n == s {
-			return d, nil
+	if _, err := designSpec(Design(s)); err != nil {
+		return "", err
+	}
+	return Design(s), nil
+}
+
+// Designs returns every registered design in deterministic order: ascending
+// DesignSpec.Rank, ties broken by name. For the built-ins that is the
+// evaluation order of the paper's figures.
+func Designs() []Design {
+	specs := designSpecs()
+	out := make([]Design, len(specs))
+	for i, spec := range specs {
+		out[i] = spec.Name
+	}
+	return out
+}
+
+// EvaluatedDesigns returns the designs compared in Figs. 6-9 (the specs
+// registered with Evaluated set): the baseline plus the four DRAM cache
+// coherence schemes.
+func EvaluatedDesigns() []Design {
+	var out []Design
+	for _, spec := range designSpecs() {
+		if spec.Evaluated {
+			out = append(out, spec.Name)
 		}
 	}
-	return 0, fmt.Errorf("machine: unknown design %q", s)
+	return out
 }
 
-// Designs returns every design in evaluation order (the order of the paper's
-// figures).
-func Designs() []Design {
-	return []Design{Baseline, Snoopy, FullDir, C3D, C3DFullDir, SharedDRAM}
+// HasDRAMCache reports whether the design includes per-socket DRAM caches
+// (false for unregistered designs).
+func (d Design) HasDRAMCache() bool {
+	spec, err := designSpec(d)
+	return err == nil && spec.HasDRAMCache
 }
-
-// EvaluatedDesigns returns the designs compared in Figs. 6-9: the baseline
-// plus the four DRAM cache coherence schemes.
-func EvaluatedDesigns() []Design {
-	return []Design{Baseline, Snoopy, FullDir, C3D, C3DFullDir}
-}
-
-// HasDRAMCache reports whether the design includes per-socket DRAM caches.
-func (d Design) HasDRAMCache() bool { return d != Baseline }
 
 // HasPrivateDRAMCache reports whether the DRAM caches are private to each
 // socket (and therefore need coherence).
 func (d Design) HasPrivateDRAMCache() bool {
-	return d == Snoopy || d == FullDir || d == C3D || d == C3DFullDir
+	spec, err := designSpec(d)
+	return err == nil && spec.PrivateDRAMCache
 }
 
 // CleanDRAMCache reports whether the design keeps its DRAM caches clean
 // (write-through), which is C3D's defining property.
-func (d Design) CleanDRAMCache() bool { return d == C3D || d == C3DFullDir }
+func (d Design) CleanDRAMCache() bool {
+	spec, err := designSpec(d)
+	return err == nil && spec.CleanDRAMCache
+}
 
 // Config describes the simulated machine. All capacities are given at paper
 // scale (Table II); Scale divides them (and should divide the workload's
@@ -106,9 +127,14 @@ type Config struct {
 	// Design selects the coherence scheme.
 	Design Design
 	// Sockets and CoresPerSocket shape the machine: 4×8 and 2×16 are the
-	// paper's two configurations (32 cores total either way).
+	// paper's two configurations (32 cores total either way); the scaling
+	// study stretches Sockets to 16.
 	Sockets        int
 	CoresPerSocket int
+	// Topology selects the inter-socket fabric. Empty means the socket
+	// count's default (point-to-point for 1-2 sockets, ring beyond) —
+	// exactly the paper's two shapes.
+	Topology interconnect.Topology
 	// MemPolicy is the NUMA page placement policy.
 	MemPolicy numa.Policy
 	// Scale divides LLC, DRAM cache and directory capacities.
@@ -168,13 +194,16 @@ const (
 	gib = 1 << 30
 )
 
-// DefaultConfig returns the Table II machine for the given socket count
-// (2 or 4) and design, at the default scale shared with
-// workload.DefaultScale.
+// DefaultConfig returns the Table II machine for the given socket count and
+// design, at the default scale shared with workload.DefaultScale. The
+// paper's two shapes (2×16 and 4×8) keep their 32-core total, as does any
+// socket count dividing 32; other counts get the paper's 8 cores per socket.
+// The fabric topology is left at the socket count's default (Config.Topology
+// empty); set it explicitly for the generalized mesh/fully-connected shapes.
 func DefaultConfig(sockets int, design Design) Config {
 	coresPerSocket := 8
-	if sockets == 2 {
-		coresPerSocket = 16
+	if sockets > 0 && 32%sockets == 0 {
+		coresPerSocket = 32 / sockets
 	}
 	return Config{
 		Design:         design,
@@ -213,7 +242,9 @@ func DefaultConfig(sockets int, design Design) Config {
 	}
 }
 
-// Validate checks that the configuration is internally consistent.
+// Validate checks that the configuration is internally consistent: the
+// design and topology must be registered, the selected (or default) topology
+// must host the socket count, and the capacities must be sane.
 func (c Config) Validate() error {
 	switch {
 	case c.Sockets < 1:
@@ -224,12 +255,48 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: scale must be >= 1, got %d", c.Scale)
 	case c.L1SizeBytes == 0 || c.LLCSizeBytes == 0:
 		return fmt.Errorf("machine: cache sizes must be non-zero")
-	case c.Design.HasDRAMCache() && c.DRAMCacheSizeBytes == 0:
-		return fmt.Errorf("machine: design %v needs a DRAM cache size", c.Design)
 	case c.DirProvisioning < 0:
 		return fmt.Errorf("machine: negative directory provisioning")
 	}
+	if _, err := designSpec(c.Design); err != nil {
+		return err
+	}
+	if c.Design.HasDRAMCache() && c.DRAMCacheSizeBytes == 0 {
+		return fmt.Errorf("machine: design %v needs a DRAM cache size", c.Design)
+	}
+	if _, err := c.fabricConfig(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
 	return nil
+}
+
+// ResolvedTopology returns the fabric topology the machine will use: the
+// explicit Config.Topology, or the socket count's default when unset.
+func (c Config) ResolvedTopology() (interconnect.Topology, error) {
+	if c.Topology != "" {
+		if err := interconnect.SupportsSockets(c.Topology, c.Sockets); err != nil {
+			return "", err
+		}
+		return c.Topology, nil
+	}
+	return interconnect.DefaultTopology(c.Sockets)
+}
+
+// fabricConfig resolves the interconnect configuration: the selected (or
+// default) topology with the machine's Table II hop latency and link
+// bandwidth.
+func (c Config) fabricConfig() (interconnect.Config, error) {
+	topo, err := c.ResolvedTopology()
+	if err != nil {
+		return interconnect.Config{}, err
+	}
+	icCfg := interconnect.Config{
+		Sockets:          c.Sockets,
+		Topology:         topo,
+		HopLatency:       sim.NsToCycles(c.HopLatencyNs),
+		LinkBandwidthGBs: c.LinkBandwidthGBs,
+	}
+	return icCfg, icCfg.Validate()
 }
 
 // Cores returns the total core count.

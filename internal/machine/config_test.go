@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"c3d/internal/interconnect"
 	"c3d/internal/numa"
 	"c3d/internal/sim"
 )
@@ -99,6 +100,11 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.LLCSizeBytes = 0 },
 		func(c *Config) { c.DRAMCacheSizeBytes = 0 }, // C3D needs a DRAM cache
 		func(c *Config) { c.DirProvisioning = -1 },
+		func(c *Config) { c.Design = "warp-drive" },
+		func(c *Config) { c.Topology = "moebius" },
+		func(c *Config) { c.Topology = interconnect.PointToPoint },        // cannot host 4 sockets
+		func(c *Config) { c.Sockets = 17 },                                // no default topology
+		func(c *Config) { c.Sockets = 2; c.Topology = interconnect.Ring }, // ring needs >= 3
 	}
 	for i, mutate := range cases {
 		cfg := good
@@ -112,6 +118,71 @@ func TestConfigValidation(t *testing.T) {
 	base.DRAMCacheSizeBytes = 0
 	if err := base.Validate(); err != nil {
 		t.Errorf("baseline without DRAM cache rejected: %v", err)
+	}
+	// Every built-in topology validates on a shape it hosts.
+	for _, c := range []struct {
+		sockets int
+		topo    interconnect.Topology
+	}{
+		{2, interconnect.PointToPoint},
+		{8, interconnect.Ring},
+		{8, interconnect.Mesh},
+		{16, interconnect.FullyConnected},
+	} {
+		cfg := DefaultConfig(c.sockets, C3D)
+		cfg.Topology = c.topo
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s@%d rejected: %v", c.topo, c.sockets, err)
+		}
+	}
+}
+
+func TestResolvedTopology(t *testing.T) {
+	cases := []struct {
+		sockets int
+		topo    interconnect.Topology
+		want    interconnect.Topology
+	}{
+		{2, "", interconnect.PointToPoint},
+		{4, "", interconnect.Ring},
+		{16, "", interconnect.Ring},
+		{8, interconnect.Mesh, interconnect.Mesh},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig(c.sockets, C3D)
+		cfg.Topology = c.topo
+		got, err := cfg.ResolvedTopology()
+		if err != nil || got != c.want {
+			t.Errorf("ResolvedTopology(%d sockets, %q) = %v, %v; want %v", c.sockets, c.topo, got, err, c.want)
+		}
+	}
+	bad := DefaultConfig(4, C3D)
+	bad.Topology = interconnect.PointToPoint
+	if _, err := bad.ResolvedTopology(); err == nil {
+		t.Error("p2p cannot host 4 sockets")
+	}
+}
+
+// TestDefaultConfigGeneralizedShapes pins the cores-per-socket rule beyond
+// the paper's two machines: socket counts dividing 32 keep the 32-core
+// total, others fall back to 8 per socket.
+func TestDefaultConfigGeneralizedShapes(t *testing.T) {
+	cases := []struct{ sockets, coresPerSocket int }{
+		{1, 32}, {2, 16}, {4, 8}, {8, 4}, {16, 2}, {3, 8}, {5, 8}, {6, 8},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig(c.sockets, C3D)
+		if cfg.CoresPerSocket != c.coresPerSocket {
+			t.Errorf("DefaultConfig(%d).CoresPerSocket = %d, want %d", c.sockets, cfg.CoresPerSocket, c.coresPerSocket)
+		}
+		if cfg.Topology != "" {
+			t.Errorf("DefaultConfig(%d) should leave the topology at the default, got %q", c.sockets, cfg.Topology)
+		}
+	}
+	for _, n := range []int{8, 16} {
+		if err := DefaultConfig(n, C3D).Validate(); err != nil {
+			t.Errorf("DefaultConfig(%d) invalid: %v", n, err)
+		}
 	}
 }
 
@@ -163,6 +234,22 @@ func TestNsConversionInConfig(t *testing.T) {
 	}
 	if sim.NsToCycles(cfg.HopLatencyNs) != 60 {
 		t.Error("hop latency should convert to 60 cycles")
+	}
+}
+
+// TestMachineBuildsSelectedTopology checks the Topology knob reaches the
+// fabric (and that the default resolution still lands on the paper's shapes).
+func TestMachineBuildsSelectedTopology(t *testing.T) {
+	cfg := DefaultConfig(8, C3D)
+	cfg.Topology = interconnect.Mesh
+	if got := New(cfg).Fabric().Topology(); got != interconnect.Mesh {
+		t.Errorf("fabric topology = %v, want mesh", got)
+	}
+	if got := New(DefaultConfig(2, Baseline)).Fabric().Topology(); got != interconnect.PointToPoint {
+		t.Errorf("2-socket default fabric = %v, want p2p", got)
+	}
+	if got := New(DefaultConfig(4, Baseline)).Fabric().Topology(); got != interconnect.Ring {
+		t.Errorf("4-socket default fabric = %v, want ring", got)
 	}
 }
 

@@ -48,36 +48,30 @@ type Machine struct {
 	classifier *tlb.Classifier
 	filter     *core.BroadcastFilter
 
-	engine engine
+	engine Engine
 
 	counters accessCounters
 }
 
-// engine is the per-design coherence behaviour. ReadMiss and WriteMiss handle
-// requests that missed the requesting socket's on-chip hierarchy and return
-// the time the data (for reads) or the ownership grant (for writes) reaches
-// the requesting core. LLCEvict handles an LLC victim.
-type engine interface {
-	Name() string
-	ReadMiss(now sim.Time, sock *Socket, coreID int, b addr.Block) sim.Time
-	WriteMiss(now sim.Time, sock *Socket, coreID int, b addr.Block, upgrade bool) sim.Time
-	LLCEvict(now sim.Time, sock *Socket, victim cache.Victim)
-}
-
 // New builds a machine from cfg. It panics on an invalid configuration
 // (construction happens at experiment-setup time where misconfiguration
-// should fail loudly).
+// should fail loudly). The design and the fabric topology both resolve
+// through their registries: there is no design or topology switch here to
+// extend.
 func New(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	spec := mustDesignSpec(cfg.Design)
 	m := &Machine{cfg: cfg}
 	for s := 0; s < cfg.Sockets; s++ {
-		m.sockets = append(m.sockets, newSocket(s, cfg))
+		m.sockets = append(m.sockets, newSocket(s, cfg, spec))
 	}
-	icCfg := interconnect.DefaultConfig(cfg.Sockets)
-	icCfg.HopLatency = sim.NsToCycles(cfg.HopLatencyNs)
-	icCfg.LinkBandwidthGBs = cfg.LinkBandwidthGBs
+	icCfg, err := cfg.fabricConfig()
+	if err != nil {
+		// Unreachable: Validate resolved the same fabric config above.
+		panic(err)
+	}
 	m.fabric = interconnect.New(icCfg)
 	if cfg.ZeroHopLatency {
 		m.fabric.SetZeroLatency()
@@ -109,20 +103,7 @@ func New(cfg Config) *Machine {
 		}
 	}
 
-	switch cfg.Design {
-	case Baseline:
-		m.engine = &baselineEngine{m: m}
-	case Snoopy:
-		m.engine = &snoopyEngine{m: m}
-	case FullDir:
-		m.engine = &fullDirEngine{m: m}
-	case C3D, C3DFullDir:
-		m.engine = &c3dEngine{m: m}
-	case SharedDRAM:
-		m.engine = &sharedEngine{m: m}
-	default:
-		panic(fmt.Sprintf("machine: unknown design %v", cfg.Design))
-	}
+	m.engine = spec.NewEngine(m)
 	return m
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"c3d/internal/cpu"
 	"c3d/internal/dramcache"
+	"c3d/internal/interconnect"
 	"c3d/internal/numa"
 	"c3d/internal/stats"
 )
@@ -18,6 +19,9 @@ type RunResult struct {
 	Sockets  int
 	Cores    int
 	Policy   numa.Policy
+	// Topology is the fabric topology the run used (always resolved — the
+	// config's default-selection empty value never appears here).
+	Topology interconnect.Topology
 
 	// Cycles is the execution time of the measured region: the largest
 	// per-core completion time, stores drained.

@@ -339,6 +339,7 @@ func (m *Machine) collectResult(name string, cycles, instructions uint64) RunRes
 		Sockets:      m.cfg.Sockets,
 		Cores:        m.cfg.Cores(),
 		Policy:       m.cfg.MemPolicy,
+		Topology:     m.fabric.Topology(),
 		Cycles:       cycles,
 		Instructions: instructions,
 		Counters:     m.Counters(),

@@ -17,6 +17,19 @@ type snoopyEngine struct {
 	m *Machine
 }
 
+func init() {
+	RegisterDesign(DesignSpec{
+		Name:             Snoopy,
+		Description:      "private dirty DRAM caches kept coherent by snooping every remote socket (§III-A)",
+		Rank:             1,
+		Evaluated:        true,
+		HasDRAMCache:     true,
+		PrivateDRAMCache: true,
+		NewEngine:        func(m *Machine) Engine { return &snoopyEngine{m: m} },
+		NewDirectories:   SparseGenericDirectory,
+	})
+}
+
 func (e *snoopyEngine) Name() string { return "snoopy" }
 
 // probeSocket models a snoop arriving at a remote socket: the socket checks

@@ -35,8 +35,9 @@ type Socket struct {
 	dir    *coherence.Directory // Baseline, Snoopy (as snoop filter), FullDir, SharedDRAM
 }
 
-// newSocket builds socket id from the machine configuration.
-func newSocket(id int, cfg Config) *Socket {
+// newSocket builds socket id from the machine configuration; the design spec
+// contributes the directory slices.
+func newSocket(id int, cfg Config, spec DesignSpec) *Socket {
 	s := &Socket{id: id, cfg: cfg}
 	for c := 0; c < cfg.CoresPerSocket; c++ {
 		coreID := id*cfg.CoresPerSocket + c
@@ -82,34 +83,8 @@ func newSocket(id int, cfg Config) *Socket {
 		}
 		s.dramCache = dramcache.New(dcCfg)
 	}
-	switch cfg.Design {
-	case C3D:
-		s.c3dDir = core.NewDirectory(core.DirConfig{
-			Name:    fmt.Sprintf("gdir.%d", id),
-			Sockets: cfg.Sockets,
-			Entries: cfg.DirEntries(),
-			Ways:    cfg.DirWays,
-		})
-	case C3DFullDir:
-		s.c3dDir = core.NewDirectory(core.DirConfig{
-			Name:           fmt.Sprintf("gdir.%d", id),
-			Sockets:        cfg.Sockets,
-			TrackDRAMCache: true,
-		})
-	case FullDir:
-		// The paper models the naive full directory without recalls
-		// (unbounded) and with the baseline's 10-cycle latency, an
-		// optimistic assumption it calls out explicitly.
-		s.dir = coherence.NewDirectory(coherence.DirConfig{
-			Name: fmt.Sprintf("gdir.%d", id),
-		})
-	default:
-		s.dir = coherence.NewDirectory(coherence.DirConfig{
-			Name:    fmt.Sprintf("gdir.%d", id),
-			Entries: cfg.DirEntries(),
-			Ways:    cfg.DirWays,
-		})
-	}
+	dirs := spec.NewDirectories(id, cfg)
+	s.c3dDir, s.dir = dirs.C3D, dirs.Generic
 	return s
 }
 

@@ -246,6 +246,22 @@ func TestSimulateAndVerifyJobs(t *testing.T) {
 		t.Fatalf("implausible simulate result: %+v", sim.RunResult)
 	}
 
+	// A generalized shape — 8 sockets on a mesh fabric — runs through the
+	// same job path, and the resolved topology lands in the result.
+	meshID := postJob(t, ts, JobSpec{
+		Kind:     "simulate",
+		Workload: "streamcluster",
+		Params:   c3d.Params{Threads: 8, Scale: 512, Accesses: 2000, Sockets: 8, Topology: "mesh"},
+	})
+	waitState(t, ts, meshID, stateDone)
+	var mesh c3d.SimulateResult
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+meshID+"/result", &mesh); code != http.StatusOK {
+		t.Fatalf("mesh simulate result: HTTP %d", code)
+	}
+	if mesh.Sockets != 8 || mesh.Topology != c3d.Mesh {
+		t.Fatalf("mesh job reported %d sockets, topology %q", mesh.Sockets, mesh.Topology)
+	}
+
 	verID := postJob(t, ts, JobSpec{
 		Kind:   "verify",
 		Verify: VerifySpec{Sockets: 2},
@@ -346,6 +362,8 @@ func TestSubmitValidation(t *testing.T) {
 		"negative sockets":   `{"kind":"simulate","workload":"streamcluster","params":{"sockets":-4}}`,
 		"bad warmup":         `{"kind":"simulate","workload":"streamcluster","params":{"warmup":1.5}}`,
 		"unknown workload":   `{"kind":"experiment","params":{"workloads":["not-a-workload"]}}`,
+		"bad topology":       `{"kind":"simulate","workload":"streamcluster","params":{"topology":"moebius"}}`,
+		"unhostable shape":   `{"kind":"simulate","workload":"streamcluster","params":{"topology":"ring","sockets":2}}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"c3d/internal/experiments"
+	"c3d/internal/interconnect"
 	"c3d/internal/machine"
 	"c3d/internal/mc"
 	"c3d/internal/numa"
@@ -43,6 +44,8 @@ type (
 	Design = machine.Design
 	// Policy selects the NUMA page placement policy.
 	Policy = numa.Policy
+	// Topology selects the inter-socket fabric topology.
+	Topology = interconnect.Topology
 	// MachineConfig is the full simulated-machine configuration (Table II).
 	MachineConfig = machine.Config
 	// RunResult is the detailed result of one simulation.
@@ -82,6 +85,16 @@ const (
 	FirstTouch2 = numa.FirstTouch2
 )
 
+// The built-in fabric topologies. The paper's two machine shapes are
+// point-to-point (2 sockets) and ring (4); mesh and fully-connected
+// generalize the fabric to 2-16 sockets.
+const (
+	PointToPoint   = interconnect.PointToPoint
+	Ring           = interconnect.Ring
+	Mesh           = interconnect.Mesh
+	FullyConnected = interconnect.FullyConnected
+)
+
 // Progress event kinds.
 const (
 	EventSimulationDone   = experiments.EventSimulationDone
@@ -96,8 +109,15 @@ func ParseDesign(s string) (Design, error) { return machine.ParseDesign(s) }
 // ParsePolicy converts a policy name (INT, FT1, FT2) into a Policy.
 func ParsePolicy(s string) (Policy, error) { return numa.ParsePolicy(s) }
 
-// Designs returns every design in evaluation order.
+// ParseTopology converts a topology name (p2p, ring, mesh, full) into a
+// Topology. Only registered topologies parse.
+func ParseTopology(s string) (Topology, error) { return interconnect.ParseTopology(s) }
+
+// Designs returns every registered design in evaluation order.
 func Designs() []Design { return machine.Designs() }
+
+// Topologies returns every registered fabric topology in registry order.
+func Topologies() []Topology { return interconnect.Topologies() }
 
 // Session is the facade in front of the simulator: an immutable bundle of
 // configuration defaults that every method applies to its run. Sessions are

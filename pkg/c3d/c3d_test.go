@@ -269,8 +269,11 @@ func TestParamsValidation(t *testing.T) {
 	if _, err := (Params{Policy: "NUMA9000"}).Options(); err == nil {
 		t.Error("bad policy accepted")
 	}
+	if _, err := (Params{Topology: "moebius"}).Options(); err == nil {
+		t.Error("bad topology accepted")
+	}
 	stream := true
-	opts, err := (Params{Quick: true, Design: "c3d", Policy: "FT2", Sockets: 2,
+	opts, err := (Params{Quick: true, Design: "c3d", Policy: "FT2", Topology: "p2p", Sockets: 2,
 		Threads: 8, Accesses: 100, Scale: 512, Parallelism: 2, Stream: &stream,
 		Seed: 42, Workloads: []string{"streamcluster"}}).Options()
 	if err != nil {
@@ -278,6 +281,79 @@ func TestParamsValidation(t *testing.T) {
 	}
 	if _, err := New(opts...); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTopologyOptions covers the WithTopology/WithSockets surface: eager
+// rejection of shapes no machine hosts, and the topology landing in the
+// simulation result.
+func TestTopologyOptions(t *testing.T) {
+	// Ring cannot host the 2-socket shape; eagerly rejected at New.
+	if _, err := New(WithSockets(2), WithTopology(Ring)); err == nil {
+		t.Error("ring@2 accepted")
+	}
+	// No built-in topology hosts 32 sockets.
+	if _, err := New(WithSockets(32)); err == nil {
+		t.Error("32 sockets accepted without a hosting topology")
+	}
+	if _, err := (Params{Topology: "ring", Sockets: 2}).Session(); err == nil {
+		t.Error("params ring@2 accepted")
+	}
+
+	sess, err := New(WithSockets(8), WithTopology(Mesh), WithThreads(8),
+		WithAccesses(2000), WithScale(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Simulate(context.Background(), "streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sockets != 8 || res.Topology != Mesh {
+		t.Errorf("simulate on mesh@8 reported %d sockets, topology %q", res.Sockets, res.Topology)
+	}
+	// Defaults resolve to the paper's shapes.
+	mcfg, err := sess.MachineConfigFor("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo, err := mcfg.ResolvedTopology(); err != nil || topo != Mesh {
+		t.Errorf("machine config topology = %v, %v; want mesh", topo, err)
+	}
+	if got := Topologies(); len(got) != 4 || got[0] != PointToPoint || got[3] != FullyConnected {
+		t.Errorf("Topologies() = %v", got)
+	}
+	if topo, err := ParseTopology("full"); err != nil || topo != FullyConnected {
+		t.Errorf("ParseTopology(full) = %v, %v", topo, err)
+	}
+}
+
+// TestScalingExperimentViaSDK runs the registered scaling experiment through
+// the Session facade — the same path c3dexp and the daemon use.
+func TestScalingExperimentViaSDK(t *testing.T) {
+	sess, err := New(WithQuick(), WithWorkloads("streamcluster"), WithAccesses(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Experiment(context.Background(), "scaling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "scaling" || res.Table == nil {
+		t.Fatalf("implausible scaling result: %+v", res)
+	}
+	// Quick grid: {2,4,8} sockets x 3 hosting topologies x 2 designs.
+	if rows := res.Table.NumRows(); rows != 18 {
+		t.Errorf("scaling table has %d rows, want 18", rows)
+	}
+	found := false
+	for _, id := range ExperimentIDs() {
+		if id == "scaling" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scaling missing from ExperimentIDs")
 	}
 }
 

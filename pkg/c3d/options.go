@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"c3d/internal/experiments"
+	"c3d/internal/interconnect"
 	"c3d/internal/numa"
 	"c3d/internal/workload"
 )
@@ -21,6 +22,7 @@ type config struct {
 
 	sockets        int
 	coresPerSocket int
+	topology       Topology
 	threads        int
 	scale          int
 	accesses       int
@@ -49,6 +51,20 @@ func defaultConfig() config {
 	return config{design: C3D}
 }
 
+// defaultSockets is the machine shape a session assumes when WithSockets is
+// not given — the paper's 4-socket configuration.
+const defaultSockets = 4
+
+// effectiveSockets resolves the socket count the session's own machines use:
+// the explicit option, or the default. Shared by option validation and
+// machineConfigFor so the two can never disagree.
+func (c config) effectiveSockets() int {
+	if c.sockets > 0 {
+		return c.sockets
+	}
+	return defaultSockets
+}
+
 func (c config) validate() error {
 	switch {
 	case c.sockets < 0:
@@ -69,6 +85,19 @@ func (c config) validate() error {
 			return fmt.Errorf("c3d: %w", err)
 		}
 	}
+	// Eagerly reject shapes no machine could host, using the session's
+	// socket default. Experiments that fix their own socket counts (Fig. 7's
+	// 2-socket machine, the scaling sweep) re-validate per machine before
+	// construction, so a session-level pass here is necessary, not
+	// sufficient.
+	sockets := c.effectiveSockets()
+	if c.topology != "" {
+		if err := interconnect.SupportsSockets(c.topology, sockets); err != nil {
+			return fmt.Errorf("c3d: %w", err)
+		}
+	} else if _, err := interconnect.DefaultTopology(sockets); err != nil {
+		return fmt.Errorf("c3d: %w", err)
+	}
 	return nil
 }
 
@@ -79,8 +108,14 @@ func WithDesign(d Design) Option {
 }
 
 // WithSockets sets the socket count (default: 4, or what the experiment
-// fixes).
+// fixes). The built-in fabric topologies host up to 16 sockets.
 func WithSockets(n int) Option { return func(c *config) { c.sockets = n } }
+
+// WithTopology selects the inter-socket fabric topology (default: the
+// socket count's default — point-to-point for 2 sockets, ring beyond). The
+// combination with the socket count is validated eagerly: a topology that
+// cannot host the session's machine shape is reported by New, not mid-run.
+func WithTopology(t Topology) Option { return func(c *config) { c.topology = t } }
 
 // WithCoresPerSocket overrides the derived cores-per-socket count.
 func WithCoresPerSocket(n int) Option { return func(c *config) { c.coresPerSocket = n } }
@@ -172,6 +207,7 @@ func (c config) experimentsConfig() experiments.Config {
 	if len(c.workloads) > 0 {
 		cfg.Workloads = append([]string(nil), c.workloads...)
 	}
+	cfg.Topology = c.topology
 	cfg.Parallelism = c.parallelism
 	cfg.Streaming = c.streamingSet && c.streaming
 	cfg.Seed = c.seed

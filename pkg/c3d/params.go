@@ -14,6 +14,9 @@ type Params struct {
 	// Policy pins the NUMA placement policy ("INT", "FT1", "FT2"); empty
 	// means the workload's preferred policy.
 	Policy string `json:"policy,omitempty"`
+	// Topology names the fabric topology ("p2p", "ring", "mesh", "full");
+	// empty means the socket count's default.
+	Topology string `json:"topology,omitempty"`
 	// Sockets, Threads, Accesses and Scale override the configuration's
 	// machine and workload shape (0 = default).
 	Sockets  int `json:"sockets,omitempty"`
@@ -69,6 +72,13 @@ func (p Params) Options() ([]Option, error) {
 			return nil, err
 		}
 		opts = append(opts, WithPolicy(pol))
+	}
+	if p.Topology != "" {
+		topo, err := ParseTopology(p.Topology)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithTopology(topo))
 	}
 	if p.Sockets > 0 {
 		opts = append(opts, WithSockets(p.Sockets))

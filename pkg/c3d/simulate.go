@@ -114,15 +114,13 @@ func (s *Session) Simulate(ctx context.Context, workloadName string, opts ...Opt
 // configuration a simulation of spec would run on — the single source of
 // truth shared by Simulate and MachineConfigFor.
 func (c config) machineConfigFor(spec workload.Spec) machine.Config {
-	sockets := c.sockets
-	if sockets <= 0 {
-		sockets = 4
-	}
+	sockets := c.effectiveSockets()
 	scale := c.scale
 	if scale <= 0 {
 		scale = workload.DefaultScale
 	}
 	mcfg := machine.DefaultConfig(sockets, c.design)
+	mcfg.Topology = c.topology
 	mcfg.Scale = scale
 	mcfg.MemPolicy = c.workloadPolicy(spec)
 	mcfg.EnableBroadcastFilter = c.broadcastFilter
