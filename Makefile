@@ -16,7 +16,7 @@ LDFLAGS := -X c3d/pkg/c3d.buildVersion=$(VERSION) \
            -X c3d/pkg/c3d.buildCommit=$(GIT_SHA) \
            -X c3d/pkg/c3d.buildDate=$(BUILD_DATE)
 
-.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke ci
+.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke ci
 
 all: build
 
@@ -101,24 +101,44 @@ trace-roundtrip:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/trace
 
-# Daemon gate through the real binary: build c3dd, start it, poll /healthz,
-# submit a quick experiment job, wait for it, and cmp the result bytes
-# against `c3dexp -json` with the same parameters — the server and the CLI
-# must be the same code path down to the byte.
+# Daemon gate through the real binary: build c3dd, start it, and drive it end
+# to end with the Go smoke driver — healthz, capabilities, error envelope,
+# submit, event stream, result — through the public api.Client (the curl/sed
+# sequences this gate used before the wire types went public are now the
+# client's job). The fetched result must cmp equal to `c3dexp -json` with the
+# same parameters: the server and the CLI are the same code path down to the
+# byte.
 daemon-smoke:
 	$(GO) build -ldflags "$(LDFLAGS)" -o /tmp/c3dd-smoke ./cmd/c3dd
 	/tmp/c3dd-smoke -version
 	/tmp/c3dd-smoke -addr 127.0.0.1:18321 & echo $$! > /tmp/c3dd-smoke.pid; \
 	trap 'kill $$(cat /tmp/c3dd-smoke.pid) 2>/dev/null' EXIT; \
-	for i in $$(seq 1 50); do \
-		curl -sf 127.0.0.1:18321/healthz >/dev/null && break; sleep 0.2; done; \
-	curl -sf 127.0.0.1:18321/healthz; \
-	id=$$(curl -sf -X POST 127.0.0.1:18321/v1/jobs -d '{"kind":"experiment","experiments":["table1"],"params":{"quick":true,"workloads":["streamcluster"],"accesses":2000}}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
-	test -n "$$id"; \
-	curl -sN 127.0.0.1:18321/v1/jobs/$$id/events >/dev/null; \
-	curl -sf 127.0.0.1:18321/v1/jobs/$$id/result > /tmp/c3dd-smoke-result.json; \
+	$(GO) run ./internal/smoketest/daemon -url http://127.0.0.1:18321 > /tmp/c3dd-smoke-result.json; \
 	$(GO) run ./cmd/c3dexp -exp table1 -quick -workloads streamcluster -accesses 2000 -json > /tmp/c3dd-smoke-cli.json; \
 	cmp /tmp/c3dd-smoke-result.json /tmp/c3dd-smoke-cli.json
-	@echo "daemon result bit-identical to c3dexp -json"
+	@echo "daemon result bit-identical to c3dexp -json (driven via api.Client)"
 
-ci: lint build race bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke
+# Distributed-campaign gate through the real binaries: two worker daemons plus
+# a coordinator, `c3dexp -remote` fanning fig6 out over the fleet. The remote
+# bytes must cmp equal to the local run (distribution is invisible), and a
+# second identical sweep must be answered from the content-addressed result
+# cache — the fleet verifier asserts the hit counters moved instead of jobs.
+fleet-smoke:
+	$(GO) build -ldflags "$(LDFLAGS)" -o /tmp/c3dd-fleet ./cmd/c3dd
+	/tmp/c3dd-fleet -addr 127.0.0.1:18331 & echo $$! > /tmp/c3dd-fleet-w1.pid; \
+	/tmp/c3dd-fleet -addr 127.0.0.1:18332 & echo $$! > /tmp/c3dd-fleet-w2.pid; \
+	trap 'kill $$(cat /tmp/c3dd-fleet-w1.pid) $$(cat /tmp/c3dd-fleet-w2.pid) $$(cat /tmp/c3dd-fleet-co.pid) 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18331/healthz >/dev/null && curl -sf 127.0.0.1:18332/healthz >/dev/null && break; sleep 0.2; done; \
+	/tmp/c3dd-fleet -coordinator -workers http://127.0.0.1:18331,http://127.0.0.1:18332 -addr 127.0.0.1:18330 & echo $$! > /tmp/c3dd-fleet-co.pid; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18330/healthz >/dev/null && break; sleep 0.2; done; \
+	$(GO) run ./cmd/c3dexp -exp fig6 -quick -json > /tmp/c3d-fleet-local.json; \
+	$(GO) run ./cmd/c3dexp -exp fig6 -quick -json -remote http://127.0.0.1:18330 > /tmp/c3d-fleet-remote1.json; \
+	cmp /tmp/c3d-fleet-local.json /tmp/c3d-fleet-remote1.json; \
+	$(GO) run ./cmd/c3dexp -exp fig6 -quick -json -remote http://127.0.0.1:18330 > /tmp/c3d-fleet-remote2.json; \
+	cmp /tmp/c3d-fleet-local.json /tmp/c3d-fleet-remote2.json; \
+	$(GO) run ./internal/smoketest/fleet -url http://127.0.0.1:18330 -workers 2 -min-hits 1
+	@echo "remote fig6 bit-identical to local at 2 workers; repeat sweep served from the result cache"
+
+ci: lint build race bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke

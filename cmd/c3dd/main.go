@@ -3,12 +3,20 @@
 // their concurrency, streams progress, and serves results that are
 // byte-identical to the CLIs' output for the same parameters.
 //
+// With -coordinator it becomes a campaign coordinator instead: a front door
+// that shards campaigns (ordered lists of job specs) across a fleet of
+// worker c3dd daemons, routes jobs through a pluggable policy, reassigns
+// jobs whose worker died, serves repeats from a content-addressed result
+// cache, and assembles results in submission order.
+//
 // Usage:
 //
-//	c3dd                              # listen on :8080
+//	c3dd                              # worker daemon on :8080
 //	c3dd -addr 127.0.0.1:9090 -jobs 2
+//	c3dd -coordinator -workers http://w1:8080,http://w2:8080 \
+//	     -policy least-loaded -rate 100 -burst 400
 //
-// API walkthrough (see the README "SDK & service" section for more):
+// Worker API walkthrough (see the README "SDK & service" section for more):
 //
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/jobs -d '{
@@ -20,6 +28,12 @@
 //	curl -N localhost:8080/v1/jobs/job-000001/events # follow progress (JSON lines)
 //	curl localhost:8080/v1/jobs/job-000001/result    # == c3dexp -json bytes
 //	curl -X DELETE localhost:8080/v1/jobs/job-000001 # cancel
+//
+// Coordinator API (see the README "Distributed campaigns" section):
+//
+//	curl -X POST coordinator:8080/v1/campaigns -d '{"jobs":[...]}'
+//	curl coordinator:8080/v1/campaigns/campaign-000001
+//	curl coordinator:8080/v1/campaigns/campaign-000001/results
 package main
 
 import (
@@ -27,11 +41,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"c3d/internal/campaign"
 	"c3d/internal/server"
 	"c3d/pkg/c3d"
 )
@@ -43,6 +60,15 @@ func main() {
 		queue   = flag.Int("queue", 256, "queued-job bound; submissions beyond it get 503")
 		retain  = flag.Int("retain", 1024, "finished jobs kept for result fetches before eviction")
 		version = flag.Bool("version", false, "print the build version and exit")
+
+		coordinator = flag.Bool("coordinator", false, "run as a campaign coordinator over a worker fleet instead of a worker")
+		workers     = flag.String("workers", "", "comma-separated worker base URLs (coordinator mode, required)")
+		policy      = flag.String("policy", campaign.DefaultPolicy,
+			fmt.Sprintf("routing policy: %s (coordinator mode)", strings.Join(campaign.Policies(), ", ")))
+		rate     = flag.Float64("rate", 50, "admission rate in jobs/second (coordinator mode)")
+		burst    = flag.Int("burst", 200, "admission burst: max jobs admitted at once (coordinator mode)")
+		cache    = flag.Int("cache", 1024, "content-addressed result cache entries (coordinator mode)")
+		attempts = flag.Int("attempts", 3, "dispatch attempts per job before its campaign fails (coordinator mode)")
 	)
 	flag.Parse()
 	if *version {
@@ -50,15 +76,43 @@ func main() {
 		return
 	}
 
-	srv := server.New(server.Config{
-		MaxConcurrent: *jobs,
-		QueueDepth:    *queue,
-		MaxJobs:       *retain,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var handler http.Handler
+	var closeCore func()
+	if *coordinator {
+		if *workers == "" {
+			fmt.Fprintln(os.Stderr, "c3dd: -coordinator requires -workers url[,url...]")
+			os.Exit(2)
+		}
+		co, err := campaign.New(ctx, campaign.Config{
+			Workers:      strings.Split(*workers, ","),
+			Policy:       *policy,
+			RatePerSec:   *rate,
+			Burst:        *burst,
+			CacheEntries: *cache,
+			MaxAttempts:  *attempts,
+			Logf:         log.New(os.Stderr, "c3dd: ", log.LstdFlags).Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3dd:", err)
+			os.Exit(1)
+		}
+		handler, closeCore = co.Handler(), co.Close
+		fmt.Fprintf(os.Stderr, "c3dd %s coordinating %d workers on %s (policy %s)\n",
+			c3d.Version(), len(strings.Split(*workers, ",")), *addr, *policy)
+	} else {
+		srv := server.New(server.Config{
+			MaxConcurrent: *jobs,
+			QueueDepth:    *queue,
+			MaxJobs:       *retain,
+		})
+		handler, closeCore = srv.Handler(), srv.Close
+		fmt.Fprintf(os.Stderr, "c3dd %s listening on %s (max %d concurrent jobs)\n", c3d.Version(), *addr, *jobs)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -66,9 +120,8 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "c3dd %s listening on %s (max %d concurrent jobs)\n", c3d.Version(), *addr, *jobs)
 	err := httpSrv.ListenAndServe()
-	srv.Close()
+	closeCore()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "c3dd:", err)
 		os.Exit(1)

@@ -11,11 +11,19 @@
 //	c3dexp -exp fig8 -workloads streamcluster,canneal -accesses 60000
 //	c3dexp -exp fig6 -quick -json    # machine-readable output for CI tooling
 //	c3dexp -exp all -quick -parallel 4
+//	c3dexp -exp all -quick -json -remote http://coordinator:8080
 //
 // Paper-scale runs (32 threads, 200k accesses/thread) take tens of seconds
 // to a few minutes per machine configuration on one host core; -quick or
 // -accesses trade precision for time. Results are deterministic: the same
 // flags produce byte-identical -json output at any -parallel value.
+//
+// With -remote the experiments run on a campaign coordinator's worker fleet
+// (`c3dd -coordinator`) instead of this host: one job per experiment id,
+// sharded across workers, assembled in id order. Determinism makes the move
+// invisible — remote -json output is byte-identical to a local run with the
+// same flags, and repeated sweeps are served from the coordinator's
+// content-addressed result cache.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"c3d/pkg/c3d"
+	"c3d/pkg/c3d/api"
 )
 
 func main() {
@@ -47,6 +56,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit a JSON array of results instead of text tables")
 		asCSV     = flag.Bool("csv", false, "emit each result table as CSV instead of text")
 		verbose   = flag.Bool("v", false, "print progress for every completed simulation")
+		remote    = flag.String("remote", "", "campaign coordinator URL: run experiments on its worker fleet instead of locally")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -56,6 +66,17 @@ func main() {
 	}
 
 	if *list {
+		if *remote != "" {
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			defer stop()
+			caps, err := api.NewClient(*remote).Capabilities(ctx)
+			exitOn(err)
+			fmt.Printf("experiments offered by %s (version %s):\n", *remote, caps.Version)
+			for _, e := range caps.Experiments {
+				fmt.Printf("  %-8s %-9s %s\n", e.ID, e.Paper, e.Description)
+			}
+			return
+		}
 		fmt.Println("available experiments:")
 		for _, e := range c3d.Experiments() {
 			fmt.Printf("  %-8s %-9s %s\n", e.ID, e.Paper, e.Description)
@@ -91,6 +112,14 @@ func main() {
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *remote != "" {
+		runRemote(ctx, *remote, params, *exp, *asJSON, *asCSV)
+		return
+	}
+
 	var extra []c3d.Option
 	if *verbose {
 		extra = append(extra, c3d.WithProgress(func(e c3d.Event) {
@@ -99,9 +128,6 @@ func main() {
 	}
 	sess, err := params.Session(extra...)
 	exitOn(err)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -131,6 +157,32 @@ func main() {
 	}
 	if *asJSON {
 		exitOn(c3d.WriteResultsJSON(os.Stdout, results))
+	}
+}
+
+// runRemote executes the sweep on a campaign coordinator's fleet via
+// c3d.RemoteSweep and prints in the same formats as the local path. The
+// -json bytes are identical to a local run with the same flags — assembly is
+// in experiment order and every job is deterministic.
+func runRemote(ctx context.Context, remote string, params c3d.Params, exp string, asJSON, asCSV bool) {
+	start := time.Now()
+	results, err := c3d.RemoteSweep(ctx, api.NewClient(remote), params, exp)
+	exitOn(err)
+	switch {
+	case asJSON:
+		exitOn(c3d.WriteResultsJSON(os.Stdout, results))
+	case asCSV:
+		for _, result := range results {
+			exitOn(result.Table.WriteCSV(os.Stdout))
+		}
+	default:
+		for _, result := range results {
+			fmt.Printf("== %s (%s): %s ==\n", result.ID, result.Paper, result.Description)
+			fmt.Print(result.Table.String())
+			fmt.Println()
+		}
+		fmt.Printf("-- %d experiment(s) completed remotely on %s in %v --\n",
+			len(results), remote, time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the coordinator's admission throttle: a classic token
+// bucket holding at most burst tokens, refilled at rate tokens per second.
+// A campaign submission must take one token per job, atomically — either
+// the whole campaign is admitted or none of it is, so a rejected campaign
+// never half-enqueues.
+//
+// take is non-blocking by design: overload is answered immediately with
+// HTTP 429 and the rate_limited code, letting clients back off instead of
+// parking connections on a loaded coordinator.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable for tests
+}
+
+// newTokenBucket builds a bucket starting full. rate must be > 0; burst
+// values below 1 are raised to 1 so a single job can always eventually pass.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, now: time.Now}
+}
+
+// take removes n tokens if available and reports whether it did.
+func (t *tokenBucket) take(n int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	}
+	t.last = now
+	if float64(n) > t.tokens {
+		return false
+	}
+	t.tokens -= float64(n)
+	return true
+}

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"c3d/pkg/c3d/api"
+)
+
+// CacheKey is the content address of a job's result: the SHA-256 of the
+// canonical JSON of its spec. Canonicalisation zeroes the fields that are
+// proven not to affect result bytes — Parallelism (results are bit-identical
+// at any parallelism; the determinism CI gate enforces it) and Stream (the
+// streaming and materialised trace paths are bit-identical; ditto) — so a
+// sweep re-run with different host tuning still hits. Everything else,
+// including the seed inside Params, stays verbatim: a different seed is a
+// different result.
+//
+// Keying on content rather than job identity is safe precisely because every
+// job is deterministic: two specs with equal keys produce equal bytes on any
+// worker, which the fleet tests verify with cmp.
+func CacheKey(spec api.JobSpec) (string, error) {
+	norm := spec
+	norm.Params.Parallelism = 0
+	norm.Params.Stream = nil
+	b, err := json.Marshal(norm)
+	if err != nil {
+		return "", fmt.Errorf("campaign: canonicalising spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// resultCache is the coordinator's content-addressed result store: an
+// LRU-bounded map from CacheKey to the exact result bytes a worker served.
+// Entries are immutable once stored — callers must not mutate returned
+// slices.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	hits  int64
+	miss  int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &resultCache{
+		max:   maxEntries,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result bytes and records a hit or miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.miss++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put stores result bytes under key, evicting the least recently used entry
+// beyond the bound. Storing an existing key refreshes recency but keeps the
+// original bytes — identical by determinism, so there is nothing to update.
+func (c *resultCache) put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats snapshots the cache counters in the wire shape.
+func (c *resultCache) stats() api.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return api.CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.miss}
+}

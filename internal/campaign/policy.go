@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WorkerView is the routing-time snapshot of one worker a Policy chooses
+// from. Index is the worker's position in the coordinator's configured
+// fleet; Queued/Running are the worker's own scheduler counters from its
+// last /healthz probe (refreshed before Pick when the policy declares
+// NeedsLoad); Inflight and Assigned are the coordinator's bookkeeping.
+type WorkerView struct {
+	Index    int
+	URL      string
+	Healthy  bool
+	Queued   int
+	Running  int
+	Inflight int64
+	Assigned int64
+}
+
+// Load is the worker's total outstanding work as seen by the coordinator:
+// its own queue plus what this coordinator has dispatched and not yet seen
+// finish. Counting Inflight matters when several dispatches race between
+// healthz refreshes — without it, every racer would pick the same "idle"
+// worker.
+func (v WorkerView) Load() int64 {
+	return int64(v.Queued) + int64(v.Running) + v.Inflight
+}
+
+// Policy assigns jobs to workers. Pick returns the index (into views) of the
+// chosen worker, or -1 when no worker is acceptable; views only contains
+// healthy workers. Implementations may keep state (the round-robin cursor) —
+// the coordinator serialises Pick calls, so no internal locking is needed.
+//
+// Routing never affects results: campaign output is assembled in job order
+// and every job is deterministic, so a policy is purely a performance
+// choice. The fleet tests pin byte-identical campaign results across every
+// registered policy at worker counts 1, 2 and 4.
+type Policy interface {
+	Pick(views []WorkerView) int
+}
+
+// PolicySpec describes a registered routing policy: identity, whether the
+// coordinator must refresh worker /healthz counters before each Pick, and
+// the factory producing a fresh (stateful) instance per coordinator.
+type PolicySpec struct {
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// NeedsLoad asks the coordinator to probe worker /healthz before Pick,
+	// so Queued/Running in the views are fresh rather than zero.
+	NeedsLoad bool
+	// New builds a policy instance. Must not return nil.
+	New func() Policy
+}
+
+var (
+	policyMu    sync.RWMutex
+	policyOrder []string
+	policies    = make(map[string]PolicySpec)
+)
+
+// RegisterPolicy adds a routing policy to the registry (same pattern as the
+// design and topology registries: built-ins self-register in init, external
+// packages can add their own). Registering a duplicate name panics — it is
+// a programming error, not an input error.
+func RegisterPolicy(spec PolicySpec) {
+	if spec.Name == "" || spec.New == nil {
+		panic("campaign: policy spec needs a name and a factory")
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policies[spec.Name]; dup {
+		panic(fmt.Sprintf("campaign: duplicate policy %q", spec.Name))
+	}
+	policies[spec.Name] = spec
+	policyOrder = append(policyOrder, spec.Name)
+}
+
+// Policies lists registered policy names in registration order.
+func Policies() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	return append([]string(nil), policyOrder...)
+}
+
+// LookupPolicy returns a registered policy spec by name.
+func LookupPolicy(name string) (PolicySpec, error) {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	spec, ok := policies[name]
+	if !ok {
+		return PolicySpec{}, fmt.Errorf("campaign: unknown routing policy %q (have %v)", name, policyOrder)
+	}
+	return spec, nil
+}
+
+// DefaultPolicy is the routing policy used when none is configured.
+const DefaultPolicy = "round-robin"
+
+func init() {
+	RegisterPolicy(PolicySpec{
+		Name:        "round-robin",
+		Description: "cycle through healthy workers in fleet order",
+		New:         func() Policy { return &roundRobin{} },
+	})
+	RegisterPolicy(PolicySpec{
+		Name:        "least-loaded",
+		Description: "pick the healthy worker with the fewest queued+running+in-flight jobs (via /healthz)",
+		NeedsLoad:   true,
+		New:         func() Policy { return leastLoaded{} },
+	})
+}
+
+// roundRobin cycles a cursor over the fleet, skipping unhealthy workers by
+// construction (views are pre-filtered). The cursor advances over the fleet
+// index space, not the filtered slice, so a worker rejoining after a
+// cooldown slots back into its old turn.
+type roundRobin struct {
+	next int
+}
+
+func (r *roundRobin) Pick(views []WorkerView) int {
+	if len(views) == 0 {
+		return -1
+	}
+	// Choose the first candidate whose fleet index is >= the cursor,
+	// wrapping; then advance the cursor past it.
+	best := -1
+	for i, v := range views {
+		if v.Index >= r.next {
+			best = i
+			break
+		}
+	}
+	if best == -1 {
+		best = 0 // wrap
+	}
+	r.next = views[best].Index + 1
+	return best
+}
+
+// leastLoaded picks the worker with the smallest Load; ties break to the
+// lowest fleet index so the choice is stable.
+type leastLoaded struct{}
+
+func (leastLoaded) Pick(views []WorkerView) int {
+	best := -1
+	var bestLoad int64
+	for i, v := range views {
+		load := v.Load()
+		if best == -1 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}

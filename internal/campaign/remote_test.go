@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"c3d/pkg/c3d"
+	"c3d/pkg/c3d/api"
+)
+
+// TestRemoteSweepMatchesLocalBytes is the c3dexp -remote acceptance gate:
+// a fig6 sweep run through a coordinator fleet must serialise to exactly the
+// bytes a local run produces — at worker counts 1, 2 and 4, under both
+// routing policies. This is precisely the CLI pipeline: RemoteSweep ->
+// WriteResultsJSON versus Params -> Session -> Sweep -> WriteResultsJSON.
+func TestRemoteSweepMatchesLocalBytes(t *testing.T) {
+	params := c3d.Params{Quick: true, Workloads: []string{"streamcluster"}, Accesses: 2000}
+
+	sess, err := params.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Sweep(t.Context(), "fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := c3d.WriteResultsJSON(&want, local); err != nil {
+		t.Fatal(err)
+	}
+
+	workers := startWorkers(t, 4)
+	for _, policy := range Policies() {
+		for _, n := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s-%dw", policy, n), func(t *testing.T) {
+				_, cl := newCoordinator(t, Config{Workers: workers[:n], Policy: policy})
+				results, err := c3d.RemoteSweep(t.Context(), api.NewClient(cl.BaseURL()), params, "fig6")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got bytes.Buffer
+				if err := c3d.WriteResultsJSON(&got, results); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Errorf("remote fig6 bytes differ from local run:\nremote: %.300s\nlocal:  %.300s", got.Bytes(), want.Bytes())
+				}
+			})
+		}
+	}
+}
+
+// TestRemoteSweepAllFansOut checks a whole-suite remote sweep fans out as
+// one job per experiment id, reassembles in the remote's presentation order,
+// and matches the local all-experiment sweep byte-for-byte.
+func TestRemoteSweepAllFansOut(t *testing.T) {
+	params := c3d.Params{Quick: true, Workloads: []string{"streamcluster"}, Accesses: 1000}
+
+	sess, err := params.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Sweep(t.Context(), c3d.ExperimentIDs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := c3d.WriteResultsJSON(&want, local); err != nil {
+		t.Fatal(err)
+	}
+
+	co, cl := newCoordinator(t, Config{Workers: startWorkers(t, 2)})
+	results, err := c3d.RemoteSweep(t.Context(), api.NewClient(cl.BaseURL()), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := c3d.WriteResultsJSON(&got, results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("remote all-experiment sweep bytes differ from local run")
+	}
+
+	// One job per experiment, and the fan-out actually used the fleet.
+	page := co.List(0, 10)
+	if len(page.Campaigns) != 1 || page.Campaigns[0].Total != len(c3d.ExperimentIDs()) {
+		t.Fatalf("campaign fan-out = %+v, want %d jobs", page.Campaigns, len(c3d.ExperimentIDs()))
+	}
+	used := map[string]bool{}
+	for _, j := range page.Campaigns[0].Jobs {
+		used[j.Worker] = true
+	}
+	if len(used) != 2 {
+		t.Errorf("all-experiment sweep used %d workers, want 2", len(used))
+	}
+}

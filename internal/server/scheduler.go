@@ -10,20 +10,8 @@ import (
 	"time"
 
 	"c3d/pkg/c3d"
+	"c3d/pkg/c3d/api"
 )
-
-// Job lifecycle states.
-const (
-	stateQueued    = "queued"
-	stateRunning   = "running"
-	stateDone      = "done"
-	stateFailed    = "failed"
-	stateCancelled = "cancelled"
-)
-
-func terminal(state string) bool {
-	return state == stateDone || state == stateFailed || state == stateCancelled
-}
 
 // Server owns the job table and the worker pool. Build one with New, wire
 // Handler into an http.Server, and Close it on shutdown.
@@ -76,6 +64,12 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
@@ -86,7 +80,7 @@ func (s *Server) worker() {
 // submit registers and enqueues a job. The enqueue attempt and the
 // registration share one critical section: a full queue rejects before
 // anything is registered, and no send can race Close's channel close.
-func (s *Server) submit(spec JobSpec) (*job, error) {
+func (s *Server) submit(spec api.JobSpec) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -114,7 +108,7 @@ func (s *Server) evictLocked() {
 	kept := s.order[:0]
 	excess := len(s.order) - s.cfg.MaxJobs
 	for _, id := range s.order {
-		if excess > 0 && terminal(s.jobs[id].state()) {
+		if excess > 0 && api.Terminal(s.jobs[id].state()) {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -131,10 +125,10 @@ func (s *Server) job(id string) (*job, bool) {
 	return j, ok
 }
 
-func (s *Server) statuses() []JobStatus {
+func (s *Server) statuses() []api.JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]JobStatus, 0, len(s.order))
+	out := make([]api.JobStatus, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.jobs[id].statusDoc())
 	}
@@ -146,9 +140,9 @@ func (s *Server) counts() (queued, running, finished int) {
 	defer s.mu.Unlock()
 	for _, j := range s.jobs {
 		switch j.state() {
-		case stateQueued:
+		case api.StateQueued:
 			queued++
-		case stateRunning:
+		case api.StateRunning:
 			running++
 		default:
 			finished++
@@ -166,14 +160,14 @@ func (s *Server) run(j *job) {
 		return
 	}
 
-	sess, err := j.spec.Params.Session(c3d.WithProgress(j.recordEvent))
+	sess, err := c3d.Params(j.spec.Params).Session(c3d.WithProgress(j.recordEvent))
 	if err != nil {
 		j.finish(nil, err)
 		return
 	}
 	var result []byte
 	switch j.spec.Kind {
-	case "experiment":
+	case api.KindExperiment:
 		var results []c3d.ExperimentResult
 		results, err = sess.Sweep(ctx, j.spec.Experiments...)
 		if err == nil {
@@ -184,14 +178,14 @@ func (s *Server) run(j *job) {
 				result = buf.Bytes()
 			}
 		}
-	case "simulate":
+	case api.KindSimulate:
 		var res *c3d.SimulateResult
 		res, err = sess.Simulate(ctx, j.spec.Workload)
 		if err == nil {
 			result, err = json.MarshalIndent(res, "", "  ")
 			result = append(result, '\n')
 		}
-	case "verify":
+	case api.KindVerify:
 		var res *c3d.VerifyResult
 		res, err = sess.Verify(ctx, c3d.VerifyRequest{
 			Sockets:       j.spec.Verify.Sockets,
@@ -220,7 +214,7 @@ func (s *Server) run(j *job) {
 // job is one scheduled unit of work and its observable history.
 type job struct {
 	id      string
-	spec    JobSpec
+	spec    api.JobSpec
 	created time.Time
 
 	mu        sync.Mutex
@@ -235,12 +229,12 @@ type job struct {
 	cancelled bool // cancel requested (possibly before the job began)
 }
 
-func newJob(id string, spec JobSpec) *job {
+func newJob(id string, spec api.JobSpec) *job {
 	return &job{
 		id:      id,
 		spec:    spec,
 		created: time.Now(),
-		st:      stateQueued,
+		st:      api.StateQueued,
 		notify:  make(chan struct{}),
 	}
 }
@@ -251,10 +245,10 @@ func (j *job) state() string {
 	return j.st
 }
 
-func (j *job) statusDoc() JobStatus {
+func (j *job) statusDoc() api.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
+	return api.JobStatus{
 		ID:       j.id,
 		Kind:     j.spec.Kind,
 		State:    j.st,
@@ -281,7 +275,7 @@ func (j *job) begin(cancel context.CancelFunc) bool {
 	if j.cancelled {
 		return false
 	}
-	j.st = stateRunning
+	j.st = api.StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
 	j.appendEventLocked(statusLine(j.st))
@@ -295,12 +289,12 @@ func (j *job) finish(result []byte, err error) {
 	j.result = result
 	switch {
 	case err == nil:
-		j.st = stateDone
+		j.st = api.StateDone
 	case errors.Is(err, context.Canceled):
-		j.st = stateCancelled
+		j.st = api.StateCancelled
 		j.err = err.Error()
 	default:
-		j.st = stateFailed
+		j.st = api.StateFailed
 		j.err = err.Error()
 	}
 	j.appendEventLocked(statusLine(j.st))
@@ -312,7 +306,7 @@ func (j *job) finish(result []byte, err error) {
 func (j *job) requestCancel() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if terminal(j.st) {
+	if api.Terminal(j.st) {
 		return
 	}
 	j.cancelled = true
@@ -320,33 +314,22 @@ func (j *job) requestCancel() {
 		j.cancel()
 		return
 	}
-	j.st = stateCancelled
+	j.st = api.StateCancelled
 	j.err = context.Canceled.Error()
 	j.finished = time.Now()
 	j.appendEventLocked(statusLine(j.st))
 }
 
-// wireEvent is the JSON-lines shape of one progress event.
-type wireEvent struct {
-	Kind      string  `json:"kind"`
-	State     string  `json:"state,omitempty"`
-	Job       string  `json:"job,omitempty"`
-	Done      int     `json:"done,omitempty"`
-	Total     int     `json:"total,omitempty"`
-	States    int     `json:"states,omitempty"`
-	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
-	Err       string  `json:"err,omitempty"`
-}
-
+// statusLine serialises a lifecycle marker in the api.Event wire shape.
 func statusLine(state string) []byte {
-	line, _ := json.Marshal(wireEvent{Kind: "job_state", State: state})
+	line, _ := json.Marshal(api.Event{Kind: api.EventJobState, State: state})
 	return append(line, '\n')
 }
 
-// recordEvent is the session progress hook: it serialises the event once and
-// wakes every streaming subscriber.
+// recordEvent is the session progress hook: it serialises the event once in
+// the api.Event wire shape and wakes every streaming subscriber.
 func (j *job) recordEvent(e c3d.Event) {
-	we := wireEvent{
+	we := api.Event{
 		Kind:      e.Kind.String(),
 		Job:       e.Job,
 		Done:      e.Done,

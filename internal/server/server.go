@@ -10,15 +10,22 @@
 // comes for free: the SDK's experiment layer pools machines by
 // configuration, so a long-lived daemon serving many jobs stops paying
 // construction costs once the pools are warm.
+//
+// The wire contract — job specs, statuses, event lines, the error envelope —
+// lives in pkg/c3d/api, not here: the types were promoted out of this
+// package so the daemon, the campaign coordinator (internal/campaign) and
+// every client share one declaration. This package only implements the
+// behaviour behind those shapes.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"time"
+	"strconv"
 
 	"c3d/pkg/c3d"
+	"c3d/pkg/c3d/api"
 )
 
 // Config parameterises a Server.
@@ -49,97 +56,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// JobSpec is the submission body of POST /v1/jobs.
-type JobSpec struct {
-	// Kind selects what to run: "experiment", "simulate" or "verify".
-	Kind string `json:"kind"`
-	// Params configures the session exactly as the CLI flags do.
-	Params c3d.Params `json:"params"`
-	// Experiments lists experiment ids for kind "experiment" (empty or
-	// ["all"] = the full set).
-	Experiments []string `json:"experiments,omitempty"`
-	// Workload names the workload for kind "simulate".
-	Workload string `json:"workload,omitempty"`
-	// Verify parameterises kind "verify".
-	Verify VerifySpec `json:"verify,omitempty"`
-}
-
-// VerifySpec mirrors c3d.VerifyRequest in JSON form.
-type VerifySpec struct {
-	Sockets       int  `json:"sockets,omitempty"`
-	LoadsPerCore  int  `json:"loads,omitempty"`
-	StoresPerCore int  `json:"stores,omitempty"`
-	MaxStates     int  `json:"max_states,omitempty"`
-	BaseOnly      bool `json:"base_only,omitempty"`
-}
-
-// validate rejects malformed specs at submission time, so a queued job can
-// only fail for run-time reasons. Building (and discarding) the session runs
-// the SDK's full option validation — unknown workloads, out-of-range
-// warm-up — not just the enumerated-field parse.
-func (j JobSpec) validate() error {
-	if _, err := j.Params.Session(); err != nil {
-		return err
-	}
-	switch j.Kind {
-	case "experiment":
-		known := make(map[string]bool)
-		for _, id := range c3d.ExperimentIDs() {
-			known[id] = true
-		}
-		for _, id := range j.Experiments {
-			if id != "all" && !known[id] {
-				return fmt.Errorf("unknown experiment %q", id)
-			}
-		}
-	case "simulate":
-		if j.Workload == "" {
-			return fmt.Errorf("kind %q needs a workload", j.Kind)
-		}
-		found := false
-		for _, w := range c3d.Workloads() {
-			if w.Name == j.Workload {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("unknown workload %q", j.Workload)
-		}
-	case "verify":
-		if j.Verify.Sockets < 0 || j.Verify.MaxStates < 0 {
-			return fmt.Errorf("negative verify bounds")
-		}
-	default:
-		return fmt.Errorf("unknown job kind %q (want experiment, simulate or verify)", j.Kind)
-	}
-	return nil
-}
-
-// JobStatus is the status document of GET /v1/jobs/{id}.
-type JobStatus struct {
-	ID       string    `json:"id"`
-	Kind     string    `json:"kind"`
-	State    string    `json:"state"`
-	Error    string    `json:"error,omitempty"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started,omitzero"`
-	Finished time.Time `json:"finished,omitzero"`
-	Events   int       `json:"events"`
-}
+// List pagination bounds for GET /v1/jobs.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
 
 // Handler returns the daemon's HTTP API:
 //
 //	GET    /healthz              liveness + version + scheduler counters
-//	POST   /v1/jobs              submit a JobSpec  -> {"id": ...}
-//	GET    /v1/jobs              list job statuses
+//	GET    /v1/capabilities      designs, topologies, experiments, workloads, version
+//	POST   /v1/jobs              submit an api.JobSpec  -> api.SubmitResponse
+//	GET    /v1/jobs              list job statuses (paginated: ?offset=&limit=)
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/events  progress stream as JSON lines (replays, then follows)
 //	GET    /v1/jobs/{id}/result  the finished job's result document
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
+//
+// Every error response is the uniform api.ErrorEnvelope with a
+// machine-readable code.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -151,43 +90,90 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	queued, running, finished := s.counts()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"version":  c3d.Version(),
-		"queued":   queued,
-		"running":  running,
-		"finished": finished,
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:   "ok",
+		Version:  c3d.Version(),
+		Queued:   queued,
+		Running:  running,
+		Finished: finished,
 	})
 }
 
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c3d.CurrentCapabilities())
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
+	var spec api.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		writeError(w, http.StatusBadRequest, api.CodeInvalidSpec, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	if err := spec.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := c3d.ValidateJobSpec(spec); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidSpec, err)
 		return
 	}
 	j, err := s.submit(spec)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		code := api.CodeQueueFull
+		if s.isClosed() {
+			code = api.CodeShuttingDown
+		}
+		writeError(w, http.StatusServiceUnavailable, code, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.state()})
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: j.id, State: j.state()})
 }
 
+// handleList serves one bounded page of job statuses in insertion order.
+// offset/limit are clamped, never rejected: a list request is always
+// answerable.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.statuses())
+	offset := queryInt(r, "offset", 0)
+	limit := queryInt(r, "limit", defaultListLimit)
+	if limit <= 0 {
+		limit = defaultListLimit
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	all := s.statuses()
+	total := len(all)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	page := all[offset:end]
+	if page == nil {
+		page = []api.JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, api.JobPage{Jobs: page, Total: total, Offset: offset})
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.statusDoc())
@@ -196,16 +182,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	state, result, errMsg := j.outcome()
 	switch {
-	case state == stateDone:
+	case state == api.StateDone:
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(result)
-	case state == stateFailed && len(result) > 0:
+	case state == api.StateFailed && len(result) > 0:
 		// A failed job can still carry a result document — a verification
 		// that found violations stores its reports, which is how clients see
 		// exactly which invariant broke. Serve it with the job's error in a
@@ -214,10 +200,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-C3D-Job-Error", errMsg)
 		w.WriteHeader(http.StatusUnprocessableEntity)
 		w.Write(result)
-	case terminal(state):
-		writeError(w, http.StatusConflict, fmt.Errorf("job %s %s: %s", j.id, state, errMsg))
+	case api.Terminal(state):
+		writeError(w, http.StatusConflict, api.CodeConflict, fmt.Errorf("job %s %s: %s", j.id, state, errMsg))
 	default:
-		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; poll the status or events endpoint", j.id, state))
+		writeError(w, http.StatusConflict, api.CodeConflict, fmt.Errorf("job %s is %s; poll the status or events endpoint", j.id, state))
 	}
 }
 
@@ -228,7 +214,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -248,7 +234,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if len(lines) > 0 && flusher != nil {
 			flusher.Flush()
 		}
-		if terminal(state) {
+		if api.Terminal(state) {
 			return
 		}
 		select {
@@ -262,11 +248,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	j.requestCancel()
-	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": j.state()})
+	writeJSON(w, http.StatusOK, api.SubmitResponse{ID: j.id, State: j.state()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -277,6 +263,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError emits the uniform error envelope every non-2xx response uses:
+// {"error": {"code": ..., "message": ...}}. Clients branch on the code.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, api.ErrorEnvelope{Error: &api.Error{Code: code, Message: err.Error()}})
 }

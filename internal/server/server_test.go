@@ -1,20 +1,26 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
-	"io"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"c3d/pkg/c3d"
+	"c3d/pkg/c3d/api"
 )
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// newTestServer starts a server over real HTTP and returns an api.Client for
+// it — the server e2e suite runs on the same public client every external
+// consumer uses, so the client is exercised against the real wire format on
+// every test run.
+func newTestServer(t *testing.T, cfg Config) (*Server, *api.Client) {
 	t.Helper()
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
@@ -22,77 +28,50 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 		ts.Close()
 		s.Close()
 	})
-	return s, ts
+	return s, api.NewClient(ts.URL)
 }
 
-func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) string {
+func submit(t *testing.T, cl *api.Client, spec api.JobSpec) string {
 	t.Helper()
-	body, err := json.Marshal(spec)
+	resp, err := cl.Submit(t.Context(), spec)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("submit: %v", err)
 	}
-	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		b, _ := io.ReadAll(resp.Body)
-		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
-	}
-	var out struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if out.ID == "" {
+	if resp.ID == "" {
 		t.Fatal("submit returned no job id")
 	}
-	return out.ID
+	return resp.ID
 }
 
-func getJSON(t *testing.T, url string, v any) int {
+func waitState(t *testing.T, cl *api.Client, id string, want string) *api.JobStatus {
 	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if v != nil {
-		if err := json.NewDecoder(resp.Body).Decode(v); err != nil && resp.StatusCode == http.StatusOK {
-			t.Fatal(err)
-		}
-	}
-	return resp.StatusCode
-}
-
-func waitState(t *testing.T, ts *httptest.Server, id string, want string) JobStatus {
-	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		var st JobStatus
-		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
-			t.Fatalf("status: HTTP %d", code)
+	ctx, cancel := context.WithTimeout(t.Context(), 60*time.Second)
+	defer cancel()
+	for {
+		st, err := cl.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
 		}
 		if st.State == want {
 			return st
 		}
-		if terminal(st.State) && st.State != want {
+		if api.Terminal(st.State) {
 			t.Fatalf("job %s reached %q (err %q), want %q", id, st.State, st.Error, want)
 		}
-		time.Sleep(20 * time.Millisecond)
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			t.Fatalf("job %s never reached state %q", id, want)
+		}
 	}
-	t.Fatalf("job %s never reached state %q", id, want)
-	return JobStatus{}
 }
 
 // quickSpec is a seconds-scale experiment job.
-func quickSpec(parallel int) JobSpec {
-	return JobSpec{
-		Kind:        "experiment",
+func quickSpec(parallel int) api.JobSpec {
+	return api.JobSpec{
+		Kind:        api.KindExperiment,
 		Experiments: []string{"table1"},
-		Params: c3d.Params{
+		Params: api.Params{
 			Quick:       true,
 			Workloads:   []string{"streamcluster"},
 			Accesses:    2000,
@@ -101,44 +80,27 @@ func quickSpec(parallel int) JobSpec {
 	}
 }
 
-// TestEndToEnd drives the full daemon flow over real HTTP: healthz, submit,
-// progress stream (replay + follow to the terminal marker), result fetch.
+// TestEndToEnd drives the full daemon flow through the public client:
+// healthz, submit, progress stream (replay + follow to the terminal marker),
+// wait, result fetch.
 func TestEndToEnd(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, cl := newTestServer(t, Config{})
 
-	var health map[string]any
-	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
-		t.Fatalf("healthz: HTTP %d", code)
+	health, err := cl.Health(t.Context())
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
-	if health["status"] != "ok" {
-		t.Fatalf("healthz: %v", health)
+	if health.Status != "ok" || health.Version == "" {
+		t.Fatalf("healthz: %+v", health)
 	}
 
-	id := postJob(t, ts, quickSpec(0))
+	id := submit(t, cl, quickSpec(0))
 
 	// The events stream must replay history and follow until the terminal
-	// state marker — reading it to EOF IS the completion wait.
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
-		t.Fatalf("events content-type %q", got)
-	}
+	// state marker — Events returning nil IS the completion wait.
 	var kinds []string
 	sawSimulation := false
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		var ev struct {
-			Kind  string `json:"kind"`
-			State string `json:"state"`
-			Done  int    `json:"done"`
-			Total int    `json:"total"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			t.Fatalf("bad event line %q: %v", sc.Text(), err)
-		}
+	err = cl.Events(t.Context(), id, func(ev api.Event) error {
 		kinds = append(kinds, ev.Kind)
 		if ev.Kind == "simulation_done" {
 			sawSimulation = true
@@ -146,33 +108,29 @@ func TestEndToEnd(t *testing.T) {
 				t.Errorf("progress counts %d/%d, want 1/1", ev.Done, ev.Total)
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("events: %v", err)
 	}
 	if !sawSimulation {
 		t.Fatalf("no simulation_done event in stream: %v", kinds)
 	}
-	if len(kinds) == 0 || kinds[len(kinds)-1] != "job_state" {
+	if len(kinds) == 0 || kinds[len(kinds)-1] != api.EventJobState {
 		t.Fatalf("stream did not end with a job_state marker: %v", kinds)
 	}
 
-	st := waitState(t, ts, id, stateDone)
-	if st.Kind != "experiment" {
-		t.Errorf("status kind %q", st.Kind)
+	st, err := cl.Wait(t.Context(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone || st.Kind != api.KindExperiment {
+		t.Errorf("final status %+v", st)
 	}
 
-	resp2, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	body, err := cl.Result(t.Context(), id)
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp2.Body.Close()
-	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("result: HTTP %d", resp2.StatusCode)
-	}
-	body, err := io.ReadAll(resp2.Body)
-	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("result: %v", err)
 	}
 	var results []c3d.ExperimentResult
 	if err := json.Unmarshal(body, &results); err != nil {
@@ -183,23 +141,45 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCapabilities checks GET /v1/capabilities serves the same document the
+// SDK computes locally — the eager-validation contract for remote clients.
+func TestCapabilities(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	caps, err := cl.Capabilities(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c3d.CurrentCapabilities()
+	if !reflect.DeepEqual(*caps, want) {
+		t.Errorf("capabilities drifted:\n got %+v\nwant %+v", *caps, want)
+	}
+	if len(caps.Designs) == 0 || len(caps.Topologies) == 0 ||
+		len(caps.Experiments) == 0 || len(caps.Workloads) == 0 {
+		t.Errorf("capability lists should be non-empty: %+v", caps)
+	}
+	// The document must reject a bogus spec and accept a real one.
+	if err := caps.SupportsSpec(quickSpec(0)); err != nil {
+		t.Errorf("SupportsSpec(valid) = %v", err)
+	}
+	if err := caps.SupportsSpec(api.JobSpec{Kind: api.KindExperiment, Experiments: []string{"fig99"}}); err == nil {
+		t.Error("SupportsSpec accepted an unknown experiment")
+	}
+}
+
 // TestServerResultMatchesCLIBytes is the determinism acceptance gate: a
 // server-run sweep's result document must be byte-identical to what
 // `c3dexp -json` prints for the same parameters — at any parallelism. The
 // CLI path is reproduced exactly: Params -> Session -> Sweep ->
 // WriteResultsJSON, which is precisely what cmd/c3dexp executes.
 func TestServerResultMatchesCLIBytes(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	_, cl := newTestServer(t, Config{MaxConcurrent: 2})
 
 	fetch := func(parallel int) []byte {
-		id := postJob(t, ts, quickSpec(parallel))
-		waitState(t, ts, id, stateDone)
-		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
-		if err != nil {
+		id := submit(t, cl, quickSpec(parallel))
+		if _, err := cl.Wait(t.Context(), id); err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
+		body, err := cl.Result(t.Context(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +187,7 @@ func TestServerResultMatchesCLIBytes(t *testing.T) {
 	}
 
 	// The CLI code path, verbatim (cmd/c3dexp with the same flags).
-	sess, err := quickSpec(0).Params.Session()
+	sess, err := c3d.Params(quickSpec(0).Params).Session()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,17 +210,23 @@ func TestServerResultMatchesCLIBytes(t *testing.T) {
 
 // TestSimulateAndVerifyJobs covers the two other job kinds end to end.
 func TestSimulateAndVerifyJobs(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, cl := newTestServer(t, Config{})
 
-	simID := postJob(t, ts, JobSpec{
-		Kind:     "simulate",
+	simID := submit(t, cl, api.JobSpec{
+		Kind:     api.KindSimulate,
 		Workload: "streamcluster",
-		Params:   c3d.Params{Threads: 8, Scale: 512, Accesses: 2000},
+		Params:   api.Params{Threads: 8, Scale: 512, Accesses: 2000},
 	})
-	waitState(t, ts, simID, stateDone)
+	if _, err := cl.Wait(t.Context(), simID); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := cl.Result(t.Context(), simID)
+	if err != nil {
+		t.Fatalf("simulate result: %v", err)
+	}
 	var sim c3d.SimulateResult
-	if code := getJSON(t, ts.URL+"/v1/jobs/"+simID+"/result", &sim); code != http.StatusOK {
-		t.Fatalf("simulate result: HTTP %d", code)
+	if err := json.Unmarshal(raw, &sim); err != nil {
+		t.Fatal(err)
 	}
 	if sim.Workload != "streamcluster" || sim.Cycles == 0 {
 		t.Fatalf("implausible simulate result: %+v", sim.RunResult)
@@ -248,28 +234,40 @@ func TestSimulateAndVerifyJobs(t *testing.T) {
 
 	// A generalized shape — 8 sockets on a mesh fabric — runs through the
 	// same job path, and the resolved topology lands in the result.
-	meshID := postJob(t, ts, JobSpec{
-		Kind:     "simulate",
+	meshID := submit(t, cl, api.JobSpec{
+		Kind:     api.KindSimulate,
 		Workload: "streamcluster",
-		Params:   c3d.Params{Threads: 8, Scale: 512, Accesses: 2000, Sockets: 8, Topology: "mesh"},
+		Params:   api.Params{Threads: 8, Scale: 512, Accesses: 2000, Sockets: 8, Topology: "mesh"},
 	})
-	waitState(t, ts, meshID, stateDone)
+	if _, err := cl.Wait(t.Context(), meshID); err != nil {
+		t.Fatal(err)
+	}
+	rawMesh, err := cl.Result(t.Context(), meshID)
+	if err != nil {
+		t.Fatalf("mesh simulate result: %v", err)
+	}
 	var mesh c3d.SimulateResult
-	if code := getJSON(t, ts.URL+"/v1/jobs/"+meshID+"/result", &mesh); code != http.StatusOK {
-		t.Fatalf("mesh simulate result: HTTP %d", code)
+	if err := json.Unmarshal(rawMesh, &mesh); err != nil {
+		t.Fatal(err)
 	}
 	if mesh.Sockets != 8 || mesh.Topology != c3d.Mesh {
 		t.Fatalf("mesh job reported %d sockets, topology %q", mesh.Sockets, mesh.Topology)
 	}
 
-	verID := postJob(t, ts, JobSpec{
-		Kind:   "verify",
-		Verify: VerifySpec{Sockets: 2},
+	verID := submit(t, cl, api.JobSpec{
+		Kind:   api.KindVerify,
+		Verify: api.VerifySpec{Sockets: 2},
 	})
-	waitState(t, ts, verID, stateDone)
+	if _, err := cl.Wait(t.Context(), verID); err != nil {
+		t.Fatal(err)
+	}
+	rawVer, err := cl.Result(t.Context(), verID)
+	if err != nil {
+		t.Fatalf("verify result: %v", err)
+	}
 	var reports []c3d.Report
-	if code := getJSON(t, ts.URL+"/v1/jobs/"+verID+"/result", &reports); code != http.StatusOK {
-		t.Fatalf("verify result: HTTP %d", code)
+	if err := json.Unmarshal(rawVer, &reports); err != nil {
+		t.Fatal(err)
 	}
 	if len(reports) != 2 {
 		t.Fatalf("want 2 verify reports, got %d", len(reports))
@@ -281,78 +279,69 @@ func TestSimulateAndVerifyJobs(t *testing.T) {
 	}
 }
 
-// TestCancelJob checks DELETE aborts a running job promptly and the status
-// reflects it.
+// TestCancelJob checks cancellation aborts a running job promptly, the
+// status reflects it, and the result endpoint answers with the conflict
+// code.
 func TestCancelJob(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, cl := newTestServer(t, Config{})
 
 	// A job big enough to still be running when the cancel lands.
-	id := postJob(t, ts, JobSpec{
-		Kind:        "experiment",
+	id := submit(t, cl, api.JobSpec{
+		Kind:        api.KindExperiment,
 		Experiments: []string{"all"},
-		Params:      c3d.Params{Quick: true, Accesses: 60_000},
+		Params:      api.Params{Quick: true, Accesses: 60_000},
 	})
-	waitState(t, ts, id, stateRunning)
-	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
-	if err != nil {
+	waitState(t, cl, id, api.StateRunning)
+	if _, err := cl.Cancel(t.Context(), id); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	st := waitState(t, ts, id, stateCancelled)
+	st := waitState(t, cl, id, api.StateCancelled)
 	if !strings.Contains(st.Error, "context canceled") {
 		t.Errorf("cancelled job error = %q", st.Error)
 	}
-	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", nil); code != http.StatusConflict {
-		t.Errorf("result of cancelled job: HTTP %d, want 409", code)
+	_, err := cl.Result(t.Context(), id)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeConflict || apiErr.HTTPStatus != http.StatusConflict {
+		t.Errorf("result of cancelled job: %v, want conflict envelope with HTTP 409", err)
 	}
 }
 
 // TestCancelQueuedJob checks cancelling a job that has not started flips it
 // to cancelled immediately, without waiting for a worker to dequeue it.
 func TestCancelQueuedJob(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
-	long := JobSpec{
-		Kind:        "experiment",
+	_, cl := newTestServer(t, Config{MaxConcurrent: 1})
+	long := api.JobSpec{
+		Kind:        api.KindExperiment,
 		Experiments: []string{"all"},
-		Params:      c3d.Params{Quick: true, Accesses: 60_000},
+		Params:      api.Params{Quick: true, Accesses: 60_000},
 	}
-	first := postJob(t, ts, long) // occupies the single worker
-	waitState(t, ts, first, stateRunning)
-	queued := postJob(t, ts, quickSpec(0))
+	first := submit(t, cl, long) // occupies the single worker
+	waitState(t, cl, first, api.StateRunning)
+	queued := submit(t, cl, quickSpec(0))
 
-	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued, nil)
+	resp, err := cl.Cancel(t.Context(), queued)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var out struct {
-		State string `json:"state"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if out.State != stateCancelled {
-		t.Fatalf("cancelled queued job reports state %q, want %q immediately", out.State, stateCancelled)
+	if resp.State != api.StateCancelled {
+		t.Fatalf("cancelled queued job reports state %q, want %q immediately", resp.State, api.StateCancelled)
 	}
 
 	// Unblock the worker so Close does not wait out the long campaign.
-	reqFirst, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+first, nil)
-	if resp, err := http.DefaultClient.Do(reqFirst); err == nil {
-		resp.Body.Close()
+	if _, err := cl.Cancel(t.Context(), first); err != nil {
+		t.Error(err)
 	}
 }
 
-// TestSubmitValidation checks malformed specs are rejected at the door.
+// TestSubmitValidation checks malformed specs are rejected at the door with
+// the uniform error envelope and the invalid_spec code. Raw HTTP is used on
+// purpose: these bodies are exactly what a hand-rolling client would send.
 func TestSubmitValidation(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	cl := api.NewClient(ts.URL)
+
 	for name, body := range map[string]string{
 		"unknown kind":       `{"kind":"frobnicate"}`,
 		"unknown experiment": `{"kind":"experiment","experiments":["fig99"]}`,
@@ -369,42 +358,71 @@ func TestSubmitValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
 		}
+		var env api.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+			t.Errorf("%s: body is not an error envelope: %v", name, err)
+		} else if env.Error.Code != api.CodeInvalidSpec {
+			t.Errorf("%s: code %q, want %q", name, env.Error.Code, api.CodeInvalidSpec)
+		}
+		resp.Body.Close()
 	}
-	if code := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
-		t.Errorf("unknown job: HTTP %d, want 404", code)
+
+	_, err := cl.Status(t.Context(), "job-999999")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound || apiErr.HTTPStatus != http.StatusNotFound {
+		t.Errorf("unknown job: %v, want not_found envelope with HTTP 404", err)
 	}
 }
 
-// TestListAndRetention checks /v1/jobs ordering and the finished-job
-// retention bound.
-func TestListAndRetention(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxJobs: 3})
-	spec := JobSpec{
-		Kind:     "simulate",
+// TestListPaginationAndRetention checks /v1/jobs ordering, the pagination
+// envelope, limit clamping, and the finished-job retention bound.
+func TestListPaginationAndRetention(t *testing.T) {
+	_, cl := newTestServer(t, Config{MaxJobs: 3})
+	spec := api.JobSpec{
+		Kind:     api.KindSimulate,
 		Workload: "streamcluster",
-		Params:   c3d.Params{Threads: 4, Scale: 512, Accesses: 500},
+		Params:   api.Params{Threads: 4, Scale: 512, Accesses: 500},
 	}
 	var ids []string
 	for i := 0; i < 5; i++ {
-		id := postJob(t, ts, spec)
-		waitState(t, ts, id, stateDone)
+		id := submit(t, cl, spec)
+		if _, err := cl.Wait(t.Context(), id); err != nil {
+			t.Fatal(err)
+		}
 		ids = append(ids, id)
 	}
-	var list []JobStatus
-	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK {
-		t.Fatalf("list: HTTP %d", code)
+	page, err := cl.Jobs(t.Context(), 0, 0)
+	if err != nil {
+		t.Fatalf("list: %v", err)
 	}
-	if len(list) != 3 {
-		t.Fatalf("retained %d jobs, want 3", len(list))
+	if page.Total != 3 || len(page.Jobs) != 3 || page.Offset != 0 {
+		t.Fatalf("retained page = total %d, %d jobs, offset %d; want 3/3/0", page.Total, len(page.Jobs), page.Offset)
 	}
-	for i, st := range list {
+	for i, st := range page.Jobs {
 		if want := ids[len(ids)-3+i]; st.ID != want {
-			t.Errorf("list[%d] = %s, want %s (newest-3 in insertion order)", i, st.ID, want)
+			t.Errorf("jobs[%d] = %s, want %s (newest-3 in insertion order)", i, st.ID, want)
 		}
+	}
+
+	// A bounded page: offset 1, limit 1 → exactly the middle survivor.
+	small, err := cl.Jobs(t.Context(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Total != 3 || len(small.Jobs) != 1 || small.Offset != 1 || small.Jobs[0].ID != ids[3] {
+		t.Errorf("page(1,1) = %+v, want the single middle job %s", small, ids[3])
+	}
+
+	// Offsets beyond the end clamp to an empty page, never an error.
+	empty, err := cl.Jobs(t.Context(), 99, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Jobs) != 0 || empty.Total != 3 {
+		t.Errorf("page(99,10) = %+v, want empty page with total 3", empty)
 	}
 }
 
@@ -416,10 +434,10 @@ func TestQueueBound(t *testing.T) {
 	// Fill the single queue slot without letting the worker drain it: the
 	// worker takes one job, a second occupies the queue, the third must
 	// bounce. Use a long job to hold the worker.
-	long := JobSpec{
-		Kind:        "experiment",
+	long := api.JobSpec{
+		Kind:        api.KindExperiment,
 		Experiments: []string{"all"},
-		Params:      c3d.Params{Quick: true, Accesses: 60_000},
+		Params:      api.Params{Quick: true, Accesses: 60_000},
 	}
 	if _, err := s.submit(long); err != nil {
 		t.Fatal(err)
@@ -438,5 +456,41 @@ func TestQueueBound(t *testing.T) {
 	for _, st := range s.statuses() {
 		j, _ := s.job(st.ID)
 		j.requestCancel()
+	}
+}
+
+// TestQueueFullEnvelope checks the HTTP layer reports a full queue with the
+// queue_full code so clients can back off programmatically.
+func TestQueueFullEnvelope(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	// No retries: the client must surface the 503 envelope, not retry it
+	// into a timeout.
+	cl := api.NewClient(ts.URL, api.WithRetries(0))
+
+	long := api.JobSpec{
+		Kind:        api.KindExperiment,
+		Experiments: []string{"all"},
+		Params:      api.Params{Quick: true, Accesses: 60_000},
+	}
+	first, err := cl.Submit(t.Context(), long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, cl, first.ID, api.StateRunning)
+	second, err := cl.Submit(t.Context(), long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Submit(t.Context(), long)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull || apiErr.HTTPStatus != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: %v, want queue_full envelope with HTTP 503", err)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		if _, err := cl.Cancel(t.Context(), id); err != nil {
+			t.Error(err)
+		}
 	}
 }

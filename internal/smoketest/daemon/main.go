@@ -1,0 +1,106 @@
+// Command smoketest/daemon is the CI daemon-smoke driver: it exercises a
+// running c3dd worker end to end through the public api.Client — the same
+// client every external consumer uses — replacing the curl/sed sequences the
+// gate used before the wire types went public.
+//
+// It waits for the daemon to come up, checks /healthz and /v1/capabilities,
+// submits a quick experiment job, follows the event stream to its terminal
+// marker, verifies the error envelope on a bogus job id, and prints the
+// job's result document to stdout so the Makefile can cmp it against
+// `c3dexp -json` byte for byte.
+//
+//	go run ./internal/smoketest/daemon -url http://127.0.0.1:18321
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"c3d/pkg/c3d/api"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the c3dd daemon under test")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := api.NewClient(*url)
+
+	// Readiness: the daemon may still be binding its socket.
+	var health *api.Health
+	for {
+		var err error
+		if health, err = cl.Health(ctx); err == nil {
+			break
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			fail("daemon at %s never became healthy: %v", *url, err)
+		}
+	}
+	if health.Status != "ok" || health.Version == "" {
+		fail("implausible health document: %+v", health)
+	}
+
+	caps, err := cl.Capabilities(ctx)
+	if err != nil {
+		fail("capabilities: %v", err)
+	}
+	if len(caps.Designs) == 0 || len(caps.Experiments) == 0 || len(caps.Workloads) == 0 {
+		fail("empty capability lists: %+v", caps)
+	}
+
+	// The uniform error envelope, through the client's typed error path.
+	var apiErr *api.Error
+	if _, err := cl.Status(ctx, "job-999999"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		fail("bogus job id: got %v, want a %s envelope", err, api.CodeNotFound)
+	}
+
+	spec := api.JobSpec{
+		Kind:        api.KindExperiment,
+		Experiments: []string{"table1"},
+		Params:      api.Params{Quick: true, Workloads: []string{"streamcluster"}, Accesses: 2000},
+	}
+	if err := caps.SupportsSpec(spec); err != nil {
+		fail("capabilities rejected the smoke spec: %v", err)
+	}
+	sub, err := cl.Submit(ctx, spec)
+	if err != nil {
+		fail("submit: %v", err)
+	}
+
+	// Follow the event stream to the terminal marker — Events returning nil
+	// IS the completion wait.
+	events := 0
+	if err := cl.Events(ctx, sub.ID, func(api.Event) error { events++; return nil }); err != nil {
+		fail("events: %v", err)
+	}
+	if events == 0 {
+		fail("event stream delivered nothing")
+	}
+	st, err := cl.Wait(ctx, sub.ID)
+	if err != nil {
+		fail("wait: %v", err)
+	}
+	if st.State != api.StateDone {
+		fail("job finished %s: %s", st.State, st.Error)
+	}
+	result, err := cl.Result(ctx, sub.ID)
+	if err != nil {
+		fail("result: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "daemon-smoke: %s done after %d events; result %d bytes\n", sub.ID, events, len(result))
+	os.Stdout.Write(result)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "daemon-smoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command smoketest/fleet is the CI fleet-smoke verifier: after the Makefile
+// has driven `c3dexp -remote` sweeps through a coordinator, this program
+// inspects the coordinator's /healthz through the public api.Client and
+// asserts the distributed run actually happened the way the gate claims —
+// every worker healthy, and the repeat sweep served from the
+// content-addressed result cache rather than re-run (hit counters up,
+// entries bounded).
+//
+//	go run ./internal/smoketest/fleet -url http://127.0.0.1:18330 -min-hits 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"c3d/pkg/c3d/api"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the coordinator under test")
+	workers := flag.Int("workers", 2, "expected healthy worker count")
+	minHits := flag.Int64("min-hits", 1, "minimum cache hits the run must have produced")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	h, err := api.NewClient(*url).Health(ctx)
+	if err != nil {
+		fail("coordinator health: %v", err)
+	}
+	if h.Status != "ok" {
+		fail("coordinator status %q", h.Status)
+	}
+	if len(h.Workers) != *workers {
+		fail("fleet has %d workers, want %d: %+v", len(h.Workers), *workers, h.Workers)
+	}
+	var assigned int64
+	for _, w := range h.Workers {
+		if !w.Healthy {
+			fail("worker %s unhealthy", w.URL)
+		}
+		if w.Inflight != 0 {
+			fail("worker %s still has %d jobs in flight", w.URL, w.Inflight)
+		}
+		assigned += w.Assigned
+	}
+	if assigned == 0 {
+		fail("no jobs were ever dispatched to the fleet")
+	}
+	switch {
+	case h.Cache == nil:
+		fail("health document has no cache counters")
+	case h.Cache.Hits < *minHits:
+		fail("cache hits = %d, want >= %d: the repeat sweep was re-run, not served from cache", h.Cache.Hits, *minHits)
+	case h.Cache.Entries == 0:
+		fail("cache is empty after a completed sweep")
+	}
+	fmt.Fprintf(os.Stderr,
+		"fleet-smoke: %d workers healthy, %d jobs dispatched, cache %d entries / %d hits / %d misses\n",
+		len(h.Workers), assigned, h.Cache.Entries, h.Cache.Hits, h.Cache.Misses)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleet-smoke: "+format+"\n", args...)
+	os.Exit(1)
+}

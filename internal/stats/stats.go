@@ -231,6 +231,27 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 	return json.Marshal(tableJSON{Header: t.header, Rows: rows})
 }
 
+// UnmarshalJSON decodes the {"header": [...], "rows": [[...], ...]} form
+// MarshalJSON produces. Every cell is a string, so a decode/encode round
+// trip reproduces the original bytes exactly — the property that lets a
+// remote campaign client reassemble experiment results byte-identically to
+// a local run.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var doc struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	t.header = doc.Header
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	t.rows = doc.Rows
+	return nil
+}
+
 // WriteCSV emits the table as CSV (header first).
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)

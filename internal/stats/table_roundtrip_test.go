@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTableJSONRoundTripBytes proves decode(encode(t)) re-encodes to the
+// exact original bytes — the stability the remote campaign path relies on
+// when it reassembles per-job result documents client-side.
+func TestTableJSONRoundTripBytes(t *testing.T) {
+	tb := NewTable("Workload", "Speedup", "Bytes/Access")
+	tb.AddRow("streamcluster", "1.27", "0.43")
+	tb.AddRow("canneal", `quoted "cell"`, "")
+
+	first, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip not byte-stable:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if back.NumRows() != 2 || back.Rows()[1][1] != `quoted "cell"` {
+		t.Errorf("decoded table lost content: %+v", back)
+	}
+}
+
+// TestEmptyTableRoundTrip covers the nil-rows normalisation path.
+func TestEmptyTableRoundTrip(t *testing.T) {
+	tb := NewTable("A")
+	first, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("empty-table round trip not byte-stable: %s vs %s", first, second)
+	}
+}

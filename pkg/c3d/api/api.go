@@ -1,0 +1,359 @@
+// Package api defines the wire contract of the c3dd job service and the
+// campaign coordinator: every JSON document that crosses the HTTP boundary —
+// job specifications, statuses, progress event lines, error envelopes,
+// capability documents and campaign shapes — plus a Go Client that speaks
+// them.
+//
+// These types were promoted out of internal/server so that servers and
+// clients share one declaration instead of hand-rolling JSON: the daemon
+// (internal/server), the campaign coordinator (internal/campaign), the SDK
+// (pkg/c3d, whose Params is a defined type over api.Params) and external
+// programs all import this package. The JSON field names are frozen — a
+// compat test pins every one — so changing a tag here is a wire-format break
+// and must be treated as such.
+//
+// The package depends only on the standard library: importing it pulls in no
+// simulator code.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Params is the flat, serialisable form of a session configuration: the
+// shape CLI flags parse into and the job API accepts as JSON. pkg/c3d
+// defines its Params type over this struct, so the SDK and the wire agree on
+// field names by construction.
+type Params struct {
+	// Quick switches experiment campaigns to the reduced configuration.
+	Quick bool `json:"quick,omitempty"`
+	// Design names the coherence design for simulations ("c3d", ...).
+	Design string `json:"design,omitempty"`
+	// Policy pins the NUMA placement policy ("INT", "FT1", "FT2"); empty
+	// means the workload's preferred policy.
+	Policy string `json:"policy,omitempty"`
+	// Topology names the fabric topology ("p2p", "ring", "mesh", "full");
+	// empty means the socket count's default.
+	Topology string `json:"topology,omitempty"`
+	// Sockets, Threads, Accesses and Scale override the configuration's
+	// machine and workload shape (0 = default).
+	Sockets  int `json:"sockets,omitempty"`
+	Threads  int `json:"threads,omitempty"`
+	Accesses int `json:"accesses,omitempty"`
+	Scale    int `json:"scale,omitempty"`
+	// Warmup overrides the warm-up fraction (nil = default 0.25).
+	Warmup *float64 `json:"warmup,omitempty"`
+	// Workloads restricts experiment campaigns to a subset.
+	Workloads []string `json:"workloads,omitempty"`
+	// Parallelism bounds concurrent simulations / checker workers
+	// (0 = GOMAXPROCS; results identical at any value).
+	Parallelism int `json:"parallel,omitempty"`
+	// Stream selects streaming generation (nil = the method's default:
+	// streaming for simulations, materialised for campaigns).
+	Stream *bool `json:"stream,omitempty"`
+	// Seed offsets workload generation.
+	Seed int64 `json:"seed,omitempty"`
+	// BroadcastFilter enables the §IV-D private-page broadcast filter.
+	BroadcastFilter bool `json:"broadcast_filter,omitempty"`
+}
+
+// Job kinds accepted by POST /v1/jobs.
+const (
+	KindExperiment = "experiment"
+	KindSimulate   = "simulate"
+	KindVerify     = "verify"
+)
+
+// JobSpec is the submission body of POST /v1/jobs.
+type JobSpec struct {
+	// Kind selects what to run: "experiment", "simulate" or "verify".
+	Kind string `json:"kind"`
+	// Params configures the session exactly as the CLI flags do.
+	Params Params `json:"params"`
+	// Experiments lists experiment ids for kind "experiment" (empty or
+	// ["all"] = the full set).
+	Experiments []string `json:"experiments,omitempty"`
+	// Workload names the workload for kind "simulate".
+	Workload string `json:"workload,omitempty"`
+	// Verify parameterises kind "verify".
+	Verify VerifySpec `json:"verify,omitempty"`
+}
+
+// VerifySpec mirrors c3d.VerifyRequest in JSON form.
+type VerifySpec struct {
+	Sockets       int  `json:"sockets,omitempty"`
+	LoadsPerCore  int  `json:"loads,omitempty"`
+	StoresPerCore int  `json:"stores,omitempty"`
+	MaxStates     int  `json:"max_states,omitempty"`
+	BaseOnly      bool `json:"base_only,omitempty"`
+}
+
+// Job and campaign lifecycle states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Terminal reports whether a job or campaign state is final.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// JobStatus is the status document of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    string    `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Events   int       `json:"events"`
+}
+
+// JobPage is the bounded response of GET /v1/jobs: one page of statuses in
+// insertion order plus enough bookkeeping to fetch the next page.
+type JobPage struct {
+	Jobs []JobStatus `json:"jobs"`
+	// Total is the number of retained jobs, Offset the index of the first
+	// entry of this page within them.
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+}
+
+// SubmitResponse is the body of a successful POST /v1/jobs or
+// POST /v1/campaigns.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// Event is one line of the GET /v1/jobs/{id}/events JSON-lines stream: a
+// structured progress notification, or a job_state marker (Kind "job_state",
+// State set). The final line of a stream is always the terminal job_state
+// marker.
+type Event struct {
+	Kind      string  `json:"kind"`
+	State     string  `json:"state,omitempty"`
+	Job       string  `json:"job,omitempty"`
+	Done      int     `json:"done,omitempty"`
+	Total     int     `json:"total,omitempty"`
+	States    int     `json:"states,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// EventJobState is the Kind of lifecycle marker lines in an event stream.
+const EventJobState = "job_state"
+
+// Machine-readable error codes carried by the error envelope. Clients switch
+// on these, never on message text.
+const (
+	// CodeInvalidSpec: the request body failed validation (HTTP 400).
+	CodeInvalidSpec = "invalid_spec"
+	// CodeNotFound: no such job or campaign (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeQueueFull: the admission queue is at capacity (HTTP 503).
+	CodeQueueFull = "queue_full"
+	// CodeRateLimited: token-bucket admission rejected the request (HTTP 429).
+	CodeRateLimited = "rate_limited"
+	// CodeConflict: the resource is not in a state that allows the request,
+	// e.g. fetching the result of an unfinished job (HTTP 409).
+	CodeConflict = "conflict"
+	// CodeJobFailed: the job finished unsuccessfully (HTTP 422).
+	CodeJobFailed = "job_failed"
+	// CodeShuttingDown: the server is draining and accepts no new work
+	// (HTTP 503).
+	CodeShuttingDown = "shutting_down"
+	// CodeInternal: an unexpected server-side failure (HTTP 5xx).
+	CodeInternal = "internal"
+)
+
+// Error is the uniform error body of every non-2xx API response:
+//
+//	{"error": {"code": "not_found", "message": "unknown job \"job-000042\""}}
+//
+// It implements the error interface, so api.Client surfaces it directly; use
+// errors.As plus the Code to branch on failure classes.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// HTTPStatus is the response's status code. It is not part of the wire
+	// body (the HTTP layer already carries it) — the client fills it in.
+	HTTPStatus int `json:"-"`
+}
+
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorEnvelope is the top-level shape wrapping Error on the wire.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// ExperimentInfo describes one runnable experiment in a capabilities
+// document.
+type ExperimentInfo struct {
+	ID          string `json:"id"`
+	Paper       string `json:"paper"`
+	Description string `json:"description"`
+}
+
+// Capabilities is the response of GET /v1/capabilities: everything a remote
+// client needs to validate a JobSpec eagerly — before submission — the way
+// the SDK's options validate locally.
+type Capabilities struct {
+	Version     string           `json:"version"`
+	Designs     []string         `json:"designs"`
+	Topologies  []string         `json:"topologies"`
+	Experiments []ExperimentInfo `json:"experiments"`
+	Workloads   []string         `json:"workloads"`
+}
+
+// SupportsSpec checks a job spec against the capability lists: unknown
+// experiment ids, workloads, designs and topologies are reported before any
+// network round trip that would carry the doomed spec. It is a name-level
+// check — numeric-range validation still happens server-side.
+func (c *Capabilities) SupportsSpec(spec JobSpec) error {
+	if spec.Params.Design != "" && !contains(c.Designs, spec.Params.Design) {
+		return fmt.Errorf("remote does not support design %q (has %v)", spec.Params.Design, c.Designs)
+	}
+	if spec.Params.Topology != "" && !contains(c.Topologies, spec.Params.Topology) {
+		return fmt.Errorf("remote does not support topology %q (has %v)", spec.Params.Topology, c.Topologies)
+	}
+	for _, w := range spec.Params.Workloads {
+		if !contains(c.Workloads, w) {
+			return fmt.Errorf("remote does not support workload %q", w)
+		}
+	}
+	switch spec.Kind {
+	case KindExperiment:
+		for _, id := range spec.Experiments {
+			if id == "all" {
+				continue
+			}
+			if !containsExperiment(c.Experiments, id) {
+				return fmt.Errorf("remote does not support experiment %q", id)
+			}
+		}
+	case KindSimulate:
+		if spec.Workload != "" && !contains(c.Workloads, spec.Workload) {
+			return fmt.Errorf("remote does not support workload %q", spec.Workload)
+		}
+	}
+	return nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func containsExperiment(list []ExperimentInfo, id string) bool {
+	for _, e := range list {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Health is the response of GET /healthz on a worker daemon or a
+// coordinator. Worker fields are always present; the coordinator adds its
+// fleet and cache views.
+type Health struct {
+	Status   string `json:"status"`
+	Version  string `json:"version"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Finished int    `json:"finished"`
+
+	// Coordinator-only fields.
+	Workers []WorkerHealth `json:"workers,omitempty"`
+	Cache   *CacheStats    `json:"cache,omitempty"`
+}
+
+// WorkerHealth is a coordinator's view of one worker daemon.
+type WorkerHealth struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Assigned counts jobs the coordinator dispatched to this worker (over
+	// its lifetime), Inflight those currently dispatched and unfinished.
+	Assigned int64 `json:"assigned"`
+	Inflight int64 `json:"inflight"`
+}
+
+// CacheStats reports the coordinator's content-addressed result cache: a hit
+// means a job's result was served from cache instead of being re-run
+// anywhere in the fleet.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+// CampaignSpec is the submission body of POST /v1/campaigns: an ordered list
+// of job specs. Results are always assembled and served in this order,
+// regardless of which worker finishes which job when.
+type CampaignSpec struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// CampaignJob is the per-job view inside a CampaignStatus.
+type CampaignJob struct {
+	// Index is the job's position in the submitted CampaignSpec.
+	Index int    `json:"index"`
+	State string `json:"state"`
+	// Worker is the URL of the worker that produced the result (empty for
+	// cache hits and unscheduled jobs).
+	Worker string `json:"worker,omitempty"`
+	// CacheHit reports the result was served from the coordinator's
+	// content-addressed cache without dispatching the job.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Attempts counts dispatch attempts (reassignments after worker
+	// failures increment it; a cache hit leaves it 0).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// CampaignStatus is the status document of GET /v1/campaigns/{id}.
+type CampaignStatus struct {
+	ID        string        `json:"id"`
+	State     string        `json:"state"`
+	Error     string        `json:"error,omitempty"`
+	Done      int           `json:"done"`
+	Total     int           `json:"total"`
+	CacheHits int           `json:"cache_hits"`
+	Jobs      []CampaignJob `json:"jobs"`
+}
+
+// CampaignPage is the bounded response of GET /v1/campaigns.
+type CampaignPage struct {
+	Campaigns []CampaignStatus `json:"campaigns"`
+	Total     int              `json:"total"`
+	Offset    int              `json:"offset"`
+}
+
+// CampaignResults is the response of GET /v1/campaigns/{id}/results: one raw
+// result document per job, in submission order. Each element is the JSON
+// value the worker's result endpoint served (or the cached copy of it) with
+// surrounding whitespace trimmed — json.RawMessage carries value bytes, not
+// presentation newlines — so clients can reassemble campaign output
+// byte-identically to a local run.
+type CampaignResults struct {
+	ID      string            `json:"id"`
+	Results []json.RawMessage `json:"results"`
+}

@@ -1,0 +1,433 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client speaks the c3dd job API and the coordinator campaign API. It is
+// safe for concurrent use; every method takes a context and stops promptly
+// when it is cancelled.
+//
+// Transient failures — connection errors and HTTP 502/503/504 — are retried
+// with exponential backoff up to the configured attempt count. Submissions
+// are retried too: jobs are deterministic and campaign results are
+// content-addressed, so the worst case of a retry racing a response that was
+// lost in flight is a duplicate job whose result is identical (and usually a
+// cache hit).
+type Client struct {
+	base    string
+	http    *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (default
+// http.DefaultClient). Streaming endpoints need a client without a global
+// timeout; use transport-level timeouts instead.
+func WithHTTPClient(h *http.Client) ClientOption { return func(c *Client) { c.http = h } }
+
+// WithRetries sets how many times a transiently-failed request is retried
+// (default 3; 0 disables retrying).
+func WithRetries(n int) ClientOption { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the initial retry backoff, doubled per attempt (default
+// 100ms).
+func WithBackoff(d time.Duration) ClientOption { return func(c *Client) { c.backoff = d } }
+
+// NewClient builds a client for the daemon or coordinator at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		http:    http.DefaultClient,
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// BaseURL returns the server address the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// transient reports whether a response status is worth retrying: gateway
+// errors and overload answers clear up; everything else is deterministic.
+func transient(status int) bool {
+	return status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// do issues one request with retry+backoff, decodes error envelopes, and on
+// success returns the response body. body is re-marshalled per attempt, so
+// retries never reuse a consumed reader.
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	raw, err := c.doRaw(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func (c *Client) doRaw(ctx context.Context, method, path string, body any) ([]byte, error) {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return nil, fmt.Errorf("api: encoding %s %s request: %w", method, path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		raw, retryable, err := c.attempt(ctx, method, path, payload)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.retries {
+			return nil, lastErr
+		}
+		delay := c.backoff << attempt
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt runs a single HTTP exchange. retryable distinguishes transient
+// transport/overload failures from deterministic API errors.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte) (raw []byte, retryable bool, err error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, false, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Network-level failure: the server may be restarting or not yet
+		// listening. Retry unless the context is the reason.
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, ctx.Err() == nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return raw, false, nil
+	}
+	return nil, transient(resp.StatusCode), decodeError(resp.StatusCode, raw)
+}
+
+// decodeError turns a non-2xx body into an *Error, synthesising an envelope
+// for servers that answered with plain text (proxies, panics).
+func decodeError(status int, body []byte) error {
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Message != "" {
+		env.Error.HTTPStatus = status
+		return env.Error
+	}
+	return &Error{
+		Code:       CodeInternal,
+		Message:    fmt.Sprintf("HTTP %d: %s", status, bytes.TrimSpace(body)),
+		HTTPStatus: status,
+	}
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Capabilities fetches GET /v1/capabilities: the server's designs,
+// topologies, experiments, workloads and version, for eager client-side
+// validation.
+func (c *Client) Capabilities(ctx context.Context) (*Capabilities, error) {
+	var caps Capabilities
+	if err := c.do(ctx, http.MethodGet, "/v1/capabilities", nil, &caps); err != nil {
+		return nil, err
+	}
+	return &caps, nil
+}
+
+// Submit posts a job spec and returns its assigned id.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*SubmitResponse, error) {
+	var out SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status fetches one job's status document.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs fetches one page of job statuses (limit 0 = the server default).
+func (c *Client) Jobs(ctx context.Context, offset, limit int) (*JobPage, error) {
+	path := fmt.Sprintf("/v1/jobs?offset=%d", offset)
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	var page JobPage
+	if err := c.do(ctx, http.MethodGet, path, nil, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// Events streams a job's progress, invoking fn for every event line —
+// replayed history first, then live events — until the stream reaches the
+// terminal job_state marker, fn returns an error, or the context is
+// cancelled. A connection dropped mid-stream is re-established and the
+// replayed prefix skipped, so fn sees every event exactly once.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	seen := 0
+	for attempt := 0; ; attempt++ {
+		n, done, err := c.streamEvents(ctx, id, seen, fn)
+		seen += n
+		if done || err == nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var apiErr *Error
+		if errors.As(err, &apiErr) && !transient(apiErr.HTTPStatus) {
+			return err
+		}
+		if attempt >= c.retries {
+			return err
+		}
+		select {
+		case <-time.After(c.backoff << attempt):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// streamEvents runs one events connection, skipping the first skip lines.
+// done reports the terminal marker was seen (the stream is complete).
+func (c *Client) streamEvents(ctx context.Context, id string, skip int, fn func(Event) error) (delivered int, done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return 0, false, decodeError(resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if skip > 0 {
+			skip--
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return delivered, false, fmt.Errorf("api: bad event line %q: %w", sc.Text(), err)
+		}
+		delivered++
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return delivered, true, err
+			}
+		}
+		if ev.Kind == EventJobState && Terminal(ev.State) {
+			return delivered, true, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return delivered, false, err
+	}
+	// EOF without a terminal marker: the connection was cut. Resume.
+	return delivered, false, fmt.Errorf("api: event stream for %s ended before a terminal marker", id)
+}
+
+// Wait polls a job's status until it reaches a terminal state and returns
+// the final status. A job that failed or was cancelled is reported through
+// the returned status, not an error — err is for transport-level trouble.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	delay := 25 * time.Millisecond
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// Result fetches a finished job's raw result document. For a failed job that
+// still carries a result (a verification that found violations), the bytes
+// are returned together with a *Error of code job_failed.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		raw, retryable, err := c.resultAttempt(ctx, id)
+		if err == nil || !retryable {
+			return raw, err
+		}
+		lastErr = err
+		select {
+		case <-time.After(c.backoff << attempt):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) resultAttempt(ctx context.Context, id string) (raw []byte, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, ctx.Err() == nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, ctx.Err() == nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return body, false, nil
+	case resp.StatusCode == http.StatusUnprocessableEntity:
+		// Failed job with a result document: error + bytes.
+		return body, false, &Error{
+			Code:       CodeJobFailed,
+			Message:    resp.Header.Get("X-C3D-Job-Error"),
+			HTTPStatus: resp.StatusCode,
+		}
+	default:
+		return nil, transient(resp.StatusCode), decodeError(resp.StatusCode, body)
+	}
+}
+
+// Cancel requests cancellation of a queued or running job and returns the
+// job's state after the request (a still-queued job flips to cancelled
+// immediately).
+func (c *Client) Cancel(ctx context.Context, id string) (*SubmitResponse, error) {
+	var out SubmitResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitCampaign posts an ordered list of job specs to a coordinator.
+func (c *Client) SubmitCampaign(ctx context.Context, spec CampaignSpec) (*SubmitResponse, error) {
+	var out SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/campaigns", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CampaignStatus fetches one campaign's status document.
+func (c *Client) CampaignStatus(ctx context.Context, id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitCampaign polls a campaign until it reaches a terminal state.
+func (c *Client) WaitCampaign(ctx context.Context, id string) (*CampaignStatus, error) {
+	delay := 25 * time.Millisecond
+	for {
+		st, err := c.CampaignStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// CampaignResults fetches a finished campaign's per-job result documents, in
+// submission order.
+func (c *Client) CampaignResults(ctx context.Context, id string) (*CampaignResults, error) {
+	var res CampaignResults
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(id)+"/results", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// CancelCampaign requests cancellation of a campaign: unstarted jobs stay
+// unrun and in-flight worker jobs are cancelled.
+func (c *Client) CancelCampaign(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/campaigns/"+url.PathEscape(id), nil, nil)
+}

@@ -1,0 +1,189 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testClient(t *testing.T, h http.Handler, opts ...ClientOption) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, append([]ClientOption{WithBackoff(time.Millisecond)}, opts...)...)
+}
+
+// TestRetryTransient checks 503s are retried with backoff until the server
+// recovers, and the eventual success is surfaced normally.
+func TestRetryTransient(t *testing.T) {
+	var calls atomic.Int32
+	cl := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ErrorEnvelope{Error: &Error{Code: CodeQueueFull, Message: "busy"}})
+			return
+		}
+		json.NewEncoder(w).Encode(Health{Status: "ok", Version: "test"})
+	}))
+	h, err := cl.Health(t.Context())
+	if err != nil {
+		t.Fatalf("health after transient failures: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Errorf("status %q after %d calls, want ok after 3", h.Status, calls.Load())
+	}
+}
+
+// TestNoRetryOnDeterministicError checks 4xx answers are surfaced
+// immediately — retrying a not_found or invalid_spec would just repeat it.
+func TestNoRetryOnDeterministicError(t *testing.T) {
+	var calls atomic.Int32
+	cl := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ErrorEnvelope{Error: &Error{Code: CodeNotFound, Message: "nope"}})
+	}))
+	_, err := cl.Status(t.Context(), "job-000001")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeNotFound || apiErr.HTTPStatus != http.StatusNotFound {
+		t.Fatalf("err = %v, want typed not_found with HTTP 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("deterministic error retried: %d calls", calls.Load())
+	}
+}
+
+// TestRetriesBounded checks WithRetries caps the attempt count and the last
+// error is the one reported.
+func TestRetriesBounded(t *testing.T) {
+	var calls atomic.Int32
+	cl := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprint(w, "upstream gone") // plain text: envelope must be synthesised
+	}), WithRetries(2))
+	_, err := cl.Health(t.Context())
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.HTTPStatus != http.StatusBadGateway || apiErr.Code != CodeInternal {
+		t.Fatalf("err = %v, want synthesised envelope for the plain-text 502", err)
+	}
+	if calls.Load() != 3 { // 1 attempt + 2 retries
+		t.Errorf("%d calls, want 3", calls.Load())
+	}
+}
+
+// TestSubmitBodyResentOnRetry checks a retried POST carries the full body
+// again — the payload must be re-materialised per attempt, not drained by
+// the first.
+func TestSubmitBodyResentOnRetry(t *testing.T) {
+	var calls atomic.Int32
+	cl := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil || spec.Kind != KindExperiment {
+			t.Errorf("attempt %d body unreadable: %v (%+v)", calls.Load(), err, spec)
+		}
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ErrorEnvelope{Error: &Error{Code: CodeQueueFull, Message: "busy"}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitResponse{ID: "job-000001", State: StateQueued})
+	}))
+	resp, err := cl.Submit(t.Context(), JobSpec{Kind: KindExperiment, Experiments: []string{"table1"}})
+	if err != nil || resp.ID != "job-000001" {
+		t.Fatalf("submit = %+v, %v", resp, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("%d calls, want 2", calls.Load())
+	}
+}
+
+// TestContextCancelDuringBackoff checks cancellation interrupts the backoff
+// sleep promptly instead of burning the remaining retries.
+func TestContextCancelDuringBackoff(t *testing.T) {
+	cl := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}), WithRetries(10), WithBackoff(10*time.Second))
+	ctx, cancel := context.WithCancel(t.Context())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err := cl.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancel took %v to interrupt the backoff", elapsed)
+	}
+}
+
+// TestEventsReconnectResume checks a dropped event stream is re-established
+// and the replayed prefix skipped: the callback sees every event exactly
+// once even though the server replays history on the second connection.
+func TestEventsReconnectResume(t *testing.T) {
+	all := []Event{
+		{Kind: "simulation_done", Done: 1, Total: 2},
+		{Kind: "simulation_done", Done: 2, Total: 2},
+		{Kind: EventJobState, State: StateDone, Job: "job-000001"},
+	}
+	var conns atomic.Int32
+	cl := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		enc := json.NewEncoder(w)
+		if n == 1 {
+			// First connection: one event, then the connection dies.
+			enc.Encode(all[0])
+			panic(http.ErrAbortHandler)
+		}
+		for _, ev := range all {
+			enc.Encode(ev)
+		}
+	}))
+	var got []Event
+	err := cl.Events(t.Context(), "job-000001", func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("%d connections, want 2 (drop + resume)", conns.Load())
+	}
+	if len(got) != len(all) {
+		t.Fatalf("delivered %d events, want %d exactly-once: %+v", len(got), len(all), got)
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], all[i])
+		}
+	}
+}
+
+// TestResultFailedJobCarriesBytes checks the 422 path: a failed job that
+// still has a result document yields both the bytes and a typed job_failed
+// error.
+func TestResultFailedJobCarriesBytes(t *testing.T) {
+	cl := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-C3D-Job-Error", "verification found violations")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `[{"model":"base"}]`)
+	}))
+	raw, err := cl.Result(t.Context(), "job-000001")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeJobFailed {
+		t.Fatalf("err = %v, want job_failed", err)
+	}
+	if apiErr.Message != "verification found violations" {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+	if string(raw) != `[{"model":"base"}]` {
+		t.Errorf("result bytes = %q", raw)
+	}
+}

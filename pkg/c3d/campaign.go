@@ -1,0 +1,165 @@
+package c3d
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"c3d/pkg/c3d/api"
+)
+
+// Campaign is a client-side handle to a distributed campaign: an ordered
+// list of jobs submitted to a campaign coordinator (`c3dd -coordinator`),
+// which shards them across its worker fleet, serves repeats from its
+// content-addressed result cache, and assembles results in submission order
+// regardless of which worker finished what when.
+//
+// Obtain one with SubmitCampaign, then Wait and Results:
+//
+//	cl := api.NewClient("http://coordinator:8080")
+//	camp, err := c3d.SubmitCampaign(ctx, cl, specs)
+//	if err != nil { ... }
+//	if _, err := camp.Wait(ctx); err != nil { ... }
+//	docs, err := camp.Results(ctx)
+type Campaign struct {
+	client *api.Client
+	id     string
+	total  int
+}
+
+// SubmitCampaign validates the specs against the coordinator's capabilities
+// (eagerly, before anything is enqueued) and submits them as one campaign.
+func SubmitCampaign(ctx context.Context, client *api.Client, specs []api.JobSpec) (*Campaign, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("c3d: empty campaign")
+	}
+	caps, err := client.Capabilities(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("c3d: fetching remote capabilities: %w", err)
+	}
+	for i, spec := range specs {
+		if err := caps.SupportsSpec(spec); err != nil {
+			return nil, fmt.Errorf("c3d: campaign job %d: %w", i, err)
+		}
+	}
+	resp, err := client.SubmitCampaign(ctx, api.CampaignSpec{Jobs: specs})
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{client: client, id: resp.ID, total: len(specs)}, nil
+}
+
+// ID returns the coordinator-assigned campaign id.
+func (c *Campaign) ID() string { return c.id }
+
+// Status fetches the campaign's current status document.
+func (c *Campaign) Status(ctx context.Context) (*api.CampaignStatus, error) {
+	return c.client.CampaignStatus(ctx, c.id)
+}
+
+// Wait blocks until the campaign reaches a terminal state and returns the
+// final status. A failed campaign is reported as an error carrying the first
+// failing job's message (in job order, so the error is deterministic too).
+func (c *Campaign) Wait(ctx context.Context) (*api.CampaignStatus, error) {
+	st, err := c.client.WaitCampaign(ctx, c.id)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != api.StateDone {
+		msg := st.Error
+		for _, j := range st.Jobs {
+			if j.Error != "" {
+				msg = fmt.Sprintf("job %d: %s", j.Index, j.Error)
+				break
+			}
+		}
+		return st, fmt.Errorf("c3d: campaign %s %s: %s", c.id, st.State, msg)
+	}
+	return st, nil
+}
+
+// Results fetches the finished campaign's raw result documents, one per job
+// in submission order. Each element is byte-identical to what the worker's
+// (or a local daemon's) result endpoint would serve for that job.
+func (c *Campaign) Results(ctx context.Context) ([][]byte, error) {
+	res, err := c.client.CampaignResults(ctx, c.id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(res.Results))
+	for i, raw := range res.Results {
+		out[i] = []byte(raw)
+	}
+	return out, nil
+}
+
+// ExperimentResults decodes an all-experiment campaign's results into one
+// flat result list in job order — the shape Sweep returns locally. Feeding
+// it to WriteResultsJSON reproduces the local `c3dexp -json` bytes exactly
+// (Table's JSON round trip is byte-stable; a test pins this).
+func (c *Campaign) ExperimentResults(ctx context.Context) ([]ExperimentResult, error) {
+	docs, err := c.Results(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []ExperimentResult
+	for i, doc := range docs {
+		var results []ExperimentResult
+		if err := json.Unmarshal(doc, &results); err != nil {
+			return nil, fmt.Errorf("c3d: campaign job %d result is not an experiment document: %w", i, err)
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// RemoteSweep is Sweep fanned out over a coordinator fleet: one experiment
+// job per id (empty or "all" = every experiment the remote offers, in its
+// presentation order), sharded across workers, assembled in id order. The
+// returned results — and therefore WriteResultsJSON's bytes — are identical
+// to a local Sweep with the same params, at any worker count and routing
+// policy; repeated sweeps are served from the coordinator's result cache.
+//
+// cmd/c3dexp's -remote flag is a thin wrapper around this call.
+func RemoteSweep(ctx context.Context, client *api.Client, p Params, ids ...string) ([]ExperimentResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	caps, err := client.Capabilities(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("c3d: fetching remote capabilities: %w", err)
+	}
+	expand := len(ids) == 0
+	for _, id := range ids {
+		if id == "all" {
+			expand = true
+			break
+		}
+	}
+	if expand {
+		ids = nil
+		for _, e := range caps.Experiments {
+			ids = append(ids, e.ID)
+		}
+	}
+	specs := make([]api.JobSpec, len(ids))
+	for i, id := range ids {
+		specs[i] = api.JobSpec{
+			Kind:        api.KindExperiment,
+			Params:      api.Params(p),
+			Experiments: []string{id},
+		}
+		if err := caps.SupportsSpec(specs[i]); err != nil {
+			return nil, fmt.Errorf("c3d: %w", err)
+		}
+	}
+	resp, err := client.SubmitCampaign(ctx, api.CampaignSpec{Jobs: specs})
+	if err != nil {
+		return nil, err
+	}
+	camp := &Campaign{client: client, id: resp.ID, total: len(specs)}
+	if _, err := camp.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return camp.ExperimentResults(ctx)
+}

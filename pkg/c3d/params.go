@@ -1,43 +1,22 @@
 package c3d
 
-import "fmt"
+import (
+	"fmt"
+
+	"c3d/pkg/c3d/api"
+)
 
 // Params is the flat, serialisable form of a session configuration: the
 // shape CLI flags parse into and the c3dd job API accepts as JSON. Both
 // resolve a Params to the same []Option via Options(), which is what makes
 // the CLIs and the daemon provably one code path.
-type Params struct {
-	// Quick switches experiment campaigns to the reduced configuration.
-	Quick bool `json:"quick,omitempty"`
-	// Design names the coherence design for simulations ("c3d", ...).
-	Design string `json:"design,omitempty"`
-	// Policy pins the NUMA placement policy ("INT", "FT1", "FT2"); empty
-	// means the workload's preferred policy.
-	Policy string `json:"policy,omitempty"`
-	// Topology names the fabric topology ("p2p", "ring", "mesh", "full");
-	// empty means the socket count's default.
-	Topology string `json:"topology,omitempty"`
-	// Sockets, Threads, Accesses and Scale override the configuration's
-	// machine and workload shape (0 = default).
-	Sockets  int `json:"sockets,omitempty"`
-	Threads  int `json:"threads,omitempty"`
-	Accesses int `json:"accesses,omitempty"`
-	Scale    int `json:"scale,omitempty"`
-	// Warmup overrides the warm-up fraction (nil = default 0.25).
-	Warmup *float64 `json:"warmup,omitempty"`
-	// Workloads restricts experiment campaigns to a subset.
-	Workloads []string `json:"workloads,omitempty"`
-	// Parallelism bounds concurrent simulations / checker workers
-	// (0 = GOMAXPROCS; results identical at any value).
-	Parallelism int `json:"parallel,omitempty"`
-	// Stream selects streaming generation (nil = the method's default:
-	// streaming for simulations, materialised for campaigns).
-	Stream *bool `json:"stream,omitempty"`
-	// Seed offsets workload generation.
-	Seed int64 `json:"seed,omitempty"`
-	// BroadcastFilter enables the §IV-D private-page broadcast filter.
-	BroadcastFilter bool `json:"broadcast_filter,omitempty"`
-}
+//
+// The struct itself — fields and JSON tags — is defined once, in
+// pkg/c3d/api (the wire-contract package), and Params is a defined type
+// over it: convert with api.Params(p) / Params(w) when crossing between
+// SDK calls and wire documents. The two can never drift because they are
+// one declaration.
+type Params api.Params
 
 // Options resolves the params into session options, validating the
 // enumerated fields (design, policy) and rejecting negative numeric

@@ -1,0 +1,79 @@
+package c3d
+
+import (
+	"fmt"
+
+	"c3d/pkg/c3d/api"
+)
+
+// CurrentCapabilities reports what this build of the simulator can run —
+// registered designs, fabric topologies, experiments and workloads, plus the
+// build version — in the wire shape served by GET /v1/capabilities. The
+// daemon and the campaign coordinator both publish exactly this document,
+// and remote clients use it to validate job specs eagerly, the way the SDK's
+// options validate locally.
+func CurrentCapabilities() api.Capabilities {
+	caps := api.Capabilities{Version: Version()}
+	for _, d := range Designs() {
+		caps.Designs = append(caps.Designs, string(d))
+	}
+	for _, t := range Topologies() {
+		caps.Topologies = append(caps.Topologies, string(t))
+	}
+	for _, e := range Experiments() {
+		caps.Experiments = append(caps.Experiments, api.ExperimentInfo{
+			ID:          e.ID,
+			Paper:       e.Paper,
+			Description: e.Description,
+		})
+	}
+	for _, w := range Workloads() {
+		caps.Workloads = append(caps.Workloads, w.Name)
+	}
+	return caps
+}
+
+// ValidateJobSpec rejects malformed job specs the way the daemon's
+// submission endpoint does, so a queued job can only fail for run-time
+// reasons. Building (and discarding) the session runs the SDK's full option
+// validation — unknown workloads, out-of-range warm-up, unhostable
+// topology/socket shapes — not just the enumerated-field parse. The daemon
+// and the campaign coordinator share this one door check.
+func ValidateJobSpec(spec api.JobSpec) error {
+	if _, err := Params(spec.Params).Session(); err != nil {
+		return err
+	}
+	switch spec.Kind {
+	case api.KindExperiment:
+		known := make(map[string]bool)
+		for _, id := range ExperimentIDs() {
+			known[id] = true
+		}
+		for _, id := range spec.Experiments {
+			if id != "all" && !known[id] {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+		}
+	case api.KindSimulate:
+		if spec.Workload == "" {
+			return fmt.Errorf("kind %q needs a workload", spec.Kind)
+		}
+		found := false
+		for _, w := range Workloads() {
+			if w.Name == spec.Workload {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown workload %q", spec.Workload)
+		}
+	case api.KindVerify:
+		if spec.Verify.Sockets < 0 || spec.Verify.MaxStates < 0 {
+			return fmt.Errorf("negative verify bounds")
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want experiment, simulate or verify)", spec.Kind)
+	}
+	return nil
+}
