@@ -16,7 +16,7 @@ LDFLAGS := -X c3d/pkg/c3d.buildVersion=$(VERSION) \
            -X c3d/pkg/c3d.buildCommit=$(GIT_SHA) \
            -X c3d/pkg/c3d.buildDate=$(BUILD_DATE)
 
-.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke ci
+.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke ci
 
 all: build
 
@@ -141,4 +141,35 @@ fleet-smoke:
 	$(GO) run ./internal/smoketest/fleet -url http://127.0.0.1:18330 -workers 2 -min-hits 1
 	@echo "remote fig6 bit-identical to local at 2 workers; repeat sweep served from the result cache"
 
-ci: lint build race bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke
+# Fault-tolerance gate through the real binaries: a campaign over two workers
+# running seeded fault plans (transport flaps + hung requests), with the
+# coordinator journalling to disk, kill -9'd mid-campaign and restarted over
+# the same journal. The driver rides out the outage on client retries and the
+# final bytes must cmp equal to a fault-free single-worker baseline — faults
+# and crashes cost retries, never correctness.
+chaos-smoke:
+	$(GO) build -ldflags "$(LDFLAGS)" -o /tmp/c3dd-chaos ./cmd/c3dd
+	rm -rf /tmp/c3d-chaos-journal; \
+	/tmp/c3dd-chaos -addr 127.0.0.1:18341 -jobs 2 -chaos flaky:7 & echo $$! > /tmp/c3dd-chaos-w1.pid; \
+	/tmp/c3dd-chaos -addr 127.0.0.1:18342 -jobs 2 -chaos hang:11 & echo $$! > /tmp/c3dd-chaos-w2.pid; \
+	/tmp/c3dd-chaos -addr 127.0.0.1:18343 & echo $$! > /tmp/c3dd-chaos-w3.pid; \
+	trap 'kill $$(cat /tmp/c3dd-chaos-w1.pid /tmp/c3dd-chaos-w2.pid /tmp/c3dd-chaos-w3.pid /tmp/c3dd-chaos-co.pid 2>/dev/null) 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18343/healthz >/dev/null && break; sleep 0.2; done; \
+	$(GO) run ./internal/smoketest/chaos -direct -url http://127.0.0.1:18343 > /tmp/c3d-chaos-baseline.txt; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18341/v1/capabilities >/dev/null && curl -sf 127.0.0.1:18342/v1/capabilities >/dev/null && break; sleep 0.2; done; \
+	/tmp/c3dd-chaos -coordinator -workers http://127.0.0.1:18341,http://127.0.0.1:18342 -addr 127.0.0.1:18340 \
+		-journal /tmp/c3d-chaos-journal -dispatch-timeout 3s -attempts 10 -cooldown 200ms & echo $$! > /tmp/c3dd-chaos-co.pid; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18340/healthz >/dev/null && break; sleep 0.2; done; \
+	$(GO) run ./internal/smoketest/chaos -url http://127.0.0.1:18340 > /tmp/c3d-chaos-run.txt & echo $$! > /tmp/c3d-chaos-driver.pid; \
+	sleep 3; \
+	kill -9 $$(cat /tmp/c3dd-chaos-co.pid) 2>/dev/null; \
+	/tmp/c3dd-chaos -coordinator -workers http://127.0.0.1:18341,http://127.0.0.1:18342 -addr 127.0.0.1:18340 \
+		-journal /tmp/c3d-chaos-journal -dispatch-timeout 3s -attempts 10 -cooldown 200ms & echo $$! > /tmp/c3dd-chaos-co.pid; \
+	wait $$(cat /tmp/c3d-chaos-driver.pid); \
+	cmp /tmp/c3d-chaos-baseline.txt /tmp/c3d-chaos-run.txt
+	@echo "chaos campaign bytes identical to the fault-free baseline across a coordinator kill -9 + journal resume"
+
+ci: lint build race bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke

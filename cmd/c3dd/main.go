@@ -15,6 +15,17 @@
 //	c3dd -addr 127.0.0.1:9090 -jobs 2
 //	c3dd -coordinator -workers http://w1:8080,http://w2:8080 \
 //	     -policy least-loaded -rate 100 -burst 400
+//	c3dd -coordinator -workers ... -journal /var/lib/c3d \
+//	     -dispatch-timeout 90s -hedge-after 30s   # durable + fault-tolerant
+//	c3dd -chaos flaky:7                           # deterministic fault injection
+//
+// Shutdown: SIGTERM drains — running jobs finish, new submissions answer 503
+// and /healthz reports "draining" until -drain-timeout elapses; SIGINT
+// cancels everything immediately. A coordinator with -journal records
+// campaign admissions and job completions in an append-only JSONL log and
+// keeps results in a disk-backed content-addressed cache, so a restart with
+// the same -journal directory resumes interrupted campaigns without
+// re-running finished jobs (see the README "Failure model & operations").
 //
 // Worker API walkthrough (see the README "SDK & service" section for more):
 //
@@ -46,11 +57,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"c3d/internal/campaign"
+	"c3d/internal/faultify"
 	"c3d/internal/server"
 	"c3d/pkg/c3d"
+	"c3d/pkg/c3d/api"
 )
 
 func main() {
@@ -61,14 +75,24 @@ func main() {
 		retain  = flag.Int("retain", 1024, "finished jobs kept for result fetches before eviction")
 		version = flag.Bool("version", false, "print the build version and exit")
 
+		chaos = flag.String("chaos", "", fmt.Sprintf("inject deterministic faults from a seeded plan, as <plan>[:<seed>]: %s (testing only)",
+			strings.Join(faultify.Plans(), ", ")))
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long SIGTERM waits for running work before hard-cancelling")
+
 		coordinator = flag.Bool("coordinator", false, "run as a campaign coordinator over a worker fleet instead of a worker")
 		workers     = flag.String("workers", "", "comma-separated worker base URLs (coordinator mode, required)")
 		policy      = flag.String("policy", campaign.DefaultPolicy,
 			fmt.Sprintf("routing policy: %s (coordinator mode)", strings.Join(campaign.Policies(), ", ")))
-		rate     = flag.Float64("rate", 50, "admission rate in jobs/second (coordinator mode)")
-		burst    = flag.Int("burst", 200, "admission burst: max jobs admitted at once (coordinator mode)")
-		cache    = flag.Int("cache", 1024, "content-addressed result cache entries (coordinator mode)")
-		attempts = flag.Int("attempts", 3, "dispatch attempts per job before its campaign fails (coordinator mode)")
+		rate            = flag.Float64("rate", 50, "admission rate in jobs/second (coordinator mode)")
+		burst           = flag.Int("burst", 200, "admission burst: max jobs admitted at once (coordinator mode)")
+		cache           = flag.Int("cache", 1024, "content-addressed result cache entries (coordinator mode)")
+		attempts        = flag.Int("attempts", 3, "dispatch attempts per job before its campaign fails (coordinator mode)")
+		cooldown        = flag.Duration("cooldown", 2*time.Second, "bench time for a worker after a transient failure (coordinator mode)")
+		journalDir      = flag.String("journal", "", "directory for the durable campaign journal + disk result cache; restart resumes interrupted campaigns (coordinator mode)")
+		dispatchTimeout = flag.Duration("dispatch-timeout", 2*time.Minute, "per-job dispatch deadline; a hung worker is benched and the job reassigned; 0 disables (coordinator mode)")
+		hedgeAfter      = flag.Duration("hedge-after", 0, "re-dispatch a straggling job to a second worker after this long, first result wins; 0 disables (coordinator mode)")
+		probeTimeout    = flag.Duration("probe-timeout", 2*time.Second, "per-worker /healthz probe deadline (coordinator mode)")
+		cancelGrace     = flag.Duration("cancel-grace", 2*time.Second, "deadline for best-effort worker-side job cancels (coordinator mode)")
 	)
 	flag.Parse()
 	if *version {
@@ -76,30 +100,59 @@ func main() {
 		return
 	}
 
+	var injector *faultify.Injector
+	if *chaos != "" {
+		in, err := faultify.Parse(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3dd:", err)
+			os.Exit(2)
+		}
+		injector = in
+		fmt.Fprintf(os.Stderr, "c3dd: CHAOS MODE: injecting plan %q with seed %d\n", in.Plan().Name, in.Seed())
+	}
+
+	// SIGINT hard-stops (cancel everything, exit); SIGTERM drains (finish
+	// running work, 503 new work, then exit).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
 
 	var handler http.Handler
 	var closeCore func()
+	var drainCore func(context.Context) error
 	if *coordinator {
 		if *workers == "" {
 			fmt.Fprintln(os.Stderr, "c3dd: -coordinator requires -workers url[,url...]")
 			os.Exit(2)
 		}
+		var clientOpts []api.ClientOption
+		if injector != nil {
+			// Coordinator chaos is client-side: every dispatch to the fleet
+			// runs through the fault-injecting transport.
+			clientOpts = append(clientOpts, api.WithHTTPClient(&http.Client{Transport: injector.Transport(nil)}))
+		}
 		co, err := campaign.New(ctx, campaign.Config{
-			Workers:      strings.Split(*workers, ","),
-			Policy:       *policy,
-			RatePerSec:   *rate,
-			Burst:        *burst,
-			CacheEntries: *cache,
-			MaxAttempts:  *attempts,
-			Logf:         log.New(os.Stderr, "c3dd: ", log.LstdFlags).Printf,
+			Workers:         strings.Split(*workers, ","),
+			Policy:          *policy,
+			RatePerSec:      *rate,
+			Burst:           *burst,
+			CacheEntries:    *cache,
+			MaxAttempts:     *attempts,
+			Cooldown:        *cooldown,
+			DispatchTimeout: *dispatchTimeout,
+			HedgeAfter:      *hedgeAfter,
+			ProbeTimeout:    *probeTimeout,
+			CancelGrace:     *cancelGrace,
+			JournalDir:      *journalDir,
+			ClientOptions:   clientOpts,
+			Logf:            log.New(os.Stderr, "c3dd: ", log.LstdFlags).Printf,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "c3dd:", err)
 			os.Exit(1)
 		}
-		handler, closeCore = co.Handler(), co.Close
+		handler, closeCore, drainCore = co.Handler(), co.Close, co.Drain
 		fmt.Fprintf(os.Stderr, "c3dd %s coordinating %d workers on %s (policy %s)\n",
 			c3d.Version(), len(strings.Split(*workers, ",")), *addr, *policy)
 	} else {
@@ -108,13 +161,31 @@ func main() {
 			QueueDepth:    *queue,
 			MaxJobs:       *retain,
 		})
-		handler, closeCore = srv.Handler(), srv.Close
+		handler, closeCore, drainCore = srv.Handler(), srv.Close, srv.Drain
+		if injector != nil {
+			// Worker chaos is server-side: requests fault before reaching the
+			// scheduler (except /v1/capabilities, which faultify exempts so
+			// coordinators can always handshake).
+			handler = injector.Middleware(handler)
+		}
 		fmt.Fprintf(os.Stderr, "c3dd %s listening on %s (max %d concurrent jobs)\n", c3d.Version(), *addr, *jobs)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-term:
+			// Graceful drain: the HTTP listener stays up while work finishes,
+			// so health probes see "draining" and submissions get 503s
+			// instead of connection refusals.
+			fmt.Fprintf(os.Stderr, "c3dd: SIGTERM: draining (up to %s)\n", *drainTimeout)
+			drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := drainCore(drainCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "c3dd: drain incomplete:", err)
+			}
+			cancel()
+		case <-ctx.Done():
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)

@@ -58,6 +58,28 @@ type Config struct {
 	// Cooldown is how long a worker sits out after a transient failure
 	// before it is routable again (default 2s).
 	Cooldown time.Duration
+	// DispatchTimeout bounds one dispatch (submit + run + fetch result) of
+	// one job on one worker. A dispatch that exceeds it counts as a transient
+	// failure: the worker is benched for the cooldown and the job reassigned.
+	// Zero disables the deadline.
+	DispatchTimeout time.Duration
+	// HedgeAfter speculatively re-dispatches a job to a second worker when
+	// the first has not answered within this duration, first result winning
+	// and the loser cancelled. Zero disables hedging. Safe because results
+	// are deterministic and content-addressed: a duplicated job can waste a
+	// dispatch, never change an answer.
+	HedgeAfter time.Duration
+	// ProbeTimeout bounds each /healthz load probe (default 2s).
+	ProbeTimeout time.Duration
+	// CancelGrace bounds the best-effort worker-side job cancel issued when
+	// a campaign is cancelled mid-dispatch (default 2s).
+	CancelGrace time.Duration
+	// JournalDir enables the durable campaign journal: an append-only JSONL
+	// WAL plus a disk-backed result cache under this directory. On
+	// construction the coordinator replays the journal, restores finished
+	// campaigns and resumes interrupted ones (see journal.go). Empty keeps
+	// everything in memory.
+	JournalDir string
 	// ClientOptions is applied to every per-worker api.Client.
 	ClientOptions []api.ClientOption
 	// Logf receives coordinator decisions (nil = silent).
@@ -88,6 +110,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.CancelGrace <= 0 {
+		c.CancelGrace = 2 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -145,6 +173,15 @@ type Coordinator struct {
 	cache   *resultCache
 	caps    api.Capabilities
 	sem     chan struct{} // global dispatch slots
+	journal *journal      // nil without JournalDir
+
+	// stopCtx is the parent of every campaign context: cancelling it (Close)
+	// cancels all running campaigns at once. runWg counts live campaign
+	// runners so Close and Drain can wait for them.
+	stopCtx   context.Context
+	stop      context.CancelFunc
+	runWg     sync.WaitGroup
+	closeOnce sync.Once
 
 	policyMu sync.Mutex // serialises Pick (policies keep state)
 	policy   Policy
@@ -166,17 +203,30 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("campaign: no workers configured")
 	}
+	if cfg.DispatchTimeout < 0 {
+		return nil, fmt.Errorf("campaign: DispatchTimeout must be non-negative")
+	}
+	if cfg.HedgeAfter < 0 {
+		return nil, fmt.Errorf("campaign: HedgeAfter must be non-negative")
+	}
 	spec, err := LookupPolicy(cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
+	diskCache := ""
+	if cfg.JournalDir != "" {
+		diskCache = cacheDir(cfg.JournalDir)
+	}
+	stopCtx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:       cfg,
 		spec:      spec,
 		policy:    spec.New(),
 		bucket:    newTokenBucket(cfg.RatePerSec, cfg.Burst),
-		cache:     newResultCache(cfg.CacheEntries),
+		cache:     newResultCache(cfg.CacheEntries, diskCache, cfg.Logf),
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		stopCtx:   stopCtx,
+		stop:      stop,
 		campaigns: make(map[string]*campaign),
 	}
 	for i, u := range cfg.Workers {
@@ -189,6 +239,7 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 	for i, w := range c.workers {
 		caps, err := w.client.Capabilities(ctx)
 		if err != nil {
+			stop()
 			return nil, fmt.Errorf("campaign: worker %s handshake: %w", w.url, err)
 		}
 		if i == 0 {
@@ -196,22 +247,141 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 			continue
 		}
 		if !reflect.DeepEqual(c.caps, *caps) {
+			stop()
 			return nil, fmt.Errorf("campaign: heterogeneous fleet: %s (version %s) and %s (version %s) disagree on capabilities",
 				c.workers[0].url, c.caps.Version, w.url, caps.Version)
 		}
+	}
+	if cfg.JournalDir != "" {
+		jl, recs, err := openJournal(cfg.JournalDir, cfg.Logf)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		c.journal = jl
+		c.replay(recs)
 	}
 	cfg.Logf("campaign: coordinator up: %d workers, policy %s", len(c.workers), spec.Name)
 	return c, nil
 }
 
+// replay rebuilds journaled campaigns after a restart. A campaign with a
+// journaled terminal state is restored as a record: done campaigns reload
+// their result bytes from the disk cache (and are re-run instead if any
+// result went missing), failed and cancelled ones keep their terminal state.
+// A campaign without one — interrupted by a crash or stop — is re-run
+// through the normal runner with every job queued: jobs whose results are
+// already in the disk cache resolve as cache hits without touching the
+// fleet, only the remainder is dispatched. Assembly by submission index then
+// makes the resumed output byte-identical to an uninterrupted run.
+func (c *Coordinator) replay(recs []journalRecord) {
+	states, maxSeq := replayJournal(recs)
+	c.nextID = maxSeq
+	resumed := 0
+	for _, st := range states {
+		ctx, cancel := context.WithCancel(c.stopCtx)
+		cp := &campaign{id: st.id, created: time.Now(), ctx: ctx, cancel: cancel, state: api.StateRunning}
+		ok := true
+		for _, js := range st.spec.Jobs {
+			key, err := CacheKey(js)
+			if err != nil {
+				c.cfg.Logf("campaign: replay: %s has an uncanonicalisable spec (%v); dropping it", st.id, err)
+				ok = false
+				break
+			}
+			cp.jobs = append(cp.jobs, &campaignJob{spec: js, key: key, state: api.StateQueued})
+		}
+		if !ok || len(cp.jobs) == 0 {
+			cancel()
+			continue
+		}
+		if api.Terminal(st.state) {
+			c.restoreTerminal(cp, st)
+		} else {
+			c.runWg.Add(1)
+			go c.run(cp)
+			resumed++
+		}
+		c.mu.Lock()
+		c.campaigns[cp.id] = cp
+		c.order = append(c.order, cp)
+		c.mu.Unlock()
+	}
+	if len(states) > 0 {
+		c.cfg.Logf("campaign: journal replayed: %d campaigns restored, %d resumed", len(states)-resumed, resumed)
+	}
+}
+
+// restoreTerminal settles a replayed campaign that had already reached a
+// terminal state: jobs whose results are still in the cache come back as
+// done cache hits, the rest inherit the campaign's fate. A done campaign
+// missing a result (cache wiped between runs) is demoted to a re-run — the
+// journal records intent, the cache holds the bytes.
+func (c *Coordinator) restoreTerminal(cp *campaign, st *replayState) {
+	if st.state == api.StateDone {
+		for _, j := range cp.jobs {
+			if !c.cache.has(j.key) {
+				c.cfg.Logf("campaign: replay: %s is journaled done but result %s is gone; re-running", cp.id, j.key)
+				c.runWg.Add(1)
+				go c.run(cp)
+				return
+			}
+		}
+	}
+	for _, j := range cp.jobs {
+		if data, ok := c.cache.get(j.key); ok {
+			j.state, j.result, j.cacheHit = api.StateDone, data, true
+		} else {
+			j.state, j.errMsg = api.StateCancelled, "not completed before shutdown"
+		}
+	}
+	cp.state, cp.err = st.state, st.errMsg
+	cp.cancel()
+}
+
 // Capabilities returns the fleet's shared capability document.
 func (c *Coordinator) Capabilities() api.Capabilities { return c.caps }
 
-// Close stops admission; campaigns already running drain normally.
+// Close hard-stops the coordinator: admission stops, every running campaign
+// is cancelled (in-flight worker jobs get a best-effort cancel), and Close
+// blocks until all campaign runners have settled. Stop-interrupted campaigns
+// are deliberately not journaled terminal, so a journal-configured restart
+// resumes them where they left off. Idempotent.
 func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		c.stop()
+		c.runWg.Wait()
+		c.journal.close()
+		c.cfg.Logf("campaign: coordinator stopped")
+	})
+}
+
+// Drain gracefully stops the coordinator: admission stops immediately (new
+// submissions answer 503 shutting_down), campaigns already admitted run to
+// completion, and Drain returns once they settle — or once ctx expires, in
+// which case it falls back to Close's hard cancel and returns ctx's error.
+// Either way the coordinator is fully stopped on return.
+func (c *Coordinator) Drain(ctx context.Context) error {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.runWg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		c.cfg.Logf("campaign: drain deadline expired; cancelling remaining campaigns")
+	}
+	c.Close()
+	return err
 }
 
 // campaign is one submitted CampaignSpec working its way through the fleet.
@@ -236,6 +406,7 @@ type campaignJob struct {
 	worker   string
 	cacheHit bool
 	attempts int
+	hedges   int
 	errMsg   string
 	result   []byte
 }
@@ -265,7 +436,7 @@ func (c *Coordinator) Submit(spec api.CampaignSpec) (*api.SubmitResponse, error)
 		}
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(c.stopCtx)
 	cp := &campaign{created: time.Now(), ctx: ctx, cancel: cancel, state: api.StateRunning}
 	for _, js := range spec.Jobs {
 		key, err := CacheKey(js)
@@ -287,8 +458,12 @@ func (c *Coordinator) Submit(spec api.CampaignSpec) (*api.SubmitResponse, error)
 	c.campaigns[cp.id] = cp
 	c.order = append(c.order, cp)
 	c.evictLocked()
+	c.runWg.Add(1)
 	c.mu.Unlock()
 
+	// Journal admission before the runner starts, so job records can never
+	// precede their campaign record in the WAL.
+	c.journal.append(journalRecord{Type: recCampaign, ID: cp.id, Spec: &spec})
 	c.cfg.Logf("campaign: %s admitted: %d jobs", cp.id, len(cp.jobs))
 	go c.run(cp)
 	return &api.SubmitResponse{ID: cp.id, State: api.StateRunning}, nil
@@ -317,6 +492,7 @@ func (c *Coordinator) evictLocked() {
 // run executes every job of a campaign (bounded by the coordinator-wide
 // dispatch semaphore) and settles the campaign state when all are terminal.
 func (c *Coordinator) run(cp *campaign) {
+	defer c.runWg.Done()
 	var wg sync.WaitGroup
 	for i, j := range cp.jobs {
 		wg.Add(1)
@@ -353,18 +529,26 @@ func (c *Coordinator) run(cp *campaign) {
 	cp.state, cp.err = state, errMsg
 	cp.mu.Unlock()
 	cp.cancel()
+	// A cancellation caused by coordinator shutdown is not a verdict on the
+	// campaign — leave it non-terminal in the journal so a restart resumes
+	// it. Every other settlement (done, failed, user cancel) is journaled.
+	if c.stopCtx.Err() == nil || state != api.StateCancelled {
+		c.journal.append(journalRecord{Type: recCampaignState, ID: cp.id, State: state, Error: errMsg})
+	}
 	c.cfg.Logf("campaign: %s %s (cache hits %d/%d)", cp.id, state, cp.cacheHits(), len(cp.jobs))
 }
 
 // runJob resolves one job: cache first, then dispatch with
 // retry-and-reassignment. Worker-reported failure is deterministic and
-// final; a worker that vanished or cancelled underneath us is benched for
-// the cooldown and the job is reassigned, up to MaxAttempts.
+// final; a worker that vanished, hung past the dispatch deadline or
+// cancelled underneath us is benched for the cooldown and the job is
+// reassigned, up to MaxAttempts.
 func (c *Coordinator) runJob(cp *campaign, idx int, j *campaignJob) {
 	if data, ok := c.cache.get(j.key); ok {
 		j.mu.Lock()
 		j.state, j.result, j.cacheHit = api.StateDone, data, true
 		j.mu.Unlock()
+		c.journal.append(journalRecord{Type: recJob, ID: cp.id, Index: idx, Key: j.key, State: api.StateDone})
 		return
 	}
 
@@ -376,20 +560,25 @@ func (c *Coordinator) runJob(cp *campaign, idx int, j *campaignJob) {
 		}
 		w := c.pick(cp.ctx)
 		if w == nil {
-			j.finish(api.StateFailed, "", fmt.Sprintf("no healthy worker (after %d attempts: %s)", attempt-1, lastErr))
+			if cp.ctx.Err() != nil {
+				j.finish(api.StateCancelled, "", "campaign cancelled")
+			} else {
+				j.finish(api.StateFailed, "", fmt.Sprintf("no healthy worker (after %d attempts: %s)", attempt-1, lastErr))
+			}
 			return
 		}
 		j.mu.Lock()
 		j.state, j.worker, j.attempts = api.StateRunning, w.url, attempt
 		j.mu.Unlock()
 
-		data, permanent, err := c.dispatch(cp.ctx, w, j.spec)
+		data, permanent, err := c.dispatchHedged(cp, idx, j, w)
 		if err == nil {
 			c.cache.put(j.key, data)
-			j.finish(api.StateDone, w.url, "")
+			j.finish(api.StateDone, "", "")
 			j.mu.Lock()
 			j.result = data
 			j.mu.Unlock()
+			c.journal.append(journalRecord{Type: recJob, ID: cp.id, Index: idx, Key: j.key, State: api.StateDone})
 			return
 		}
 		if cp.ctx.Err() != nil {
@@ -399,18 +588,144 @@ func (c *Coordinator) runJob(cp *campaign, idx int, j *campaignJob) {
 		if permanent {
 			// Deterministic failure: every worker would report the same, and
 			// the campaign cannot succeed — stop paying for its other jobs.
-			j.finish(api.StateFailed, w.url, err.Error())
+			j.finish(api.StateFailed, "", err.Error())
 			cp.cancel()
 			return
 		}
 		lastErr = err.Error()
-		until := time.Now().Add(c.cfg.Cooldown)
-		w.benched(until)
-		c.cfg.Logf("campaign: %s job %d attempt %d on %s failed transiently (%v); benching worker until %s",
-			cp.id, idx, attempt, w.url, err, until.Format(time.RFC3339))
 	}
 	j.finish(api.StateFailed, "", fmt.Sprintf("exhausted %d attempts: %s", c.cfg.MaxAttempts, lastErr))
 	cp.cancel()
+}
+
+// dispatchHedged runs one dispatch round for a job: a primary worker, plus —
+// when HedgeAfter is set and the primary is slow — at most one speculative
+// re-dispatch to a second worker. First verdict wins: a success or a
+// deterministic failure from either dispatch settles the round and cancels
+// the other (which in turn cancels the job worker-side). Hedging is safe
+// because results are content-addressed and bit-deterministic, so a
+// duplicated job can waste a dispatch but never change an answer. A worker
+// whose dispatch failed transiently (or timed out against DispatchTimeout)
+// is benched inside the round.
+func (c *Coordinator) dispatchHedged(cp *campaign, idx int, j *campaignJob, primary *worker) ([]byte, bool, error) {
+	type outcome struct {
+		w         *worker
+		data      []byte
+		permanent bool
+		err       error
+	}
+	results := make(chan outcome, 2) // buffered: a late loser must never block
+	var cancelMu sync.Mutex
+	var cancels []context.CancelFunc
+	cancelAll := func() {
+		cancelMu.Lock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+		cancelMu.Unlock()
+	}
+	defer cancelAll()
+
+	launch := func(w *worker) {
+		ctx, cancel := context.WithCancel(cp.ctx)
+		if c.cfg.DispatchTimeout > 0 {
+			ctx, cancel = context.WithTimeout(cp.ctx, c.cfg.DispatchTimeout)
+		}
+		cancelMu.Lock()
+		cancels = append(cancels, cancel)
+		cancelMu.Unlock()
+		c.runWg.Add(1)
+		go func() {
+			defer c.runWg.Done()
+			data, permanent, err := c.dispatch(ctx, w, j.spec)
+			results <- outcome{w: w, data: data, permanent: permanent, err: err}
+		}()
+	}
+	launch(primary)
+	launched := 1
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(c.cfg.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var firstErr error
+	for settled := 0; settled < launched; {
+		select {
+		case out := <-results:
+			settled++
+			if out.err == nil || out.permanent {
+				// This dispatch settles the round; credit (or blame) its
+				// worker, which under hedging may not be the primary.
+				j.mu.Lock()
+				j.worker = out.w.url
+				j.mu.Unlock()
+				return out.data, out.permanent, out.err
+			}
+			if cp.ctx.Err() == nil {
+				until := time.Now().Add(c.cfg.Cooldown)
+				out.w.benched(until)
+				c.cfg.Logf("campaign: %s job %d on %s failed transiently (%v); benching worker until %s",
+					cp.id, idx, out.w.url, out.err, until.Format(time.RFC3339))
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hw := c.pickHedge(primary)
+			if hw == nil {
+				continue // no second worker free; keep waiting on the primary
+			}
+			j.mu.Lock()
+			j.attempts++
+			j.hedges++
+			j.mu.Unlock()
+			c.cfg.Logf("campaign: %s job %d straggling on %s after %s; hedging to %s",
+				cp.id, idx, primary.url, c.cfg.HedgeAfter, hw.url)
+			launch(hw)
+			launched++
+		}
+	}
+	return nil, false, firstErr
+}
+
+// pickHedge chooses a second worker for a hedged dispatch: routable and not
+// the primary, through the policy but without a load refresh — a hedge is
+// opportunistic, so if no other worker is routable right now there simply is
+// no hedge.
+func (c *Coordinator) pickHedge(primary *worker) *worker {
+	now := time.Now()
+	var views []WorkerView
+	for _, w := range c.workers {
+		if w == primary || !w.healthy(now) {
+			continue
+		}
+		w.mu.Lock()
+		views = append(views, WorkerView{
+			Index:    w.index,
+			URL:      w.url,
+			Healthy:  true,
+			Queued:   w.queued,
+			Running:  w.running,
+			Inflight: w.inflight,
+			Assigned: w.assigned,
+		})
+		w.mu.Unlock()
+	}
+	if len(views) == 0 {
+		return nil
+	}
+	c.policyMu.Lock()
+	i := c.policy.Pick(views)
+	c.policyMu.Unlock()
+	if i < 0 || i >= len(views) {
+		return nil
+	}
+	return c.workers[views[i].Index]
 }
 
 // pick chooses a worker through the routing policy, refreshing /healthz
@@ -481,7 +796,7 @@ func (c *Coordinator) refreshLoads(ctx context.Context) {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			probeCtx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 			defer cancel()
 			h, err := w.client.Health(probeCtx)
 			if err != nil {
@@ -519,8 +834,9 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, spec api.JobSpec)
 	st, err := w.client.Wait(ctx, sub.ID)
 	if err != nil {
 		if ctx.Err() != nil {
-			// Campaign cancelled while waiting: tell the worker to stop.
-			cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			// Campaign cancelled, dispatch deadline hit, or a hedge won
+			// elsewhere: tell the worker to stop wasting cycles on this job.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), c.cfg.CancelGrace)
 			defer cancel()
 			w.client.Cancel(cancelCtx, sub.ID)
 		}
@@ -562,6 +878,7 @@ func (j *campaignJob) doc(idx int) api.CampaignJob {
 		Worker:   j.worker,
 		CacheHit: j.cacheHit,
 		Attempts: j.attempts,
+		Hedges:   j.hedges,
 		Error:    j.errMsg,
 	}
 }
@@ -686,6 +1003,10 @@ func (c *Coordinator) Cancel(id string) (*api.CampaignStatus, error) {
 // scheduler-counter positions, plus the fleet and cache views.
 func (c *Coordinator) Health() api.Health {
 	c.mu.Lock()
+	status := "ok"
+	if c.closed {
+		status = "draining"
+	}
 	var queued, running, finished int
 	for _, cp := range c.order {
 		switch cp.snapshot().State {
@@ -700,7 +1021,7 @@ func (c *Coordinator) Health() api.Health {
 	c.mu.Unlock()
 	now := time.Now()
 	h := api.Health{
-		Status:   "ok",
+		Status:   status,
 		Version:  c.caps.Version,
 		Queued:   queued,
 		Running:  running,

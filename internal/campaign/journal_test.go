@@ -1,0 +1,227 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"c3d/pkg/c3d/api"
+)
+
+// journaledCampaign builds a campaign whose first job is quick and whose
+// remaining jobs are slow enough that a crash injected after the first
+// completion reliably lands mid-campaign.
+func journaledCampaign() api.CampaignSpec {
+	spec := api.CampaignSpec{Jobs: []api.JobSpec{simSpec(1)}}
+	for i := 2; i <= 4; i++ {
+		js := simSpec(int64(i))
+		js.Params.Accesses = 4000
+		spec.Jobs = append(spec.Jobs, js)
+	}
+	return spec
+}
+
+// doneRecorded reads the journal and returns the set of job indexes with a
+// done record for the campaign — the jobs whose results were durable at that
+// moment.
+func doneRecorded(t *testing.T, dir, campaignID string) map[int]bool {
+	t.Helper()
+	recs, err := readJournal(journalPath(dir))
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	done := map[int]bool{}
+	for _, rec := range recs {
+		if rec.Type == recJob && rec.ID == campaignID && rec.State == api.StateDone {
+			done[rec.Index] = true
+		}
+	}
+	return done
+}
+
+// TestJournalCrashResume is the crash-recovery gate: a coordinator killed
+// mid-campaign and restarted over the same journal directory must finish the
+// campaign with results byte-identical to an uninterrupted run — and must
+// not re-dispatch any job whose result was already journaled, which the
+// resumed status proves by showing those jobs as zero-attempt cache hits.
+func TestJournalCrashResume(t *testing.T) {
+	spec := journaledCampaign()
+	want := referenceResults(t, spec.Jobs)
+	dir := t.TempDir()
+	workers := startWorkers(t, 2)
+
+	// First life: run the campaign serially and hard-stop once at least one
+	// job has completed. The stop cancels in-flight work but deliberately
+	// leaves the campaign non-terminal in the journal.
+	co1, cl1 := newCoordinator(t, Config{Workers: workers, JournalDir: dir, MaxConcurrent: 1})
+	resp, err := cl1.SubmitCampaign(t.Context(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := cl1.CampaignStatus(t.Context(), resp.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done >= 1 || api.Terminal(st.State) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no job completed before the injected crash")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	co1.Close()
+	durable := doneRecorded(t, dir, resp.ID)
+	if len(durable) == 0 {
+		t.Fatal("no job completion was journaled before the crash")
+	}
+
+	// Second life: a fresh coordinator over the same journal replays and
+	// resumes the campaign on its own.
+	_, cl2 := newCoordinator(t, Config{Workers: workers, JournalDir: dir, MaxConcurrent: 1})
+	st, err := cl2.WaitCampaign(t.Context(), resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("resumed campaign finished %s: %s (%+v)", st.State, st.Error, st.Jobs)
+	}
+	for idx := range durable {
+		j := st.Jobs[idx]
+		if !j.CacheHit || j.Attempts != 0 || j.Worker != "" {
+			t.Errorf("job %d was journaled done before the crash but was re-run: %+v", idx, j)
+		}
+	}
+	res, err := cl2.CampaignResults(t.Context(), resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range res.Results {
+		if !bytes.Equal(doc, want[i]) {
+			t.Errorf("resumed result %d differs from uninterrupted run:\n got %s\nwant %s", i, doc, want[i])
+		}
+	}
+
+	// New admissions continue the journaled ID sequence instead of colliding.
+	resp2, err := cl2.SubmitCampaign(t.Context(), api.CampaignSpec{Jobs: []api.JobSpec{simSpec(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.ID == resp.ID {
+		t.Errorf("post-restart campaign reused id %s", resp2.ID)
+	}
+}
+
+// TestJournalRestartRestoresFinishedCampaign checks the quiet path: a
+// campaign that finished before a graceful shutdown comes back after restart
+// as a terminal record with its results intact, served from the disk cache
+// without touching the fleet.
+func TestJournalRestartRestoresFinishedCampaign(t *testing.T) {
+	dir := t.TempDir()
+	workers := startWorkers(t, 1)
+	spec := testCampaign(2)
+
+	co1, cl1 := newCoordinator(t, Config{Workers: workers, JournalDir: dir})
+	_, cold := runCampaign(t, cl1, spec)
+	co1.Close()
+
+	_, cl2 := newCoordinator(t, Config{Workers: workers, JournalDir: dir})
+	st, err := cl2.CampaignStatus(t.Context(), "campaign-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone || st.CacheHits != len(spec.Jobs) {
+		t.Fatalf("restored campaign = %+v, want done with every job a cache hit", st)
+	}
+	res, err := cl2.CampaignResults(t.Context(), "campaign-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Results {
+		if !bytes.Equal(cold.Results[i], res.Results[i]) {
+			t.Errorf("restored result %d differs from the pre-restart bytes", i)
+		}
+	}
+	if resp, err := cl2.SubmitCampaign(t.Context(), spec); err != nil || resp.ID != "campaign-000002" {
+		t.Errorf("post-restart admission = %+v, %v; want campaign-000002", resp, err)
+	}
+}
+
+// TestJournalTornTailTolerated pins crash semantics at the file level: a
+// journal whose final line was torn by a crash replays every record before
+// the tear instead of failing.
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"type":"campaign","id":"campaign-000001","spec":{"jobs":[{"kind":"simulate","params":{},"verify":{}}]}}` + "\n" +
+		`{"type":"job","id":"campaign-000001","ind`
+	if err := os.WriteFile(journalPath(dir), []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readJournal(journalPath(dir))
+	if err != nil {
+		t.Fatalf("torn journal failed to read: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Type != recCampaign || recs[0].ID != "campaign-000001" {
+		t.Errorf("torn journal replayed %+v, want the one intact campaign record", recs)
+	}
+}
+
+// TestReplayJournalFolding covers the record-folding rules: terminal states
+// stick, job records accumulate, duplicate admissions are ignored, and the
+// ID sequence resumes past the highest journaled campaign.
+func TestReplayJournalFolding(t *testing.T) {
+	spec := &api.CampaignSpec{Jobs: []api.JobSpec{simSpec(1), simSpec(2)}}
+	states, maxSeq := replayJournal([]journalRecord{
+		{Type: recCampaign, ID: "campaign-000002", Spec: spec},
+		{Type: recJob, ID: "campaign-000002", Index: 1, Key: "k1", State: api.StateDone},
+		{Type: recCampaign, ID: "campaign-000002", Spec: spec}, // duplicate: ignored
+		{Type: recCampaign, ID: "campaign-000007", Spec: spec},
+		{Type: recCampaignState, ID: "campaign-000007", State: api.StateFailed, Error: "boom"},
+		{Type: recStop},
+	})
+	if maxSeq != 7 {
+		t.Errorf("maxSeq = %d, want 7", maxSeq)
+	}
+	if len(states) != 2 {
+		t.Fatalf("replayed %d campaigns, want 2", len(states))
+	}
+	if states[0].state != "" || states[0].jobsDone[1] != "k1" || len(states[0].jobsDone) != 1 {
+		t.Errorf("interrupted campaign folded to %+v, want non-terminal with job 1 done", states[0])
+	}
+	if states[1].state != api.StateFailed || states[1].errMsg != "boom" {
+		t.Errorf("failed campaign folded to %+v", states[1])
+	}
+}
+
+// TestDiskCacheRoundTrip checks the disk tier: a put lands on disk, a fresh
+// cache over the same directory serves it as a hit, and hostile keys never
+// touch the filesystem.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key, err := CacheKey(simSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := newResultCache(4, dir, nil)
+	c1.put(key, []byte(`{"ok":true}`))
+
+	c2 := newResultCache(4, dir, nil)
+	if !c2.has(key) {
+		t.Fatal("fresh cache over the same dir does not see the persisted entry")
+	}
+	if data, ok := c2.get(key); !ok || string(data) != `{"ok":true}` {
+		t.Errorf("disk hit = %q, %v", data, ok)
+	}
+	if st := c2.stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("disk hit miscounted: %+v", st)
+	}
+	for _, bad := range []string{"../../etc/passwd", "short", ""} {
+		if c2.has(bad) {
+			t.Errorf("hostile key %q resolved from disk", bad)
+		}
+		c2.put(bad, []byte("x")) // must not create a file outside dir
+	}
+}

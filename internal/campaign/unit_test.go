@@ -69,7 +69,7 @@ func TestCacheKeyNormalisation(t *testing.T) {
 }
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, "", nil)
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
 	if _, ok := c.get("a"); !ok { // a is now most recent

@@ -64,6 +64,34 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Drain gracefully stops the server: new submissions are rejected
+// immediately (503 shutting_down), jobs already queued or running finish
+// normally, and Drain returns when the workers have emptied the queue — or
+// when ctx expires, in which case it falls back to Close's hard cancel.
+// Either way the server is fully stopped on return.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.Close()
+	return err
+}
+
 func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()

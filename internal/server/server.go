@@ -90,8 +90,13 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	queued, running, finished := s.counts()
+	status := "ok"
+	if s.isClosed() {
+		// Draining: running jobs are finishing, new submissions answer 503.
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, api.Health{
-		Status:   "ok",
+		Status:   status,
 		Version:  c3d.Version(),
 		Queued:   queued,
 		Running:  running,

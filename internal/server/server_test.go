@@ -494,3 +494,85 @@ func TestQueueFullEnvelope(t *testing.T) {
 		}
 	}
 }
+
+// TestDrainFinishesAcceptedWork covers graceful shutdown: once a drain
+// begins, /healthz reports "draining" and new submissions bounce with
+// shutting_down, but every job already accepted — running or still queued —
+// finishes normally and its result stays fetchable.
+func TestDrainFinishesAcceptedWork(t *testing.T) {
+	s, cl := newTestServer(t, Config{MaxConcurrent: 1})
+	cl = api.NewClient(cl.BaseURL(), api.WithRetries(0))
+	spec := api.JobSpec{
+		Kind:     api.KindSimulate,
+		Workload: "streamcluster",
+		Params:   api.Params{Threads: 4, Scale: 512, Accesses: 200000, Seed: 1},
+	}
+	running := submit(t, cl, spec)
+	spec.Params.Seed = 2
+	spec.Params.Accesses = 500
+	queued := submit(t, cl, spec)
+	waitState(t, cl, running, api.StateRunning)
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// The closed flag flips before the queue drains; poll briefly for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.isClosed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h, err := cl.Health(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health during drain = %q, want draining", h.Status)
+	}
+	_, err = cl.Submit(t.Context(), spec)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeShuttingDown || apiErr.HTTPStatus != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: %v, want shutting_down envelope with HTTP 503", err)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{running, queued} {
+		st, err := cl.Status(t.Context(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != api.StateDone {
+			t.Errorf("job %s finished %s after drain, want done: %s", id, st.State, st.Error)
+		}
+		if _, err := cl.Result(t.Context(), id); err != nil {
+			t.Errorf("result of %s unavailable after drain: %v", id, err)
+		}
+	}
+}
+
+// TestDrainDeadlineFallsBackToCancel pins the bounded-drain contract: when
+// the drain context is already dead, Drain still returns promptly with the
+// context error and the server ends up fully stopped.
+func TestDrainDeadlineFallsBackToCancel(t *testing.T) {
+	s, cl := newTestServer(t, Config{MaxConcurrent: 1})
+	id := submit(t, cl, api.JobSpec{
+		Kind:     api.KindSimulate,
+		Workload: "streamcluster",
+		Params:   api.Params{Threads: 4, Scale: 512, Accesses: 200000, Seed: 3},
+	})
+	waitState(t, cl, id, api.StateRunning)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired drain returned %v, want context.Canceled", err)
+	}
+	st, err := cl.Status(t.Context(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !api.Terminal(st.State) {
+		t.Errorf("job still %s after fallback cancel", st.State)
+	}
+}

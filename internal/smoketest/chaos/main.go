@@ -1,0 +1,116 @@
+// Command smoketest/chaos is the CI chaos-smoke driver: it submits a fixed
+// simulation campaign through the public api.Client and prints each result
+// document to stdout, one per line. The Makefile runs it twice — once with
+// -direct against a fault-free standalone worker (the byte-identity
+// baseline), once against a coordinator whose fleet runs under seeded fault
+// plans and which is kill -9'd and restarted mid-campaign — and cmp's the
+// two outputs. Faults and crashes may cost retries; they must never change
+// a byte.
+//
+//	go run ./internal/smoketest/chaos -direct -url http://127.0.0.1:18343 > baseline.txt
+//	go run ./internal/smoketest/chaos -url http://127.0.0.1:18340 > chaos.txt
+//	cmp baseline.txt chaos.txt
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"c3d/pkg/c3d/api"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the daemon under test")
+	direct := flag.Bool("direct", false, "target is a standalone worker: run the jobs one at a time instead of as a campaign (fault-free baseline mode)")
+	jobs := flag.Int("jobs", 10, "jobs in the campaign (distinct seeds, so distinct cache keys)")
+	accesses := flag.Int("accesses", 20000, "trace accesses per job; sized so the campaign outlives the coordinator kill")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Generous retries behind a capped backoff: the point of this gate is
+	// that the coordinator is kill -9'd and restarted mid-campaign, so every
+	// request must ride out a multi-second window of connection refusals.
+	cl := api.NewClient(*url,
+		api.WithRetries(12),
+		api.WithBackoff(100*time.Millisecond),
+		api.WithBackoffCap(2*time.Second),
+	)
+
+	specs := make([]api.JobSpec, *jobs)
+	for i := range specs {
+		specs[i] = api.JobSpec{
+			Kind:     api.KindSimulate,
+			Workload: "streamcluster",
+			Params:   api.Params{Threads: 4, Scale: 512, Accesses: *accesses, Seed: int64(i + 1)},
+		}
+	}
+
+	if *direct {
+		for i, spec := range specs {
+			resp, err := cl.Submit(ctx, spec)
+			if err != nil {
+				fail("baseline submit %d: %v", i, err)
+			}
+			if _, err := cl.Wait(ctx, resp.ID); err != nil {
+				fail("baseline wait %d: %v", i, err)
+			}
+			raw, err := cl.Result(ctx, resp.ID)
+			if err != nil {
+				fail("baseline result %d: %v", i, err)
+			}
+			// The campaign wire carries JSON value bytes; a result endpoint's
+			// trailing newline is presentation, not content.
+			writeLine(bytes.TrimSpace(raw))
+		}
+		fmt.Fprintf(os.Stderr, "chaos-smoke: baseline: %d jobs run directly\n", len(specs))
+		return
+	}
+
+	resp, err := cl.SubmitCampaign(ctx, api.CampaignSpec{Jobs: specs})
+	if err != nil {
+		fail("submit campaign: %v", err)
+	}
+	st, err := cl.WaitCampaign(ctx, resp.ID)
+	if err != nil {
+		fail("wait campaign %s: %v", resp.ID, err)
+	}
+	if st.State != api.StateDone {
+		fail("campaign %s finished %s: %s (%+v)", st.ID, st.State, st.Error, st.Jobs)
+	}
+	res, err := cl.CampaignResults(ctx, resp.ID)
+	if err != nil {
+		fail("campaign results: %v", err)
+	}
+	if len(res.Results) != len(specs) {
+		fail("campaign returned %d results, want %d", len(res.Results), len(specs))
+	}
+	var attempts, hedges int
+	for _, j := range st.Jobs {
+		attempts += j.Attempts
+		hedges += j.Hedges
+	}
+	for _, doc := range res.Results {
+		writeLine(bytes.TrimSpace(doc))
+	}
+	fmt.Fprintf(os.Stderr,
+		"chaos-smoke: campaign %s: %d/%d jobs done, %d cache hits, %d attempts, %d hedges\n",
+		st.ID, st.Done, st.Total, st.CacheHits, attempts, hedges)
+}
+
+func writeLine(doc []byte) {
+	if _, err := os.Stdout.Write(append(doc, '\n')); err != nil {
+		fail("write result: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaos-smoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -324,9 +324,14 @@ type CampaignJob struct {
 	// content-addressed cache without dispatching the job.
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Attempts counts dispatch attempts (reassignments after worker
-	// failures increment it; a cache hit leaves it 0).
-	Attempts int    `json:"attempts,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// failures and hedged re-dispatches increment it; a cache hit leaves
+	// it 0).
+	Attempts int `json:"attempts,omitempty"`
+	// Hedges counts hedged re-dispatches: straggler jobs speculatively
+	// re-sent to a second worker, first result winning. Safe because
+	// results are content-addressed and bit-deterministic.
+	Hedges int    `json:"hedges,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // CampaignStatus is the status document of GET /v1/campaigns/{id}.

@@ -25,10 +25,12 @@ import (
 // lost in flight is a duplicate job whose result is identical (and usually a
 // cache hit).
 type Client struct {
-	base    string
-	http    *http.Client
-	retries int
-	backoff time.Duration
+	base       string
+	http       *http.Client
+	retries    int
+	backoff    time.Duration
+	backoffCap time.Duration
+	jitterSeed uint64
 }
 
 // ClientOption configures a Client.
@@ -43,18 +45,33 @@ func WithHTTPClient(h *http.Client) ClientOption { return func(c *Client) { c.ht
 // (default 3; 0 disables retrying).
 func WithRetries(n int) ClientOption { return func(c *Client) { c.retries = n } }
 
-// WithBackoff sets the initial retry backoff, doubled per attempt (default
-// 100ms).
+// WithBackoff sets the initial retry backoff, doubled per attempt up to the
+// backoff cap (default 100ms).
 func WithBackoff(d time.Duration) ClientOption { return func(c *Client) { c.backoff = d } }
+
+// WithBackoffCap bounds the per-attempt retry delay (default 5s). Without a
+// cap, doubling per attempt overflows time.Duration around attempt 33 and
+// produces negative (i.e. zero) sleeps — a retry storm exactly when the
+// server is least able to absorb one.
+func WithBackoffCap(d time.Duration) ClientOption { return func(c *Client) { c.backoffCap = d } }
+
+// WithJitterSeed seeds the deterministic retry jitter (default 1). Every
+// retry delay is scaled into [d/2, d) by a splitmix64 stream over
+// (seed, attempt), so the schedule is fully reproducible for a given seed —
+// chaos tests can pin it — while distinct seeds desynchronise clients that
+// would otherwise retry in lockstep.
+func WithJitterSeed(seed uint64) ClientOption { return func(c *Client) { c.jitterSeed = seed } }
 
 // NewClient builds a client for the daemon or coordinator at baseURL
 // (e.g. "http://127.0.0.1:8080").
 func NewClient(baseURL string, opts ...ClientOption) *Client {
 	c := &Client{
-		base:    strings.TrimRight(baseURL, "/"),
-		http:    http.DefaultClient,
-		retries: 3,
-		backoff: 100 * time.Millisecond,
+		base:       strings.TrimRight(baseURL, "/"),
+		http:       http.DefaultClient,
+		retries:    3,
+		backoff:    100 * time.Millisecond,
+		backoffCap: 5 * time.Second,
+		jitterSeed: 1,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -108,9 +125,8 @@ func (c *Client) doRaw(ctx context.Context, method, path string, body any) ([]by
 		if !retryable || attempt >= c.retries {
 			return nil, lastErr
 		}
-		delay := c.backoff << attempt
 		select {
-		case <-time.After(delay):
+		case <-time.After(c.retryDelay(attempt)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -149,6 +165,42 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		return raw, false, nil
 	}
 	return nil, transient(resp.StatusCode), decodeError(resp.StatusCode, raw)
+}
+
+// retryDelay computes the sleep before retry number attempt (0-based):
+// exponential growth from the base backoff, capped, then jittered
+// deterministically into [d/2, d). The doubling is overflow-safe — the old
+// `backoff << attempt` wrapped negative around attempt 33 and slept zero,
+// turning a long outage into a tight retry loop.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	d := c.backoff
+	limit := c.backoffCap
+	if limit < d {
+		limit = d
+	}
+	for i := 0; i < attempt && d < limit; i++ {
+		d <<= 1
+		if d <= 0 { // overflow guard
+			d = limit
+		}
+	}
+	if d > limit {
+		d = limit
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(splitmix64(c.jitterSeed+uint64(attempt)*0x9e3779b97f4a7c15)%uint64(half))
+}
+
+// splitmix64 is the standard 64-bit mixer; the package is stdlib-only, so it
+// carries its own copy (same constants as internal/sweep's seeding).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // decodeError turns a non-2xx body into an *Error, synthesising an envelope
@@ -241,7 +293,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 			return err
 		}
 		select {
-		case <-time.After(c.backoff << attempt):
+		case <-time.After(c.retryDelay(attempt)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -328,7 +380,7 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 		}
 		lastErr = err
 		select {
-		case <-time.After(c.backoff << attempt):
+		case <-time.After(c.retryDelay(attempt)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

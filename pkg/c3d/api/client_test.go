@@ -187,3 +187,54 @@ func TestResultFailedJobCarriesBytes(t *testing.T) {
 		t.Errorf("result bytes = %q", raw)
 	}
 }
+
+// TestRetryDelaySchedule pins the retry backoff schedule: capped exponential
+// growth with deterministic seeded jitter in [d/2, d). The golden values
+// freeze the exact schedule for the default jitter seed — any change to the
+// backoff arithmetic (cap, jitter hash, growth) shows up as a diff here, and
+// the deep-attempt probe catches the unbounded `backoff << attempt` overflow
+// this replaced.
+func TestRetryDelaySchedule(t *testing.T) {
+	mk := func(opts ...ClientOption) *Client {
+		return NewClient("http://unused", append([]ClientOption{
+			WithBackoff(100 * time.Millisecond), WithBackoffCap(time.Second),
+		}, opts...)...)
+	}
+	cl := mk()
+
+	golden := []time.Duration{ // attempts 0..7, seed 1, base 100ms, cap 1s
+		50822465, 166428519, 282890590, 621780235,
+		626968761, 864530048, 643867045, 568060533,
+	}
+	for i, want := range golden {
+		if got := cl.retryDelay(i); got != want {
+			t.Errorf("retryDelay(%d) = %d, want %d", i, got, want)
+		}
+	}
+
+	// Envelope: every delay sits in [d/2, d) for the capped exponential d.
+	for i := 0; i < 80; i++ {
+		d := 100 * time.Millisecond << min(i, 10)
+		if d > time.Second || d <= 0 {
+			d = time.Second
+		}
+		got := cl.retryDelay(i)
+		if got < d/2 || got >= d {
+			t.Errorf("retryDelay(%d) = %v outside [%v, %v)", i, got, d/2, d)
+		}
+	}
+
+	// Deep attempts must stay capped, never overflow to zero or negative
+	// (the old `backoff << attempt` wrapped around attempt 33).
+	if got := cl.retryDelay(64); got != 988747618*time.Nanosecond {
+		t.Errorf("retryDelay(64) = %d, want the capped golden 988747618", got)
+	}
+
+	// Determinism across clients; divergence across seeds.
+	if cl2 := mk(); cl2.retryDelay(3) != cl.retryDelay(3) {
+		t.Error("same-seed clients disagree on the schedule")
+	}
+	if seeded := mk(WithJitterSeed(99)); seeded.retryDelay(3) != 761070807*time.Nanosecond {
+		t.Errorf("retryDelay(3) with seed 99 = %d, want 761070807", seeded.retryDelay(3))
+	}
+}

@@ -46,7 +46,8 @@ func TestWireFieldNamesPinned(t *testing.T) {
 		"CacheStats":   {"entries", "hits", "misses"},
 		"CampaignSpec": {"jobs"},
 		"CampaignJob": {
-			"index", "state", "worker", "cache_hit", "attempts", "error",
+			"index", "state", "worker", "cache_hit", "attempts", "hedges",
+			"error",
 		},
 		"CampaignStatus": {
 			"id", "state", "error", "done", "total", "cache_hits", "jobs",
