@@ -16,7 +16,7 @@ LDFLAGS := -X c3d/pkg/c3d.buildVersion=$(VERSION) \
            -X c3d/pkg/c3d.buildCommit=$(GIT_SHA) \
            -X c3d/pkg/c3d.buildDate=$(BUILD_DATE)
 
-.PHONY: all build binaries test race lint lint-fmt vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke ci
+.PHONY: all build binaries test race lint lint-fmt lint-analyzers vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke ci
 
 all: build
 
@@ -33,7 +33,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-lint: lint-fmt vet
+lint: lint-fmt vet lint-analyzers
 
 # gofmt -l prints offending files; fail if any.
 lint-fmt:
@@ -42,6 +42,13 @@ lint-fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The five c3dlint analyzers (determinism, ctxcheck, registry, wirecompat,
+# errenvelope): compile-time enforcement of the invariants the smoke gates
+# below check dynamically. Stdlib-only, so it rides the same build cache as
+# everything else; the whole run is a few seconds warm.
+lint-analyzers:
+	$(GO) run ./cmd/c3dlint ./...
 
 # Full benchmark run (minutes): every paper artefact plus micro-benchmarks.
 bench:

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestAllowDirectiveMisuse runs the determinism analyzer over a fixture
+// whose directives are deliberately broken: an empty reason must not
+// silence anything and must itself be reported, as must unknown directive
+// shapes. The well-formed directive in the same file must silence its line.
+func TestAllowDirectiveMisuse(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "allow/misuse", "c3d/internal/stats")
+}

@@ -1,0 +1,128 @@
+package analysis
+
+// The fixture harness reimplements the golang.org/x/tools analysistest
+// contract on the stdlib loader: fixture packages live under testdata/,
+// every line that should produce a finding carries a // want "regex"
+// comment, and the test fails on any unmatched expectation or unexpected
+// diagnostic. Fixtures are loaded under synthetic production import paths
+// (LoadDir's asPath) so path-scoped analyzers fire on them exactly as they
+// would on the real packages.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+// sharedLoader memoizes one loader across all fixture tests, so the
+// standard library is type-checked once per `go test` run.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// expectation is one // want "regex" on one fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.+)$`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRe.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/<fixture> as import path asPath, runs the one
+// analyzer over it, and checks the findings against the // want comments.
+func runFixture(t *testing.T, a *Analyzer, fixture, asPath string) {
+	t.Helper()
+	l := sharedLoader(t)
+	dir := filepath.Join("testdata", filepath.FromSlash(fixture))
+	pkg, err := l.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := RunAnalyzers(l.Fset(), []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := parseWants(t, dir)
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && sameFile(w.file, d.File) && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxScope lists the packages whose loops do unbounded amounts of work:
+// simulation driving, state-space search, sweep workers and campaign
+// dispatch. PR 4 threaded context.Context through all of them; this
+// analyzer keeps the threading from eroding as loops are added.
+var ctxScope = map[string]bool{
+	"c3d/internal/machine":  true,
+	"c3d/internal/mc":       true,
+	"c3d/internal/sweep":    true,
+	"c3d/internal/campaign": true,
+}
+
+// CtxCheckAnalyzer enforces the cancellation guarantee on long-running
+// loops.
+var CtxCheckAnalyzer = &Analyzer{
+	Name: "ctxcheck",
+	Doc: `long-running loops in machine/mc/sweep/campaign must remain cancellable
+
+A loop with no bound visible in its header — "for {", "for cond {", or a
+range over a channel — in one of the context-threaded packages must, in its
+body, either check cancellation directly (ctx.Err(), ctx.Done(), a select
+with a Done case) or call a context-threaded function (any call that passes
+a context.Context). Counter-style three-clause loops and range loops over
+data are considered bounded by their header and are not flagged, and loops
+that neither call functions nor touch channels (index-probing spins) cannot
+block and are exempt. Loops that are genuinely short-lived carry
+//c3dlint:allow ctxcheck(reason).`,
+	Run: runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	if !ctxScope[pass.Pkg.Path] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				// Three-clause counter loops are bounded by their header.
+				if n.Init != nil || n.Post != nil {
+					return true
+				}
+				body = n.Body
+			case *ast.RangeStmt:
+				// Ranging over data is bounded; ranging over a channel is
+				// a receive loop that must be cancellable.
+				tv, ok := info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+					return true
+				}
+				body = n.Body
+			default:
+				return true
+			}
+			if !loopCanBlock(info, body) {
+				return true
+			}
+			if !loopReachesCtx(info, body) {
+				pass.Reportf(n.Pos(), "long-running loop has no reachable cancellation check: add a ctx.Err()/ctx.Done() check or call a ctx-threaded function, or annotate //c3dlint:allow ctxcheck(reason)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// loopCanBlock reports whether the loop body contains a function call or a
+// channel operation — i.e. whether an iteration can take unbounded time. A
+// pure-arithmetic spin (hash probing, pointer chasing) is exempt.
+func loopCanBlock(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Conversions and builtins (len, cap, append...) cannot block.
+			if tv, ok := info.Types[n.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+				return true
+			}
+			found = true
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopReachesCtx reports whether the body checks cancellation: a call to
+// Err/Done on a context.Context value, or any call passing a
+// context.Context argument (a ctx-threaded function checks on the callee's
+// side). The scan is lexical and includes nested function literals — a
+// worker body defined inline still counts as the loop's cancellation path.
+func loopReachesCtx(info *types.Info, body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+			if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContextType(info.Types[sel.X].Type) {
+				ok = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, found := info.Types[arg]; found && isContextType(tv.Type) {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

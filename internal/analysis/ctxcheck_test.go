@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+func TestCtxCheckFixture(t *testing.T) {
+	runFixture(t, CtxCheckAnalyzer, "ctxcheck/mc", "c3d/internal/mc")
+}
+
+func TestCtxCheckOutOfScope(t *testing.T) {
+	// The same code outside the context-threaded packages is not flagged —
+	// load the fixture under an unscoped path and expect zero findings.
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/ctxcheck/mc", "c3d/internal/unscoped")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunAnalyzers(l.Fset(), []*Package{pkg}, []*Analyzer{CtxCheckAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %v", diags)
+	}
+}
+
+func TestCtxCheckNegativeFixtureFails(t *testing.T) {
+	requireFindings(t, CtxCheckAnalyzer, "ctxcheck/mc", "c3d/internal/mc", 3)
+}

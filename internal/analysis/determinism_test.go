@@ -1,0 +1,37 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/machine", "c3d/internal/machine")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/outofscope", "c3d/internal/outofscope")
+}
+
+// TestDeterminismNegativeFixtureFails pins the acceptance criterion
+// directly: the analyzer must actually fail on its negative fixture, not
+// merely match annotations. It re-runs the positive fixture and asserts the
+// flagged sites produced findings.
+func TestDeterminismNegativeFixtureFails(t *testing.T) {
+	requireFindings(t, DeterminismAnalyzer, "determinism/machine", "c3d/internal/machine", 4)
+}
+
+// requireFindings asserts the analyzer reports exactly n findings on the
+// fixture (the number of want comments), proving the negative cases fail.
+func requireFindings(t *testing.T, a *Analyzer, fixture, asPath string, n int) {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/"+fixture, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunAnalyzers(l.Fset(), []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != n {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), n, diags)
+	}
+}

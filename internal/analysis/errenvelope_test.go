@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestErrEnvelopeFixture(t *testing.T) {
+	runFixture(t, ErrEnvelopeAnalyzer, "errenvelope/server", "c3d/internal/server")
+}
+
+func TestErrEnvelopeNegativeFixtureFails(t *testing.T) {
+	requireFindings(t, ErrEnvelopeAnalyzer, "errenvelope/server", "c3d/internal/server", 2)
+}

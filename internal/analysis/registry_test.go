@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestRegistryFixture(t *testing.T) {
+	runFixture(t, RegistryAnalyzer, "registry/designs", "c3d/internal/designs")
+}
+
+func TestRegistryNegativeFixtureFails(t *testing.T) {
+	requireFindings(t, RegistryAnalyzer, "registry/designs", "c3d/internal/designs", 1)
+}

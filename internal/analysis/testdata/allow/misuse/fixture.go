@@ -1,0 +1,24 @@
+// Package misuse exercises the directive parser: a silence needs a reason,
+// and an unknown directive shape is itself a finding.
+package misuse
+
+import "time"
+
+// EmptyReason fails to silence (the directive is malformed) and reports the
+// malformed directive too.
+func EmptyReason() time.Time {
+	//c3dlint:allow determinism() // want "allow directive for \"determinism\" needs a non-empty reason"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// UnknownShape is not an allow directive at all.
+func UnknownShape() int {
+	//c3dlint:ignore determinism // want "malformed directive"
+	return 0
+}
+
+// GoodReason silences cleanly.
+func GoodReason() time.Time {
+	//c3dlint:allow determinism(timestamp feeds a log line, never result bytes)
+	return time.Now()
+}

@@ -1,0 +1,104 @@
+// Package mc is a ctxcheck fixture, loaded as c3d/internal/mc (a
+// context-threaded package).
+package mc
+
+import "context"
+
+func work() int { return 0 }
+
+func threaded(ctx context.Context) error { return ctx.Err() }
+
+// BadUnboundedLoop calls functions forever without a cancellation path:
+// flagged.
+func BadUnboundedLoop() int {
+	total := 0
+	for { // want "long-running loop has no reachable cancellation check"
+		total += work()
+		if total > 1<<20 {
+			return total
+		}
+	}
+}
+
+// BadCondLoop is condition-bounded in name only: flagged.
+func BadCondLoop(done *bool) int {
+	total := 0
+	for !*done { // want "long-running loop has no reachable cancellation check"
+		total += work()
+	}
+	return total
+}
+
+// BadChannelRange receives forever without a cancellation path: flagged.
+func BadChannelRange(ch chan int) int {
+	total := 0
+	for v := range ch { // want "long-running loop has no reachable cancellation check"
+		total += v + work()
+	}
+	return total
+}
+
+// GoodErrCheck polls ctx.Err: clean.
+func GoodErrCheck(ctx context.Context) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += work()
+	}
+}
+
+// GoodSelectDone parks on ctx.Done: clean.
+func GoodSelectDone(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// GoodThreadedCall calls a function that takes the context — cancellation
+// is checked on the callee's side: clean.
+func GoodThreadedCall(ctx context.Context) error {
+	for {
+		if err := threaded(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// GoodCounterLoop is bounded by its header: clean.
+func GoodCounterLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += work()
+	}
+	return total
+}
+
+// GoodProbeLoop neither calls nor blocks — an index probe: clean.
+func GoodProbeLoop(table []uint64, h uint64) int {
+	mask := uint64(len(table) - 1)
+	i := h & mask
+	for {
+		if table[i] == h {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// AllowedLoop is annotated with a reason: suppressed.
+func AllowedLoop(ch chan int) int {
+	total := 0
+	//c3dlint:allow ctxcheck(drains an already-closed channel; bounded by buffered elements)
+	for v := range ch {
+		total += v + work()
+	}
+	return total
+}

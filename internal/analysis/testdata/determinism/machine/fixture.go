@@ -1,0 +1,67 @@
+// Package machine is a determinism fixture, loaded as c3d/internal/machine
+// (an in-scope, result-producing path).
+package machine
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadMapRange iterates a map directly: flagged.
+func BadMapRange(m map[string]int) int {
+	sum := 0
+	for k, v := range m { // want "range over map m has nondeterministic iteration order"
+		sum += len(k) + v
+	}
+	return sum
+}
+
+// GoodSortedRange iterates sorted keys: clean.
+func GoodSortedRange(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	//c3dlint:allow determinism(collection only; keys are sorted immediately below)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// BadGlobalRand draws from the global source: flagged.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global \\(unseeded\\) source"
+}
+
+// GoodSeededRand builds a seeded generator: clean.
+func GoodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// BadWallClock calls time.Now: flagged. So is the time.Since shorthand.
+func BadWallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// GoodInjectedClock references time.Now without calling it — the
+// tokenBucket.now injection pattern: clean.
+type GoodInjectedClock struct {
+	now func() time.Time
+}
+
+// NewGoodInjectedClock stores the clock; tests swap it.
+func NewGoodInjectedClock() *GoodInjectedClock {
+	return &GoodInjectedClock{now: time.Now}
+}
+
+// AllowedWallClock is annotated with a reason: suppressed.
+func AllowedWallClock() time.Time {
+	//c3dlint:allow determinism(feeds a progress message only, never result bytes)
+	return time.Now()
+}

@@ -1,0 +1,19 @@
+// Package outofscope is a determinism fixture loaded under a path that is
+// not result-producing: nothing here may be flagged.
+package outofscope
+
+import "time"
+
+// MapRangeIsFine is unordered but out of scope.
+func MapRangeIsFine(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// WallClockIsFine reads the clock but is out of scope.
+func WallClockIsFine() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,39 @@
+// Package designs is a registry fixture: Register-style calls are legal
+// only at package initialisation.
+package designs
+
+import "fmt"
+
+var reg = map[string]int{}
+
+// RegisterDesign is the panic-on-duplicate registry entry point.
+func RegisterDesign(name string, rank int) {
+	if _, dup := reg[name]; dup {
+		panic(fmt.Sprintf("duplicate design %q", name))
+	}
+	reg[name] = rank
+}
+
+// RegisterBuiltins is a Register wrapper: calls inside it are legal.
+func RegisterBuiltins() {
+	RegisterDesign("baseline", 0)
+	RegisterDesign("c3d", 1)
+}
+
+func init() {
+	RegisterDesign("snoopy", 2) // legal: init
+	RegisterBuiltins()          // legal: wrapper called from init
+}
+
+// Package-level initialisers run at init time: legal.
+var _ = registerOne()
+
+func registerOne() bool {
+	RegisterDesign("fulldir", 3) // legal: lowercase register helper
+	return true
+}
+
+// LoadPlugin registers at runtime: flagged.
+func LoadPlugin(name string) {
+	RegisterDesign(name, 99) // want "RegisterDesign called outside init"
+}

@@ -1,0 +1,28 @@
+// Package api is a wirecompat fixture, loaded as c3d/pkg/c3d/api: every
+// exported field needs an explicit json tag and imports must be stdlib-only.
+package api
+
+import (
+	"time"
+
+	_ "c3d/internal/addr" // want "must stay stdlib-only"
+)
+
+// Good is fully tagged: clean.
+type Good struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created,omitzero"`
+	// Internal is explicitly kept off the wire: clean.
+	Internal string `json:"-"`
+	// unexported fields never marshal: clean.
+	hidden int
+}
+
+// Bad collects every way a field can reach the wire implicitly.
+type Bad struct {
+	Untagged  string // want "Bad.Untagged has no struct tag"
+	NoJSONKey string `yaml:"x"`          // want "Bad.NoJSONKey has a struct tag but no json key"
+	EmptyName string `json:",omitempty"` // want "Bad.EmptyName has a json tag with an empty name"
+}
+
+func (g Good) use() int { return g.hidden }

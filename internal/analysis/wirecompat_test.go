@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+func TestWireCompatFixture(t *testing.T) {
+	runFixture(t, WireCompatAnalyzer, "wirecompat/api", "c3d/pkg/c3d/api")
+}
+
+func TestWireCompatNegativeFixtureFails(t *testing.T) {
+	requireFindings(t, WireCompatAnalyzer, "wirecompat/api", "c3d/pkg/c3d/api", 4)
+}
+
+// TestWireCompatRealPackageClean pins the production wire package itself:
+// the frozen contract must satisfy its own compile-time guard.
+func TestWireCompatRealPackageClean(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.Load("c3d/pkg/c3d/api")
+	if err != nil {
+		t.Fatalf("loading pkg/c3d/api: %v", err)
+	}
+	diags, err := RunAnalyzers(l.Fset(), []*Package{pkg}, []*Analyzer{WireCompatAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("pkg/c3d/api violates its own wire guard: %v", diags)
+	}
+}

@@ -121,6 +121,7 @@ func (c *resultCache) put(key string, data []byte) {
 // insertLocked adds a memory entry and trims to the LRU bound. Caller holds mu.
 func (c *resultCache) insertLocked(key string, data []byte) {
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	//c3dlint:allow ctxcheck(LRU trim removes one entry per iteration; bounded by list length, runs under mu)
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -1,0 +1,13 @@
+package campaign
+
+import (
+	"testing"
+
+	"c3d/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a module goroutine: dispatch
+// and hedge goroutines, bench reapers, journal writers and probe loops must
+// all be released by Coordinator.Close/Drain in every test, not just the
+// dedicated close-mid-campaign one.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

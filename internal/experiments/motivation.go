@@ -118,7 +118,10 @@ func Fig2(ctx context.Context, cfg Config) (Fig2Result, error) {
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
 		spec := workload.MustGet(name)
-		for ideal, mutate := range mutations {
+		// Jobs are built in the paper's presentation order, not map order:
+		// job order decides progress-event order, which is wire-visible.
+		for _, ideal := range append([]string{"baseline"}, Fig2Idealisations...) {
+			mutate := mutations[ideal]
 			jobs = append(jobs, job{
 				key:    key("fig2", name, ideal),
 				spec:   spec,

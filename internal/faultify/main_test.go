@@ -1,0 +1,12 @@
+package faultify
+
+import (
+	"testing"
+
+	"c3d/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a module goroutine: injected
+// hangs and delays park request handlers on timers, and every one of them
+// must unwind when its test's server and context go away.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,39 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckDetectsModuleGoroutine pins both directions: a parked goroutine
+// created by module code is reported with its stack, and releasing it
+// brings Check back to clean — including the asynchronous case where the
+// goroutine unwinds during the grace period.
+func TestCheckDetectsModuleGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+
+	leaked := Check(100 * time.Millisecond)
+	if leaked == "" {
+		t.Fatal("Check missed a parked module goroutine")
+	}
+	if !strings.Contains(leaked, "c3d/internal/leakcheck") {
+		t.Fatalf("leak report does not attribute the goroutine to module code:\n%s", leaked)
+	}
+
+	// Release concurrently with the check: the grace-period retry loop must
+	// observe the goroutine exiting.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	if leaked := Check(5 * time.Second); leaked != "" {
+		t.Fatalf("Check still reports a leak after release:\n%s", leaked)
+	}
+}

@@ -132,6 +132,7 @@ func mustDesignSpec(d Design) DesignSpec {
 func designSpecs() []DesignSpec {
 	designMu.RLock()
 	specs := make([]DesignSpec, 0, len(designReg))
+	//c3dlint:allow determinism(collection only; specs are sorted by rank then name immediately below)
 	for _, spec := range designReg {
 		specs = append(specs, spec)
 	}

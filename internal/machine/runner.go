@@ -288,6 +288,7 @@ func runnerLess(a, b *coreRunner) bool {
 func (h *runnerHeap) push(cr *coreRunner) {
 	h.runners = append(h.runners, cr)
 	i := len(h.runners) - 1
+	//c3dlint:allow ctxcheck(heap sift-up: at most log(cores) iterations, pure comparisons)
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !runnerLess(h.runners[i], h.runners[parent]) {
@@ -303,6 +304,7 @@ func (h *runnerHeap) fixRoot() {
 	rs := h.runners
 	n := len(rs)
 	i := 0
+	//c3dlint:allow ctxcheck(heap sift-down: at most log(cores) iterations, pure comparisons)
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i

@@ -27,6 +27,7 @@ func Run(ctx context.Context, m Model, opts Options) Report {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	//c3dlint:allow determinism(feeds Report.Elapsed, which is excluded from deterministic report output)
 	start := time.Now()
 	parallelism := opts.Parallelism
 	if parallelism <= 0 {
@@ -135,7 +136,7 @@ func Run(ctx context.Context, m Model, opts Options) Report {
 		depth++
 	}
 
-	report.Elapsed = time.Since(start)
+	report.Elapsed = time.Since(start) //c3dlint:allow determinism(Elapsed is excluded from deterministic report output)
 	if opts.Progress != nil {
 		// Final tick: a run always reports its last state count, even when it
 		// never crossed the interval.

@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"c3d/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a module goroutine: scheduler
+// workers, event-stream followers and drain machinery must all be gone once
+// every server under test is closed.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

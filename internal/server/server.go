@@ -203,6 +203,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// header so failure stays distinguishable from success.
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-C3D-Job-Error", errMsg)
+		//c3dlint:allow errenvelope(body is the verification result document, not an error; the job error travels in the X-C3D-Job-Error header)
 		w.WriteHeader(http.StatusUnprocessableEntity)
 		w.Write(result)
 	case api.Terminal(state):

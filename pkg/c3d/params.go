@@ -23,15 +23,20 @@ type Params api.Params
 // overrides — dropping them silently would run a configuration the caller
 // never asked for.
 func (p Params) Options() ([]Option, error) {
-	for name, v := range map[string]int{
-		"sockets":  p.Sockets,
-		"threads":  p.Threads,
-		"accesses": p.Accesses,
-		"scale":    p.Scale,
-		"parallel": p.Parallelism,
+	for _, field := range []struct {
+		name string
+		v    int
+	}{
+		{"sockets", p.Sockets},
+		{"threads", p.Threads},
+		{"accesses", p.Accesses},
+		{"scale", p.Scale},
+		{"parallel", p.Parallelism},
 	} {
-		if v < 0 {
-			return nil, fmt.Errorf("c3d: negative %s %d", name, v)
+		if field.v < 0 {
+			// Checked in declaration order so a spec with several negative
+			// fields always reports the same one first.
+			return nil, fmt.Errorf("c3d: negative %s %d", field.name, field.v)
 		}
 	}
 	var opts []Option
