@@ -16,7 +16,7 @@ LDFLAGS := -X c3d/pkg/c3d.buildVersion=$(VERSION) \
            -X c3d/pkg/c3d.buildCommit=$(GIT_SHA) \
            -X c3d/pkg/c3d.buildDate=$(BUILD_DATE)
 
-.PHONY: all build binaries test race lint lint-fmt lint-analyzers vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke ci
+.PHONY: all build binaries test race lint lint-fmt lint-analyzers vet bench bench-smoke bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke spec-smoke ci
 
 all: build
 
@@ -179,4 +179,37 @@ chaos-smoke:
 	cmp /tmp/c3d-chaos-baseline.txt /tmp/c3d-chaos-run.txt
 	@echo "chaos campaign bytes identical to the fault-free baseline across a coordinator kill -9 + journal resume"
 
-ci: lint build race bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke
+# Workload-spec gate through the real binaries: one embedded preset driven
+# through c3dsim (two runs must be bit-identical), through c3dexp at two
+# parallelism levels, and through a two-worker fleet via -remote (the spec
+# document travels the wire as params.spec and the workers compile it);
+# then the external-trace path: spec → binary → text → ingest → binary must
+# be a byte-identical round trip.
+spec-smoke:
+	$(GO) run ./cmd/c3dsim -spec preset:bursty-tail -accesses 2000 -json > /tmp/c3d-spec-sim1.json
+	$(GO) run ./cmd/c3dsim -spec preset:bursty-tail -accesses 2000 -json > /tmp/c3d-spec-sim2.json
+	cmp /tmp/c3d-spec-sim1.json /tmp/c3d-spec-sim2.json
+	@echo "c3dsim spec runs bit-identical"
+	$(GO) run ./cmd/c3dexp -exp table1 -quick -spec preset:bursty-tail -accesses 2000 -json -parallel 1 > /tmp/c3d-spec-p1.json
+	$(GO) run ./cmd/c3dexp -exp table1 -quick -spec preset:bursty-tail -accesses 2000 -json -parallel 8 > /tmp/c3d-spec-p8.json
+	cmp /tmp/c3d-spec-p1.json /tmp/c3d-spec-p8.json
+	@echo "spec campaign bit-identical across parallelism levels"
+	$(GO) build -ldflags "$(LDFLAGS)" -o /tmp/c3dd-spec ./cmd/c3dd
+	/tmp/c3dd-spec -addr 127.0.0.1:18351 & echo $$! > /tmp/c3dd-spec-w1.pid; \
+	/tmp/c3dd-spec -addr 127.0.0.1:18352 & echo $$! > /tmp/c3dd-spec-w2.pid; \
+	trap 'kill $$(cat /tmp/c3dd-spec-w1.pid) $$(cat /tmp/c3dd-spec-w2.pid) $$(cat /tmp/c3dd-spec-co.pid) 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18351/healthz >/dev/null && curl -sf 127.0.0.1:18352/healthz >/dev/null && break; sleep 0.2; done; \
+	/tmp/c3dd-spec -coordinator -workers http://127.0.0.1:18351,http://127.0.0.1:18352 -addr 127.0.0.1:18350 & echo $$! > /tmp/c3dd-spec-co.pid; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18350/healthz >/dev/null && break; sleep 0.2; done; \
+	$(GO) run ./cmd/c3dexp -exp table1 -quick -spec preset:bursty-tail -accesses 2000 -json -remote http://127.0.0.1:18350 > /tmp/c3d-spec-remote.json; \
+	cmp /tmp/c3d-spec-p1.json /tmp/c3d-spec-remote.json
+	@echo "remote spec campaign bit-identical to local at 2 workers"
+	$(GO) run ./cmd/c3dtrace -spec preset:bursty-tail -threads 4 -accesses 500 -summary=false -out /tmp/c3d-spec.c3dt
+	$(GO) run ./cmd/c3dtrace -in /tmp/c3d-spec.c3dt -text-out /tmp/c3d-spec.txt
+	$(GO) run ./cmd/c3dtrace -ingest /tmp/c3d-spec.txt -out /tmp/c3d-spec-reingested.c3dt
+	cmp /tmp/c3d-spec.c3dt /tmp/c3d-spec-reingested.c3dt
+	@echo "spec → binary → text → ingest round trip bit-identical"
+
+ci: lint build race bench-json determinism topology-smoke trace-roundtrip fuzz-smoke daemon-smoke fleet-smoke chaos-smoke spec-smoke

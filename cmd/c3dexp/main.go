@@ -50,6 +50,7 @@ func main() {
 		sockets   = flag.Int("sockets", 0, "override the socket count (where the experiment allows it)")
 		topology  = flag.String("topology", "", "fabric topology: p2p, ring, mesh or full (default: each machine's socket-count default; the scaling experiment sweeps its own grid)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's nine)")
+		specArg   = flag.String("spec", "", "workload-spec document: a file path or preset:<name>; runs the campaign on the spec's workload instead of the registry suite (combine with -workloads to mix)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS; results identical at any value)")
 		stream    = flag.Bool("stream", false, "drive simulations from streaming generators (bounded memory at any -accesses; results identical)")
 		seed      = flag.Int64("seed", 0, "workload generation seed (0 reproduces the default runs)")
@@ -111,6 +112,11 @@ func main() {
 	}
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")
+	}
+	if *specArg != "" {
+		doc, err := c3d.ReadWorkloadSpec(*specArg)
+		exitOn(err)
+		params.Spec = doc
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -24,6 +24,7 @@ import (
 func main() {
 	var (
 		workloadName = flag.String("workload", "streamcluster", "workload name (see c3dtrace -list)")
+		specArg      = flag.String("spec", "", "workload-spec document: a file path or preset:<name> (see c3dtrace -list); replaces -workload unless one is named explicitly")
 		designName   = flag.String("design", "c3d", "coherence design: baseline, snoopy, full-dir, c3d, c3d-full-dir, shared")
 		sockets      = flag.Int("sockets", 4, "number of sockets (2-16)")
 		topology     = flag.String("topology", "", "fabric topology: p2p, ring, mesh or full (default: the socket count's default)")
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	sess, err := c3d.Params{
+	params := c3d.Params{
 		Design:          *designName,
 		Policy:          *policyName,
 		Topology:        *topology,
@@ -54,7 +55,21 @@ func main() {
 		Warmup:          warmup,
 		Stream:          stream,
 		BroadcastFilter: *filter,
-	}.Session()
+	}
+	runName := *workloadName
+	if *specArg != "" {
+		doc, err := c3d.ReadWorkloadSpec(*specArg)
+		exitOn(err)
+		params.Spec = doc
+		// The spec is the workload unless -workload was given explicitly:
+		// the flag's default must not shadow the document.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "workload" })
+		if !explicit {
+			runName = ""
+		}
+	}
+	sess, err := params.Session()
 	exitOn(err)
 
 	// Ctrl-C cancels the run instead of killing the process mid-print.
@@ -70,9 +85,13 @@ func main() {
 		// Keep stdout pure JSON.
 		progressOut = os.Stderr
 	}
-	fmt.Fprintf(progressOut, "%s %s (design=%s sockets=%d)...\n", mode, *workloadName, *designName, *sockets)
+	label := runName
+	if label == "" {
+		label = "workload spec " + *specArg
+	}
+	fmt.Fprintf(progressOut, "%s %s (design=%s sockets=%d)...\n", mode, label, *designName, *sockets)
 	start := time.Now()
-	res, err := sess.Simulate(ctx, *workloadName)
+	res, err := sess.Simulate(ctx, runName)
 	exitOn(err)
 	if res.ThreadsClamped {
 		// Surface the clamp: the run used fewer threads than asked for, and

@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	c3dtrace -list                                   # show the workload registry
+//	c3dtrace -list                                   # show the workload registry and spec presets
 //	c3dtrace -workload canneal -summary              # generate and summarise
 //	c3dtrace -workload canneal -out canneal.c3dt     # write the binary trace (chunked v2)
 //	c3dtrace -workload canneal -out c.c3dt -format v1  # write the legacy flat format
 //	c3dtrace -in canneal.c3dt -summary               # summarise an existing file
 //	c3dtrace -workload nutch -dump 20                # print the first records
+//	c3dtrace -spec preset:bursty-tail -summary       # compile and run a workload spec
+//	c3dtrace -ingest app.trace -out app.c3dt         # ingest an external text trace
+//	c3dtrace -in app.c3dt -text-out app.trace        # export back to text
 package main
 
 import (
@@ -27,8 +30,11 @@ func main() {
 	var (
 		list         = flag.Bool("list", false, "list registered workloads and exit")
 		workloadName = flag.String("workload", "", "workload to generate")
+		specArg      = flag.String("spec", "", "workload-spec document to compile and generate: a file path or preset:<name>")
 		inPath       = flag.String("in", "", "read an existing binary trace instead of generating")
+		ingestPath   = flag.String("ingest", "", "read an external text-format memory trace instead of generating (see the internal/wspec format reference)")
 		outPath      = flag.String("out", "", "write the trace in the binary format")
+		textOut      = flag.String("text-out", "", "write the trace in the text format (lossless round trip with -ingest)")
 		format       = flag.String("format", "v2", "binary format for -out: v2 (chunked, streamable) or v1 (legacy flat)")
 		threads      = flag.Int("threads", 0, "threads (default: the workload's native count)")
 		accesses     = flag.Int("accesses", 0, "accesses per thread (default: the workload's native count)")
@@ -54,6 +60,12 @@ func main() {
 				w.Name, w.Class, w.SharedBytes/(1<<20), w.DefaultThreads,
 				w.ReadFraction*100, w.CommFraction*100)
 		}
+		if presets := c3d.WorkloadSpecPresets(); len(presets) > 0 {
+			fmt.Println("\nworkload-spec presets (run with -spec preset:<name>):")
+			for _, name := range presets {
+				fmt.Printf("  %s\n", name)
+			}
+		}
 		return
 	}
 
@@ -71,43 +83,66 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	modes := 0
+	for _, on := range []bool{*inPath != "", *ingestPath != "", *specArg != "", *workloadName != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "c3dtrace: -workload, -spec, -in and -ingest are mutually exclusive trace sources")
+		os.Exit(2)
+	}
+
 	var src c3d.TraceSource
 	switch {
-	case *inPath != "":
-		// -in replays a file: the generation flags would be silently ignored,
+	case *inPath != "", *ingestPath != "":
+		// Replaying a file: the generation flags would be silently ignored,
 		// so combining them is an error rather than a surprise.
 		var conflicting []string
-		for _, name := range []string{"workload", "threads", "accesses", "scale"} {
+		for _, name := range []string{"threads", "accesses", "scale"} {
 			if setFlags[name] {
 				conflicting = append(conflicting, "-"+name)
 			}
 		}
 		if len(conflicting) > 0 {
-			fmt.Fprintf(os.Stderr, "c3dtrace: -in replays an existing trace; the generation flags %v have no effect on it (drop them, or drop -in to generate)\n", conflicting)
+			fmt.Fprintf(os.Stderr, "c3dtrace: -in/-ingest replay an existing trace; the generation flags %v have no effect on it (drop them, or generate instead)\n", conflicting)
 			os.Exit(2)
 		}
-		tf, err := c3d.OpenTrace(*inPath)
-		exitOn(err)
-		defer tf.Close()
-		src = tf
-	case *workloadName != "":
-		sess, err := c3d.New(
+		if *inPath != "" {
+			tf, err := c3d.OpenTrace(*inPath)
+			exitOn(err)
+			defer tf.Close()
+			src = tf
+		} else {
+			ts, err := c3d.OpenTextTrace(*ingestPath)
+			exitOn(err)
+			src = ts
+		}
+	case *specArg != "", *workloadName != "":
+		opts := []c3d.Option{
 			c3d.WithThreads(*threads),
 			c3d.WithAccesses(*accesses),
 			c3d.WithScale(*scale),
-		)
+		}
+		if *specArg != "" {
+			doc, err := c3d.ReadWorkloadSpec(*specArg)
+			exitOn(err)
+			opts = append(opts, c3d.WithWorkloadSpec(doc))
+		}
+		sess, err := c3d.New(opts...)
 		exitOn(err)
 		src, err = sess.TraceSource(*workloadName)
 		exitOn(err)
 	default:
-		fmt.Fprintln(os.Stderr, "c3dtrace: provide -workload or -in (or -list)")
+		fmt.Fprintln(os.Stderr, "c3dtrace: provide -workload, -spec, -in or -ingest (or -list)")
 		os.Exit(2)
 	}
 
 	// Summarising costs a full pass over the streams. When the run's point is
 	// -out, don't silently double the generation work; an explicit -summary
 	// opts back in.
-	doSummary := *summary && (*outPath == "" || setFlags["summary"])
+	doSummary := *summary && ((*outPath == "" && *textOut == "") || setFlags["summary"])
 	if doSummary {
 		s, err := c3d.ComputeTraceStats(ctx, src)
 		exitOn(err)
@@ -141,6 +176,13 @@ func main() {
 		exitOn(c3d.TraceEncode(ctx, f, src, traceFormat))
 		exitOn(f.Close())
 		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if *textOut != "" {
+		f, err := os.Create(*textOut)
+		exitOn(err)
+		exitOn(c3d.WriteTextTrace(ctx, f, src))
+		exitOn(f.Close())
+		fmt.Printf("wrote %s\n", *textOut)
 	}
 }
 

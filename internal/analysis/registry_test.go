@@ -9,3 +9,13 @@ func TestRegistryFixture(t *testing.T) {
 func TestRegistryNegativeFixtureFails(t *testing.T) {
 	requireFindings(t, RegistryAnalyzer, "registry/designs", "c3d/internal/designs", 1)
 }
+
+// The workloads fixture mirrors the open workload registry: a bare Register
+// entry point plus the wspec.RegisterPresets wrapper shape.
+func TestRegistryWorkloadsFixture(t *testing.T) {
+	runFixture(t, RegistryAnalyzer, "registry/workloads", "c3d/internal/workloads")
+}
+
+func TestRegistryWorkloadsNegativeFixtureFails(t *testing.T) {
+	requireFindings(t, RegistryAnalyzer, "registry/workloads", "c3d/internal/workloads", 1)
+}

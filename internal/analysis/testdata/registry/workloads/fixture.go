@@ -1,0 +1,48 @@
+// Package workloads is a registry fixture mirroring the open workload
+// registry: a bare Register entry point plus a spec-compiling wrapper (the
+// wspec.RegisterPresets shape), legal only at package initialisation.
+package workloads
+
+import "fmt"
+
+// Spec is a stand-in for workload.Spec.
+type Spec struct {
+	Name string
+	Seed int64
+}
+
+var reg = map[string]Spec{}
+
+// Register is the panic-on-duplicate registry entry point.
+func Register(s Spec) {
+	if _, dup := reg[s.Name]; dup {
+		panic(fmt.Sprintf("workload %q registered twice", s.Name))
+	}
+	reg[s.Name] = s
+}
+
+// RegisterPresets is a Register wrapper (the wspec preset-library shape):
+// calls inside it are legal because it is itself Register-named.
+func RegisterPresets(specs []Spec) {
+	for _, s := range specs {
+		Register(s)
+	}
+}
+
+func init() {
+	Register(Spec{Name: "facesim", Seed: 101}) // legal: init
+	RegisterPresets([]Spec{{Name: "multitenant-mix", Seed: 901}})
+}
+
+// Package-level initialisers run at init time: legal.
+var _ = registerExtras()
+
+func registerExtras() bool {
+	Register(Spec{Name: "mcf", Seed: 110}) // legal: lowercase register helper
+	return true
+}
+
+// LoadWorkloadFile compiles and registers a spec at runtime: flagged.
+func LoadWorkloadFile(name string) {
+	Register(Spec{Name: name}) // want "Register called outside init"
+}

@@ -6,7 +6,6 @@ import (
 
 	"c3d/internal/machine"
 	"c3d/internal/stats"
-	"c3d/internal/workload"
 )
 
 // The ablations below are not figures from the paper; they isolate the two
@@ -38,10 +37,7 @@ func (r PrivateVsSharedResult) Table() *stats.Table {
 		"shared speedup", "private speedup",
 		"shared remote-read cut", "private remote-read cut",
 		"shared traffic cut", "private traffic cut")
-	for _, name := range workload.Names() {
-		if _, ok := r.Speedup[name]; !ok {
-			continue
-		}
+	for _, name := range tableNames(r.Speedup) {
 		t.AddRow(name,
 			fmt.Sprintf("%.3f", r.Speedup[name]["shared"]),
 			fmt.Sprintf("%.3f", r.Speedup[name]["c3d"]),
@@ -60,7 +56,7 @@ func PrivateVsShared(ctx context.Context, cfg Config) (PrivateVsSharedResult, er
 	designs := []machine.Design{machine.Baseline, machine.SharedDRAM, machine.C3D}
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		for _, d := range designs {
 			jobs = append(jobs, job{
 				key:  key("pvs", name, d),
@@ -117,10 +113,7 @@ type AblationResult struct {
 // Table renders the ablation.
 func (r AblationResult) Table() *stats.Table {
 	t := stats.NewTable("workload", "clean property", "non-inclusive dir", "miss predictor")
-	for _, name := range workload.Names() {
-		if _, ok := r.CleanProperty[name]; !ok {
-			continue
-		}
+	for _, name := range tableNames(r.CleanProperty) {
 		t.AddRow(name,
 			fmt.Sprintf("%.3f", r.CleanProperty[name]),
 			fmt.Sprintf("%.3f", r.NonInclusiveDir[name]),
@@ -134,7 +127,7 @@ func Ablation(ctx context.Context, cfg Config) (AblationResult, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		for _, d := range []machine.Design{machine.FullDir, machine.C3D, machine.C3DFullDir} {
 			jobs = append(jobs, job{
 				key:  key("abl", name, d),

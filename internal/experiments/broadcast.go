@@ -6,7 +6,6 @@ import (
 
 	"c3d/internal/machine"
 	"c3d/internal/stats"
-	"c3d/internal/workload"
 )
 
 // --- §VI-C: reducing broadcast traffic with the TLB classification ---
@@ -41,12 +40,8 @@ type BroadcastFilterRow struct {
 // Table renders the study.
 func (r BroadcastFilterResult) Table() *stats.Table {
 	t := stats.NewTable("workload", "broadcasts", "with filter", "reduction", "traffic saved")
-	names := append(workload.Names(), "mcf")
-	for _, name := range names {
-		row, ok := r.PerWorkload[name]
-		if !ok {
-			continue
-		}
+	for _, name := range tableNames(r.PerWorkload) {
+		row := r.PerWorkload[name]
 		t.AddRow(name,
 			fmt.Sprintf("%d", row.BroadcastsBase),
 			fmt.Sprintf("%d", row.BroadcastsFiltered),
@@ -63,7 +58,7 @@ func Sec6C(ctx context.Context, cfg Config) (BroadcastFilterResult, error) {
 	names := append(append([]string{}, cfg.workloadNames()...), "mcf")
 	var jobs []job
 	for _, name := range names {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		jobs = append(jobs,
 			job{
 				key:  key("sec6c", name, "base"),
@@ -102,6 +97,3 @@ func Sec6C(ctx context.Context, cfg Config) (BroadcastFilterResult, error) {
 	}
 	return out, nil
 }
-
-// mustSpec is a tiny helper used by several experiment files.
-func mustSpec(name string) workload.Spec { return workload.MustGet(name) }

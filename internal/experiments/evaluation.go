@@ -6,7 +6,6 @@ import (
 
 	"c3d/internal/machine"
 	"c3d/internal/stats"
-	"c3d/internal/workload"
 )
 
 // evaluatedDesigns are the DRAM-cache coherence designs compared against the
@@ -31,11 +30,8 @@ func (r SpeedupResult) Table() *stats.Table {
 		headers = append(headers, d.String())
 	}
 	t := stats.NewTable(headers...)
-	for _, name := range workload.Names() {
-		row, ok := r.Speedup[name]
-		if !ok {
-			continue
-		}
+	for _, name := range tableNames(r.Speedup) {
+		row := r.Speedup[name]
 		cells := []string{name}
 		for _, d := range evaluatedDesigns {
 			cells = append(cells, fmt.Sprintf("%.3f", row[d.String()]))
@@ -58,7 +54,7 @@ func designComparison(ctx context.Context, cfg Config, sockets int, tag string, 
 	designs := append([]machine.Design{machine.Baseline}, evaluatedDesigns...)
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		for _, d := range designs {
 			jobs = append(jobs, job{
 				key:    key(tag, name, d),
@@ -132,10 +128,7 @@ type Fig8Result struct {
 // Table renders the three series.
 func (r Fig8Result) Table() *stats.Table {
 	t := stats.NewTable("workload", "reads", "writes", "total")
-	for _, name := range workload.Names() {
-		if _, ok := r.Total[name]; !ok {
-			continue
-		}
+	for _, name := range tableNames(r.Total) {
 		t.AddRow(name,
 			fmt.Sprintf("%.3f", r.Reads[name]),
 			fmt.Sprintf("%.3f", r.Writes[name]),
@@ -153,7 +146,7 @@ func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		for _, d := range []machine.Design{machine.Baseline, machine.C3D} {
 			jobs = append(jobs, job{
 				key:  key("fig8", name, d),
@@ -203,11 +196,8 @@ func (r Fig9Result) Table() *stats.Table {
 		headers = append(headers, d.String())
 	}
 	t := stats.NewTable(headers...)
-	for _, name := range workload.Names() {
-		row, ok := r.Normalized[name]
-		if !ok {
-			continue
-		}
+	for _, name := range tableNames(r.Normalized) {
+		row := r.Normalized[name]
 		cells := []string{name}
 		for _, d := range evaluatedDesigns {
 			cells = append(cells, fmt.Sprintf("%.3f", row[d.String()]))

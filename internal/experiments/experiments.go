@@ -51,6 +51,10 @@ type Config struct {
 	WarmupFraction float64
 	// Workloads restricts the workload set (nil means the paper's nine).
 	Workloads []string
+	// Extra holds workload specs resolvable by name in addition to the open
+	// registry — compiled workload-spec documents joined for this campaign
+	// only. Names here shadow registry entries.
+	Extra []workload.Spec
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS). It only
 	// affects wall-clock time: results are bit-identical at any value.
 	Parallelism int
@@ -120,6 +124,48 @@ func (c Config) workloadNames() []string {
 	return workload.Names()
 }
 
+// workload resolves a name against this config: campaign-local extra specs
+// first (compiled workload-spec documents), then the open registry.
+func (c Config) workload(name string) (workload.Spec, error) {
+	for _, s := range c.Extra {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return workload.Get(name)
+}
+
+// mustWorkload is workload for names the campaign itself produced (its
+// workloadNames); an unknown name here is a programming error.
+func (c Config) mustWorkload(name string) workload.Spec {
+	s, err := c.workload(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// tableNames orders result-map keys for rendering: registration order first
+// (the paper's suite ordering), then any remaining names — workload specs
+// compiled outside the registry — sorted. Every current table is keyed by
+// registry names only, so their row order is unchanged.
+func tableNames[M ~map[string]V, V any](m M) []string {
+	seen := make(map[string]bool, len(m))
+	var out []string
+	for _, n := range workload.AllNames() {
+		if _, ok := m[n]; ok && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range sortedKeys(m) {
+		if !seen[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // machineConfig builds the machine configuration for a design under this
 // experiment config.
 func (c Config) machineConfig(sockets int, design machine.Design, policy numa.Policy) machine.Config {
@@ -178,7 +224,11 @@ func newTraceCache(max int) *traceCache {
 }
 
 func (tc *traceCache) get(spec workload.Spec, opts workload.Options) (*trace.Trace, error) {
-	key := fmt.Sprintf("%s/%d/%d/%d/%d", spec.Name, opts.Threads, opts.Scale, opts.AccessesPerThread, opts.SeedOffset)
+	// Fingerprint distinguishes workload-spec documents that reuse a name
+	// across campaigns (registry specs leave it empty): without it, two
+	// different specs named "mix" sharing a process would collide in the
+	// cache and one campaign would silently replay the other's trace.
+	key := fmt.Sprintf("%s/%s/%d/%d/%d/%d", spec.Name, spec.Fingerprint, opts.Threads, opts.Scale, opts.AccessesPerThread, opts.SeedOffset)
 	tc.mu.Lock()
 	if tr, ok := tc.traces[key]; ok {
 		tc.touch(key)

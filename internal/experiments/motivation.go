@@ -6,7 +6,6 @@ import (
 
 	"c3d/internal/machine"
 	"c3d/internal/stats"
-	"c3d/internal/workload"
 )
 
 // --- Table I: fraction of memory accesses satisfied by remote memory ---
@@ -25,10 +24,8 @@ type TableIResult struct {
 // Table renders the result in the paper's layout.
 func (r TableIResult) Table() *stats.Table {
 	t := stats.NewTable("workload", "remote memory accesses")
-	for _, name := range workload.Names() {
-		if frac, ok := r.RemoteFraction[name]; ok {
-			t.AddRow(name, stats.Percent(frac))
-		}
+	for _, name := range tableNames(r.RemoteFraction) {
+		t.AddRow(name, stats.Percent(r.RemoteFraction[name]))
 	}
 	t.AddRow("average", stats.Percent(r.Average))
 	return t
@@ -39,7 +36,7 @@ func TableI(ctx context.Context, cfg Config) (TableIResult, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		// Table I is collected under first-touch placement (§II-A).
 		jobs = append(jobs, job{
 			key:  key("table1", name),
@@ -83,11 +80,8 @@ type Fig2Result struct {
 // Table renders the per-workload speedups.
 func (r Fig2Result) Table() *stats.Table {
 	t := stats.NewTable(append([]string{"workload"}, Fig2Idealisations...)...)
-	for _, name := range workload.Names() {
-		row, ok := r.Speedup[name]
-		if !ok {
-			continue
-		}
+	for _, name := range tableNames(r.Speedup) {
+		row := r.Speedup[name]
 		cells := []string{name}
 		for _, ideal := range Fig2Idealisations {
 			cells = append(cells, fmt.Sprintf("%.3f", row[ideal]))
@@ -117,7 +111,7 @@ func Fig2(ctx context.Context, cfg Config) (Fig2Result, error) {
 	}
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		// Jobs are built in the paper's presentation order, not map order:
 		// job order decides progress-event order, which is wire-visible.
 		for _, ideal := range append([]string{"baseline"}, Fig2Idealisations...) {
@@ -176,11 +170,8 @@ func (r Fig3Result) Table() *stats.Table {
 		headers = append(headers, fmt.Sprintf("%dMB", c/mibBytes))
 	}
 	t := stats.NewTable(headers...)
-	for _, name := range workload.Names() {
-		row, ok := r.Normalized[name]
-		if !ok {
-			continue
-		}
+	for _, name := range tableNames(r.Normalized) {
+		row := r.Normalized[name]
 		cells := []string{name}
 		for _, c := range Fig3Capacities[1:] {
 			cells = append(cells, fmt.Sprintf("%.3f", row[c]))
@@ -200,7 +191,7 @@ func Fig3(ctx context.Context, cfg Config) (Fig3Result, error) {
 	cfg = cfg.withDefaults()
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := workload.MustGet(name)
+		spec := cfg.mustWorkload(name)
 		for _, capacity := range Fig3Capacities {
 			capacity := capacity
 			jobs = append(jobs, job{

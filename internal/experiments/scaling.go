@@ -8,7 +8,6 @@ import (
 	"c3d/internal/interconnect"
 	"c3d/internal/machine"
 	"c3d/internal/stats"
-	"c3d/internal/workload"
 )
 
 // scalingDesigns are the designs the socket-scaling study compares: the
@@ -109,7 +108,7 @@ func Scaling(ctx context.Context, cfg Config) (ScalingResult, error) {
 	var jobs []job
 	for _, sh := range shapes {
 		for _, name := range names {
-			spec := workload.MustGet(name)
+			spec := cfg.mustWorkload(name)
 			for _, d := range scalingDesigns {
 				mcfg := cfg.machineConfig(sh.sockets, d, spec.PreferredPolicy)
 				mcfg.Topology = sh.topo

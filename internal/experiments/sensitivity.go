@@ -70,7 +70,7 @@ func latencySensitivity(ctx context.Context, cfg Config, parameter, tag string, 
 	designs := append([]machine.Design{machine.Baseline}, sensitivityDesigns...)
 	var jobs []job
 	for _, name := range cfg.workloadNames() {
-		spec := mustSpec(name)
+		spec := cfg.mustWorkload(name)
 		for _, d := range designs {
 			for _, v := range values {
 				v := v

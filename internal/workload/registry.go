@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"c3d/internal/numa"
 )
@@ -36,7 +37,7 @@ const (
 //     communication, where even full-dir gains over the baseline.
 //   - mcf: the single-threaded SPEC workload used in §VI-C to evaluate the
 //     TLB-based broadcast filter.
-var registry = []Spec{
+var builtins = []Spec{
 	{
 		Name: "facesim", Class: Parallel,
 		SharedBytes: 1536 * mib, PrivateBytesPerThread: 4 * mib, MailboxBytesPerThread: 32 * mib,
@@ -119,20 +120,64 @@ var registry = []Spec{
 	},
 }
 
+// suiteNames pins the nine multi-threaded workloads of the main evaluation,
+// in the paper's order. Names()/Suite() answer from this list — never from
+// the open registry — so registering extra workloads (compiled specs,
+// presets) can never change the default experiment suite or invalidate
+// golden results.
+var suiteNames = []string{
+	"facesim", "streamcluster", "freqmine", "fluidanimate", "canneal",
+	"tunkrank", "nutch", "cassandra", "classification",
+}
+
+// The registry is open: the built-ins seed it and anything — compiled
+// workload specs, test doubles, future ingested traces — can join through
+// Register, mirroring the design and topology registries. Registration order
+// is preserved so listings are deterministic.
+var (
+	regMu    sync.RWMutex
+	registry []Spec
+	regIndex = map[string]int{}
+)
+
+func init() {
+	for _, s := range builtins {
+		Register(s)
+	}
+}
+
+// Register adds a workload to the registry so name-based lookups (Get, the
+// SDK's WithWorkloads, the daemon's capability checks) resolve it exactly
+// like a built-in. It panics on an invalid spec or a duplicate name —
+// registration happens in init functions, where misconfiguration should fail
+// loudly. The default evaluation suite (Names/Suite) is pinned to the nine
+// paper workloads and is not affected by registration.
+func Register(s Spec) {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: Register: %v", err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regIndex[s.Name]; dup {
+		panic(fmt.Sprintf("workload: workload %q registered twice", s.Name))
+	}
+	regIndex[s.Name] = len(registry)
+	registry = append(registry, s)
+}
+
 // Names returns the names of the nine multi-threaded workloads of the main
 // evaluation, in the paper's order.
 func Names() []string {
-	var out []string
-	for _, s := range registry {
-		if s.Class != SingleThreaded {
-			out = append(out, s.Name)
-		}
-	}
+	out := make([]string, len(suiteNames))
+	copy(out, suiteNames)
 	return out
 }
 
-// AllNames returns every registered workload name, including mcf.
+// AllNames returns every registered workload name — built-ins (including
+// mcf) and registered specs — in registration order.
 func AllNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	out := make([]string, len(registry))
 	for i, s := range registry {
 		out[i] = s.Name
@@ -143,22 +188,23 @@ func AllNames() []string {
 // Suite returns the specs of the nine multi-threaded workloads of the main
 // evaluation, in the paper's order.
 func Suite() []Spec {
-	var out []Spec
-	for _, s := range registry {
-		if s.Class != SingleThreaded {
-			out = append(out, s)
-		}
+	out := make([]Spec, len(suiteNames))
+	for i, name := range suiteNames {
+		out[i] = MustGet(name)
 	}
 	return out
 }
 
 // Get returns the spec with the given name.
 func Get(name string) (Spec, error) {
-	for _, s := range registry {
-		if s.Name == name {
-			return s, nil
-		}
+	regMu.RLock()
+	i, ok := regIndex[name]
+	if ok {
+		s := registry[i]
+		regMu.RUnlock()
+		return s, nil
 	}
+	regMu.RUnlock()
 	known := AllNames()
 	sort.Strings(known)
 	return Spec{}, fmt.Errorf("workload: unknown workload %q (known: %v)", name, known)

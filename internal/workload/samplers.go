@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gap (inter-access interval) distributions for Spec.GapDist. The empty
+// string keeps the legacy uniform integer draw on [0, 2*MeanGap], which
+// existing traces and goldens depend on bit-for-bit.
+const (
+	GapConstant = "constant"
+	GapPoisson  = "poisson"
+	GapGamma    = "gamma"
+	GapWeibull  = "weibull"
+)
+
+// Sharing-skew distributions for Spec.SharingDist.
+const (
+	SharingZipf   = "zipf"
+	SharingPareto = "pareto"
+)
+
+// poissonMeanCap bounds the poisson mean: the CDF walk starts from e^-mean,
+// which underflows to zero for means past ~700 and the draw would never
+// terminate sensibly. Gaps that large want gamma or constant anyway.
+const poissonMeanCap = 500
+
+// gapShapeCap bounds the gamma/weibull shape parameter; the gamma sampler
+// draws round(shape) exponentials per interval, so the cap also bounds
+// per-record work.
+const gapShapeCap = 64
+
+func validateGapDist(name, dist string, mean, shape float64) error {
+	switch dist {
+	case "", GapConstant:
+	case GapPoisson:
+		if mean > poissonMeanCap {
+			return fmt.Errorf("workload %s: poisson gap mean %g exceeds %d (use gamma or constant for long gaps)", name, mean, poissonMeanCap)
+		}
+	case GapGamma, GapWeibull:
+		if shape <= 0 || shape > gapShapeCap {
+			return fmt.Errorf("workload %s: %s gap shape %g out of (0, %d]", name, dist, shape, gapShapeCap)
+		}
+	default:
+		return fmt.Errorf("workload %s: unknown gap distribution %q (known: constant, poisson, gamma, weibull)", name, dist)
+	}
+	return nil
+}
+
+func validateSharingDist(name, dist string, theta float64) error {
+	switch dist {
+	case "":
+	case SharingZipf, SharingPareto:
+		if theta <= 0 {
+			return fmt.Errorf("workload %s: %s sharing theta %g must be positive", name, dist, theta)
+		}
+	default:
+		return fmt.Errorf("workload %s: unknown sharing distribution %q (known: zipf, pareto)", name, dist)
+	}
+	return nil
+}
+
+// SampleInterval draws one inter-access interval from the named distribution
+// by inverse-transform sampling on rng. Each draw consumes a fixed, dist-
+// dependent number of uniforms (constant: none; poisson/weibull: one;
+// gamma: round(shape)), so streams stay bit-identical regardless of how the
+// sampled values are consumed downstream.
+func SampleInterval(rng *rand.Rand, dist string, mean, shape float64) float64 {
+	if mean <= 0 {
+		// Degenerate mean: every distribution collapses to back-to-back
+		// accesses, and drawing nothing keeps the RNG stream aligned with
+		// the constant case.
+		if dist == GapPoisson || dist == GapWeibull {
+			rng.Float64()
+		} else if dist == GapGamma {
+			for i := 0; i < gammaShape(shape); i++ {
+				rng.Float64()
+			}
+		}
+		return 0
+	}
+	switch dist {
+	case GapConstant:
+		return mean
+	case GapPoisson:
+		// Inverse transform by walking the CDF: P(k) = e^-m * m^k / k!.
+		u := rng.Float64()
+		p := math.Exp(-mean)
+		cdf := p
+		k := 0.0
+		// The cap only guards pathological u ~ 1 against float drift; the
+		// validated mean keeps e^-mean well above underflow.
+		for u > cdf && k < 10*mean+50 {
+			k++
+			p *= mean / k
+			cdf += p
+		}
+		return k
+	case GapGamma:
+		// Integer-shape gamma (Erlang): the sum of k exponentials of mean
+		// mean/k — exact inverse-transform sampling with bounded draws.
+		k := gammaShape(shape)
+		scale := mean / float64(k)
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			sum += -math.Log(1 - rng.Float64())
+		}
+		return scale * sum
+	case GapWeibull:
+		// Scale chosen so the distribution's mean is the requested mean:
+		// E[X] = scale * Gamma(1 + 1/k).
+		scale := mean / math.Gamma(1+1/shape)
+		return scale * math.Pow(-math.Log(1-rng.Float64()), 1/shape)
+	default:
+		return mean
+	}
+}
+
+func gammaShape(shape float64) int {
+	k := int(shape + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > gapShapeCap {
+		k = gapShapeCap
+	}
+	return k
+}
+
+// gapDraw produces the record gap for one access: the legacy uniform integer
+// draw when no distribution is configured (bit-identical to pre-spec
+// traces), otherwise one SampleInterval rounded to the record's uint32 gap.
+func gapDraw(rng *rand.Rand, s *Spec) uint32 {
+	if s.GapDist == "" {
+		return uint32(rng.Intn(2*s.MeanGap + 1))
+	}
+	return ClampGap(SampleInterval(rng, s.GapDist, float64(s.MeanGap), s.GapShape))
+}
+
+// ClampGap rounds a sampled interval into the uint32 gap field of a trace
+// record, clamping negatives and the (astronomically unlikely) overflow.
+func ClampGap(g float64) uint32 {
+	if g <= 0 {
+		return 0
+	}
+	if g >= float64(math.MaxUint32) {
+		return math.MaxUint32
+	}
+	return uint32(g + 0.5)
+}
+
+// heavyRank maps one uniform draw u in [0,1) to a block rank in [0, n) under
+// a heavy-tailed sharing distribution, by inverse-transform sampling:
+//
+//   - zipf: continuous truncated power law with density ∝ x^-theta on
+//     [1, n+1), so rank r is drawn with probability ~ (r+1)^-theta — the
+//     classic zipfian popularity skew over shared blocks.
+//   - pareto: Pareto with x_m = 1 and alpha = theta, clamped into the
+//     region; unlike zipf the tail mass beyond n piles onto the last rank.
+func heavyRank(u float64, dist string, theta float64, n uint64) uint64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	var x float64
+	switch dist {
+	case SharingZipf:
+		if math.Abs(theta-1) < 1e-9 {
+			// theta = 1: the integral is logarithmic, not a power.
+			x = math.Exp(u * math.Log(fn+1))
+		} else {
+			e := 1 - theta
+			x = math.Pow(u*(math.Pow(fn+1, e)-1)+1, 1/e)
+		}
+	case SharingPareto:
+		x = math.Pow(1-u, -1/theta)
+	default:
+		return 0
+	}
+	if !(x >= 1) { // also catches NaN
+		x = 1
+	}
+	if x >= fn+1 {
+		x = fn
+	}
+	r := uint64(x) - 1
+	if r >= n {
+		r = n - 1
+	}
+	return r
+}

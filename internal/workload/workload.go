@@ -116,13 +116,55 @@ type Spec struct {
 	PreferredPolicy numa.Policy
 	// Seed is the base seed for deterministic generation.
 	Seed int64
+
+	// GapDist selects the inter-access gap distribution: "" keeps the
+	// generator's legacy uniform draw on [0, 2*MeanGap] (bit-identical to
+	// pre-spec traces), or one of GapConstant/GapPoisson/GapGamma/GapWeibull
+	// sampled by inverse transform on the same per-thread RNG, with mean
+	// MeanGap and shape GapShape.
+	GapDist string
+	// GapShape is the shape parameter for GapGamma (integer-rounded shape k)
+	// and GapWeibull (Weibull k; k < 1 gives bursty, heavy-tailed gaps).
+	GapShape float64
+	// SharingDist skews which shared blocks are touched: "" keeps the
+	// power-law locality model driven by LocalitySkew; SharingZipf /
+	// SharingPareto replace it for shared-region accesses with a heavy-tailed
+	// rank distribution of parameter SharingTheta. Private regions always use
+	// LocalitySkew.
+	SharingDist string
+	// SharingTheta is the zipf exponent / pareto alpha for SharingDist.
+	SharingTheta float64
+
+	// Source, when non-nil, overrides the synthetic generator entirely: the
+	// compiled workload-spec composites (phased, multi-tenant, trace-backed
+	// workloads from internal/wspec) provide their stream through it.
+	// NewSource calls it with the defaulted options; the scalar fields above
+	// still describe the workload for scheduling (DefaultThreads,
+	// AccessesPerThread, PreferredPolicy, ...).
+	Source func(s Spec, o Options) (trace.Source, error)
+	// Fingerprint identifies a compiled spec document (a content hash) so
+	// caches can distinguish two different documents that chose the same
+	// Name. Empty for built-ins.
+	Fingerprint string
 }
 
 // Validate checks that the spec's probabilities and sizes are usable.
 func (s Spec) Validate() error {
-	switch {
-	case s.Name == "":
+	if s.Name == "" {
 		return fmt.Errorf("workload: spec has no name")
+	}
+	if s.Source != nil {
+		// Composite specs delegate stream generation to the factory; only
+		// the scheduling fields the rest of the stack reads are checked here.
+		switch {
+		case s.AccessesPerThread <= 0:
+			return fmt.Errorf("workload %s: AccessesPerThread must be positive", s.Name)
+		case s.DefaultThreads <= 0:
+			return fmt.Errorf("workload %s: DefaultThreads must be positive", s.Name)
+		}
+		return nil
+	}
+	switch {
 	case s.SharedFraction < 0 || s.SharedFraction > 1:
 		return fmt.Errorf("workload %s: SharedFraction %f out of [0,1]", s.Name, s.SharedFraction)
 	case s.CommFraction < 0 || s.CommFraction > 1:
@@ -145,7 +187,10 @@ func (s Spec) Validate() error {
 	case s.DefaultThreads <= 0:
 		return fmt.Errorf("workload %s: DefaultThreads must be positive", s.Name)
 	}
-	return nil
+	if err := validateGapDist(s.Name, s.GapDist, float64(s.MeanGap), s.GapShape); err != nil {
+		return err
+	}
+	return validateSharingDist(s.Name, s.SharingDist, s.SharingTheta)
 }
 
 // Options control trace generation.
@@ -252,6 +297,9 @@ func NewSource(s Spec, o Options) (trace.Source, error) {
 		return nil, err
 	}
 	o = o.withDefaults(s)
+	if s.Source != nil {
+		return s.Source(s, o)
+	}
 	return &genSource{s: s, o: o, layout: BuildLayout(s, o)}, nil
 }
 
@@ -385,7 +433,7 @@ func (t *threadReader) Next() (trace.Record, bool) {
 		return trace.Record{}, false
 	}
 	s, layout, rng, i := &t.g.s, &t.g.layout, t.rng, t.i
-	gap := uint32(rng.Intn(2*s.MeanGap + 1))
+	gap := gapDraw(rng, s)
 	r := rng.Float64()
 	var rec trace.Record
 	switch {
@@ -422,13 +470,13 @@ func (t *threadReader) Next() (trace.Record, bool) {
 		t.runNext += addr.BlockBytes
 		t.runLeft--
 	case layout.SharedBytes > 0 && r < s.CommFraction+s.SharedFraction:
-		rec = regionAccess(rng, *s, layout.SharedBase, layout.SharedBytes)
+		rec = regionAccess(rng, *s, layout.SharedBase, layout.SharedBytes, true)
 		t.runLeft, t.runNext, t.runLimit = startRun(rng, *s, rec.Addr, layout.SharedBase, layout.SharedBytes)
 	case t.privSize > 0:
-		rec = regionAccess(rng, *s, t.privBase, t.privSize)
+		rec = regionAccess(rng, *s, t.privBase, t.privSize, false)
 		t.runLeft, t.runNext, t.runLimit = startRun(rng, *s, rec.Addr, t.privBase, t.privSize)
 	default:
-		rec = regionAccess(rng, *s, layout.SharedBase, layout.SharedBytes)
+		rec = regionAccess(rng, *s, layout.SharedBase, layout.SharedBytes, true)
 		t.runLeft, t.runNext, t.runLimit = startRun(rng, *s, rec.Addr, layout.SharedBase, layout.SharedBytes)
 	}
 	rec.Gap = gap
@@ -454,14 +502,22 @@ func startRun(rng *rand.Rand, s Spec, a, base addr.Addr, size uint64) (left int,
 }
 
 // regionAccess picks a block inside [base, base+size) with the spec's
-// locality skew and read/write mix.
-func regionAccess(rng *rand.Rand, s Spec, base addr.Addr, size uint64) trace.Record {
+// locality skew and read/write mix. Shared-region accesses may instead use
+// the heavy-tailed SharingDist rank model; both consume exactly one uniform
+// draw, so enabling a sharing distribution never shifts the rest of the
+// stream.
+func regionAccess(rng *rand.Rand, s Spec, base addr.Addr, size uint64, shared bool) trace.Record {
 	blocks := size / addr.BlockBytes
 	if blocks == 0 {
 		blocks = 1
 	}
 	u := rng.Float64()
-	blockIdx := uint64(math.Pow(u, s.LocalitySkew) * float64(blocks))
+	var blockIdx uint64
+	if shared && s.SharingDist != "" {
+		blockIdx = heavyRank(u, s.SharingDist, s.SharingTheta, blocks)
+	} else {
+		blockIdx = uint64(math.Pow(u, s.LocalitySkew) * float64(blocks))
+	}
 	if blockIdx >= blocks {
 		blockIdx = blocks - 1
 	}

@@ -1,0 +1,35 @@
+// Package presets embeds the workload-spec preset library and registers
+// every document at init, making the presets plain named workloads
+// (`c3dtrace -list` shows them; `-workload <name>` and `-spec
+// preset:<name>` both run them). To add a preset, drop a .json document in
+// this directory — see the internal/wspec package documentation.
+package presets
+
+import (
+	"embed"
+
+	"c3d/internal/wspec"
+)
+
+//go:embed *.json
+var files embed.FS
+
+func init() {
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		panic("wspec/presets: " + err.Error())
+	}
+	// ReadDir returns entries sorted by name: a deterministic registration
+	// order, independent of build-system file ordering.
+	raws := make([][]byte, 0, len(entries))
+	for _, e := range entries {
+		raw, err := files.ReadFile(e.Name())
+		if err != nil {
+			panic("wspec/presets: " + err.Error())
+		}
+		raws = append(raws, raw)
+	}
+	if err := wspec.RegisterPresets(raws); err != nil {
+		panic("wspec/presets: " + err.Error())
+	}
+}

@@ -12,6 +12,12 @@
 // compat test pins every one — so changing a tag here is a wire-format break
 // and must be treated as such.
 //
+// Wire change (2026-08): Params gained the optional "spec" field carrying a
+// workload-spec document verbatim. Old servers reject unknown fields, so a
+// client sending "spec" to a pre-spec daemon gets a clean 400 invalid_spec
+// rather than a silently ignored knob; old clients never emit the field and
+// are unaffected. Additive, backwards compatible.
+//
 // The package depends only on the standard library: importing it pulls in no
 // simulator code.
 package api
@@ -57,6 +63,14 @@ type Params struct {
 	Seed int64 `json:"seed,omitempty"`
 	// BroadcastFilter enables the §IV-D private-page broadcast filter.
 	BroadcastFilter bool `json:"broadcast_filter,omitempty"`
+	// Spec carries a workload-spec document (the internal/wspec JSON DSL)
+	// verbatim. The compiled workload resolves wherever a workload name is
+	// expected on the server: a simulate job with an empty workload runs it,
+	// and experiment campaigns use it in place of the registry suite. The
+	// document travels by value, so a worker needs no filesystem access and
+	// the coordinator's content-addressed result cache keys on the full spec
+	// text automatically.
+	Spec json.RawMessage `json:"spec,omitempty"`
 }
 
 // Job kinds accepted by POST /v1/jobs.
@@ -230,9 +244,15 @@ func (c *Capabilities) SupportsSpec(spec JobSpec) error {
 	if spec.Params.Topology != "" && !contains(c.Topologies, spec.Params.Topology) {
 		return fmt.Errorf("remote does not support topology %q (has %v)", spec.Params.Topology, c.Topologies)
 	}
-	for _, w := range spec.Params.Workloads {
-		if !contains(c.Workloads, w) {
-			return fmt.Errorf("remote does not support workload %q", w)
+	// A workload-spec document defines workloads the server compiles at
+	// submission time, so name-level workload checks cannot apply: the
+	// server-side validation is authoritative for spec jobs.
+	hasSpec := len(spec.Params.Spec) > 0
+	if !hasSpec {
+		for _, w := range spec.Params.Workloads {
+			if !contains(c.Workloads, w) {
+				return fmt.Errorf("remote does not support workload %q", w)
+			}
 		}
 	}
 	switch spec.Kind {
@@ -246,7 +266,7 @@ func (c *Capabilities) SupportsSpec(spec JobSpec) error {
 			}
 		}
 	case KindSimulate:
-		if spec.Workload != "" && !contains(c.Workloads, spec.Workload) {
+		if !hasSpec && spec.Workload != "" && !contains(c.Workloads, spec.Workload) {
 			return fmt.Errorf("remote does not support workload %q", spec.Workload)
 		}
 	}

@@ -18,7 +18,7 @@ func TestWireFieldNamesPinned(t *testing.T) {
 		"Params": {
 			"quick", "design", "policy", "topology", "sockets", "threads",
 			"accesses", "scale", "warmup", "workloads", "parallel", "stream",
-			"seed", "broadcast_filter",
+			"seed", "broadcast_filter", "spec",
 		},
 		"JobSpec":    {"kind", "params", "experiments", "workload", "verify"},
 		"VerifySpec": {"sockets", "loads", "stores", "max_states", "base_only"},
@@ -115,12 +115,13 @@ func TestJobSpecRoundTrip(t *testing.T) {
 			Stream:          &stream,
 			Seed:            7,
 			BroadcastFilter: true,
+			Spec:            json.RawMessage(`{"version":1,"name":"mix","base":"streamcluster"}`),
 		},
 		Experiments: []string{"fig6", "table1"},
 		Workload:    "streamcluster",
 		Verify:      VerifySpec{Sockets: 2, LoadsPerCore: 1, StoresPerCore: 1, MaxStates: 10, BaseOnly: true},
 	}
-	const want = `{"kind":"experiment","params":{"quick":true,"design":"c3d","policy":"FT1","topology":"mesh","sockets":8,"threads":16,"accesses":2000,"scale":512,"warmup":0.5,"workloads":["streamcluster","canneal"],"parallel":4,"stream":true,"seed":7,"broadcast_filter":true},"experiments":["fig6","table1"],"workload":"streamcluster","verify":{"sockets":2,"loads":1,"stores":1,"max_states":10,"base_only":true}}`
+	const want = `{"kind":"experiment","params":{"quick":true,"design":"c3d","policy":"FT1","topology":"mesh","sockets":8,"threads":16,"accesses":2000,"scale":512,"warmup":0.5,"workloads":["streamcluster","canneal"],"parallel":4,"stream":true,"seed":7,"broadcast_filter":true,"spec":{"version":1,"name":"mix","base":"streamcluster"}},"experiments":["fig6","table1"],"workload":"streamcluster","verify":{"sockets":2,"loads":1,"stores":1,"max_states":10,"base_only":true}}`
 	got, err := json.Marshal(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -197,6 +198,10 @@ func TestCapabilitiesSupportsSpec(t *testing.T) {
 	ok := []JobSpec{
 		{Kind: KindExperiment, Experiments: []string{"fig6", "all"}},
 		{Kind: KindSimulate, Workload: "streamcluster", Params: Params{Design: "c3d", Topology: "ring"}},
+		// A workload-spec document defines workloads the capability list
+		// cannot know; name checks defer to the server.
+		{Kind: KindSimulate, Workload: "mix", Params: Params{Spec: json.RawMessage(`{"version":1,"name":"mix","base":"x"}`)}},
+		{Kind: KindExperiment, Params: Params{Workloads: []string{"mix"}, Spec: json.RawMessage(`{"version":1,"name":"mix","base":"x"}`)}},
 	}
 	for _, spec := range ok {
 		if err := caps.SupportsSpec(spec); err != nil {

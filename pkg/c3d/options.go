@@ -7,6 +7,7 @@ import (
 	"c3d/internal/interconnect"
 	"c3d/internal/numa"
 	"c3d/internal/workload"
+	"c3d/internal/wspec"
 )
 
 // Option configures a Session (and, via Simulate's variadic parameter,
@@ -44,6 +45,13 @@ type config struct {
 
 	broadcastFilter bool
 
+	// specDoc is the raw workload-spec document from WithWorkloadSpec;
+	// validate() compiles it once into spec. specErr carries a
+	// WithWorkloadSpecFile read failure until validation can report it.
+	specDoc []byte
+	spec    *wspec.Compiled
+	specErr error
+
 	progress func(Event)
 }
 
@@ -65,7 +73,17 @@ func (c config) effectiveSockets() int {
 	return defaultSockets
 }
 
-func (c config) validate() error {
+func (c *config) validate() error {
+	if c.specErr != nil {
+		return c.specErr
+	}
+	if c.spec == nil && len(c.specDoc) > 0 {
+		compiled, err := wspec.Load(c.specDoc)
+		if err != nil {
+			return fmt.Errorf("c3d: %w", err)
+		}
+		c.spec = compiled
+	}
 	switch {
 	case c.sockets < 0:
 		return fmt.Errorf("c3d: negative socket count %d", c.sockets)
@@ -81,8 +99,8 @@ func (c config) validate() error {
 		return fmt.Errorf("c3d: negative parallelism %d", c.parallelism)
 	}
 	for _, name := range c.workloads {
-		if _, err := workload.Get(name); err != nil {
-			return fmt.Errorf("c3d: %w", err)
+		if _, err := c.resolveWorkload(name); err != nil {
+			return err
 		}
 	}
 	// Eagerly reject shapes no machine could host, using the session's
@@ -207,6 +225,16 @@ func (c config) experimentsConfig() experiments.Config {
 	if len(c.workloads) > 0 {
 		cfg.Workloads = append([]string(nil), c.workloads...)
 	}
+	if c.spec != nil {
+		// A compiled spec document joins the campaign as an extra resolvable
+		// workload; with no explicit subset it *is* the suite, which is how
+		// scaling and fig experiments run a spec in place of the registry
+		// workloads.
+		cfg.Extra = []workload.Spec{c.spec.Spec()}
+		if len(c.workloads) == 0 {
+			cfg.Workloads = []string{c.spec.Name()}
+		}
+	}
 	cfg.Topology = c.topology
 	cfg.Parallelism = c.parallelism
 	cfg.Streaming = c.streamingSet && c.streaming
@@ -221,4 +249,24 @@ func (c config) workloadPolicy(spec workload.Spec) numa.Policy {
 		return c.policy
 	}
 	return spec.PreferredPolicy
+}
+
+// resolveWorkload resolves a workload name against the session: the
+// compiled workload-spec document when one is set and the name is empty or
+// the spec's own, else the open registry.
+func (c *config) resolveWorkload(name string) (workload.Spec, error) {
+	if c.spec != nil && (name == "" || name == c.spec.Name()) {
+		return c.spec.Spec(), nil
+	}
+	if name == "" {
+		return workload.Spec{}, fmt.Errorf("c3d: no workload named and no workload spec set")
+	}
+	s, err := workload.Get(name)
+	if err != nil {
+		if c.spec != nil {
+			return workload.Spec{}, fmt.Errorf("c3d: %w; the session spec defines %q", err, c.spec.Name())
+		}
+		return workload.Spec{}, fmt.Errorf("c3d: %w", err)
+	}
+	return s, nil
 }

@@ -94,6 +94,9 @@ func (p Params) Options() ([]Option, error) {
 	if p.BroadcastFilter {
 		opts = append(opts, WithBroadcastFilter(true))
 	}
+	if len(p.Spec) > 0 {
+		opts = append(opts, WithWorkloadSpec(p.Spec))
+	}
 	return opts, nil
 }
 

@@ -40,7 +40,8 @@ func CurrentCapabilities() api.Capabilities {
 // topology/socket shapes — not just the enumerated-field parse. The daemon
 // and the campaign coordinator share this one door check.
 func ValidateJobSpec(spec api.JobSpec) error {
-	if _, err := Params(spec.Params).Session(); err != nil {
+	sess, err := Params(spec.Params).Session()
+	if err != nil {
 		return err
 	}
 	switch spec.Kind {
@@ -55,18 +56,11 @@ func ValidateJobSpec(spec api.JobSpec) error {
 			}
 		}
 	case api.KindSimulate:
-		if spec.Workload == "" {
-			return fmt.Errorf("kind %q needs a workload", spec.Kind)
-		}
-		found := false
-		for _, w := range Workloads() {
-			if w.Name == spec.Workload {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("unknown workload %q", spec.Workload)
+		// resolveWorkload accepts what Simulate would: a registry or spec
+		// name, or an empty name when the params carry a workload-spec
+		// document. An empty name without a spec is still rejected.
+		if _, err := sess.cfg.resolveWorkload(spec.Workload); err != nil {
+			return err
 		}
 	case api.KindVerify:
 		if spec.Verify.Sockets < 0 || spec.Verify.MaxStates < 0 {

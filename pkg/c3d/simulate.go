@@ -43,7 +43,7 @@ func (s *Session) Simulate(ctx context.Context, workloadName string, opts ...Opt
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	spec, err := workload.Get(workloadName)
+	spec, err := cfg.resolveWorkload(workloadName)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +134,7 @@ func (c config) machineConfigFor(spec workload.Spec) machine.Config {
 // a workload under this session — useful for inspecting capacities before a
 // run.
 func (s *Session) MachineConfigFor(workloadName string) (MachineConfig, error) {
-	spec, err := workload.Get(workloadName)
+	spec, err := s.cfg.resolveWorkload(workloadName)
 	if err != nil {
 		return MachineConfig{}, err
 	}

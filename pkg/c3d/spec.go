@@ -1,0 +1,93 @@
+package c3d
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"c3d/internal/wspec"
+
+	// Importing the SDK loads the embedded workload-spec preset library, so
+	// every client — CLIs, daemon, campaigns — sees the same preset
+	// workloads.
+	_ "c3d/internal/wspec/presets"
+)
+
+// WithWorkloadSpec attaches a workload-spec document (the internal/wspec
+// JSON DSL) to the session. The document is parsed, validated and compiled
+// eagerly — New/With report a bad spec immediately — and the compiled
+// workload resolves wherever a workload name is expected: Simulate with an
+// empty name (or the spec's own name) runs it, and experiment campaigns use
+// it in place of the registry suite unless WithWorkloads picks an explicit
+// set.
+func WithWorkloadSpec(doc []byte) Option {
+	return func(c *config) {
+		c.specDoc = append([]byte(nil), doc...)
+		c.spec = nil
+		c.specErr = nil
+	}
+}
+
+// WithWorkloadSpecFile is WithWorkloadSpec reading the document from a
+// file. A read failure is reported by New/With, like any other bad option.
+func WithWorkloadSpecFile(path string) Option {
+	doc, err := os.ReadFile(path)
+	return func(c *config) {
+		if err != nil {
+			c.specDoc, c.spec = nil, nil
+			c.specErr = fmt.Errorf("c3d: reading workload spec: %w", err)
+			return
+		}
+		c.specDoc = doc
+		c.spec = nil
+		c.specErr = nil
+	}
+}
+
+// WorkloadSpecPresets lists the embedded workload-spec presets in
+// registration order.
+func WorkloadSpecPresets() []string { return wspec.Presets() }
+
+// WorkloadSpecPreset returns the embedded preset's original document bytes
+// — the exact bytes to pass to WithWorkloadSpec or ship to a remote daemon.
+func WorkloadSpecPreset(name string) ([]byte, error) {
+	doc, ok := wspec.PresetDoc(name)
+	if !ok {
+		known := wspec.Presets()
+		sort.Strings(known)
+		return nil, fmt.Errorf("c3d: unknown spec preset %q (known: %v)", name, known)
+	}
+	return doc, nil
+}
+
+// ReadWorkloadSpec resolves a CLI-style spec argument: "preset:<name>"
+// returns the embedded preset's bytes, anything else is read as a file
+// path. The CLIs' -spec flags all route through here.
+func ReadWorkloadSpec(arg string) ([]byte, error) {
+	if name, ok := strings.CutPrefix(arg, "preset:"); ok {
+		return WorkloadSpecPreset(name)
+	}
+	doc, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("c3d: reading workload spec: %w", err)
+	}
+	return doc, nil
+}
+
+// OpenTextTrace streams an external text-format memory trace (see the
+// internal/wspec format reference: `<init|thread> <r|w> <addr> [gap]` lines)
+// as a TraceSource without materialising it. Pipe it through TraceEncode to
+// ingest the trace into the chunked v2 binary format, or WriteTextTrace to
+// go the other way.
+func OpenTextTrace(path string) (TraceSource, error) {
+	return wspec.OpenText(path)
+}
+
+// WriteTextTrace exports any trace source in the text format OpenTextTrace
+// reads, making the round trip lossless.
+func WriteTextTrace(ctx context.Context, w io.Writer, src TraceSource) error {
+	return wspec.WriteText(w, withContext(ctx, src))
+}

@@ -32,27 +32,50 @@ type WorkloadInfo struct {
 	InSuite bool `json:"in_suite"`
 }
 
-// Workloads lists every registered workload, suite members first.
+// Workloads lists every registered workload — the paper's suite, the extras
+// (mcf), and any workload-spec presets — in registration order, suite
+// members first.
 func Workloads() []WorkloadInfo {
-	suite := make(map[string]bool)
-	for _, name := range workload.Names() {
-		suite[name] = true
-	}
 	var out []WorkloadInfo
 	for _, name := range workload.AllNames() {
-		spec := workload.MustGet(name)
-		out = append(out, WorkloadInfo{
-			Name:           spec.Name,
-			Class:          spec.Class.String(),
-			SharedBytes:    spec.SharedBytes,
-			DefaultThreads: spec.DefaultThreads,
-			ReadFraction:   spec.ReadFraction,
-			CommFraction:   spec.CommFraction,
-			DefaultPolicy:  spec.PreferredPolicy,
-			InSuite:        suite[spec.Name],
-		})
+		out = append(out, workloadInfoFor(workload.MustGet(name)))
 	}
 	return out
+}
+
+// ParseWorkload resolves a workload name against the open registry,
+// mirroring ParseTopology: only registered workloads parse, and the error
+// lists the known names sorted. Workloads defined by a session's
+// workload-spec document are per-session, not registered — Simulate resolves
+// those itself.
+func ParseWorkload(s string) (WorkloadInfo, error) {
+	spec, err := workload.Get(s)
+	if err != nil {
+		return WorkloadInfo{}, fmt.Errorf("c3d: %w", err)
+	}
+	return workloadInfoFor(spec), nil
+}
+
+// workloadInfoFor is the one spec→info projection Workloads and
+// ParseWorkload share.
+func workloadInfoFor(spec workload.Spec) WorkloadInfo {
+	suite := false
+	for _, name := range workload.Names() {
+		if name == spec.Name {
+			suite = true
+			break
+		}
+	}
+	return WorkloadInfo{
+		Name:           spec.Name,
+		Class:          spec.Class.String(),
+		SharedBytes:    spec.SharedBytes,
+		DefaultThreads: spec.DefaultThreads,
+		ReadFraction:   spec.ReadFraction,
+		CommFraction:   spec.CommFraction,
+		DefaultPolicy:  spec.PreferredPolicy,
+		InSuite:        suite,
+	}
 }
 
 // TraceFormat selects the on-disk trace format for TraceEncode.
@@ -89,7 +112,7 @@ func (s *Session) TraceSource(workloadName string, opts ...Option) (TraceSource,
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	spec, err := workload.Get(workloadName)
+	spec, err := cfg.resolveWorkload(workloadName)
 	if err != nil {
 		return nil, err
 	}
