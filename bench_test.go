@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"c3d/internal/core"
 	"c3d/internal/experiments"
 	"c3d/internal/machine"
 	"c3d/internal/mc"
+	"c3d/internal/sample"
 	"c3d/internal/sweep"
 	"c3d/internal/trace"
 	"c3d/internal/workload"
@@ -269,6 +271,45 @@ func BenchmarkMachineSimulation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(accesses*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkMachineSimulationSampled measures SMARTS-style sampled simulation
+// against the full detailed run on the same machine and trace. Each iteration
+// runs the trace once sampled and once in full, timing the halves separately
+// with b.Elapsed snapshots, so ns/op covers the pair while the reported
+// metrics separate them: sampled accesses/s (the stream length divided by the
+// sampled half's wall-clock) and x-vs-full, the full/sampled wall-clock ratio
+// the bench JSON tracks as the sampling speedup.
+func BenchmarkMachineSimulationSampled(b *testing.B) {
+	b.ReportAllocs()
+	wspec := workload.MustGet("streamcluster")
+	opts := workload.Options{Threads: 8, Scale: 512, AccessesPerThread: 5000}
+	tr := workload.MustGenerate(wspec, opts)
+	accesses := tr.Accesses()
+	cfg := machine.DefaultConfig(4, machine.C3D)
+	cfg.Scale = 512
+	cfg.CoresPerSocket = 2
+	m := machine.New(cfg)
+	sampled := machine.DefaultRunOptions()
+	sampled.Sampling = sample.Spec{Stretch: 700, Warm: 60, Window: 60, Seed: 1}
+	var sampledTime, fullTime time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e0 := b.Elapsed()
+		m.Reset()
+		if _, err := m.Run(context.Background(), tr, sampled); err != nil {
+			b.Fatal(err)
+		}
+		e1 := b.Elapsed()
+		m.Reset()
+		if _, err := m.Run(context.Background(), tr, machine.DefaultRunOptions()); err != nil {
+			b.Fatal(err)
+		}
+		sampledTime += e1 - e0
+		fullTime += b.Elapsed() - e1
+	}
+	b.ReportMetric(float64(accesses*b.N)/sampledTime.Seconds(), "accesses/s")
+	b.ReportMetric(fullTime.Seconds()/sampledTime.Seconds(), "x-vs-full")
 }
 
 // BenchmarkTraceStream drives the full streaming trace pipeline — incremental

@@ -53,6 +53,7 @@ func main() {
 		specArg   = flag.String("spec", "", "workload-spec document: a file path or preset:<name>; runs the campaign on the spec's workload instead of the registry suite (combine with -workloads to mix)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS; results identical at any value)")
 		stream    = flag.Bool("stream", false, "drive simulations from streaming generators (bounded memory at any -accesses; results identical)")
+		sampleArg = flag.String("sample", "", "SMARTS-style sampled simulation schedule, e.g. stretch=1400,warm=60,win=60[,seed=S]; result cells carry 95% confidence half-widths and campaigns run several times faster (default: full detailed simulation)")
 		seed      = flag.Int64("seed", 0, "workload generation seed (0 reproduces the default runs)")
 		asJSON    = flag.Bool("json", false, "emit a JSON array of results instead of text tables")
 		asCSV     = flag.Bool("csv", false, "emit each result table as CSV instead of text")
@@ -109,6 +110,7 @@ func main() {
 		Parallelism: *parallel,
 		Stream:      stream,
 		Seed:        *seed,
+		Sampling:    *sampleArg,
 	}
 	if *workloads != "" {
 		params.Workloads = strings.Split(*workloads, ",")

@@ -33,6 +33,7 @@ func main() {
 		scale        = flag.Int("scale", 0, "capacity/footprint scale factor (default 64)")
 		policyName   = flag.String("policy", "", "NUMA placement policy: INT, FT1 or FT2 (default: the workload's preferred policy)")
 		warmup       = flag.Float64("warmup", 0.25, "fraction of each thread's stream used as cache warm-up")
+		sampleArg    = flag.String("sample", "", "SMARTS-style sampled simulation schedule, e.g. stretch=1400,warm=60,win=60[,seed=S]; reports 95% confidence half-widths and runs several times faster (default: full detailed simulation)")
 		filter       = flag.Bool("broadcast-filter", false, "enable the §IV-D private-page broadcast filter (C3D only)")
 		stream       = flag.Bool("stream", true, "generate the access streams incrementally: memory stays bounded at any -accesses (long-run mode); results are bit-identical to -stream=false")
 		asJSON       = flag.Bool("json", false, "emit the full result (counters, topology, per-core stats) as JSON instead of the text summary")
@@ -55,6 +56,7 @@ func main() {
 		Warmup:          warmup,
 		Stream:          stream,
 		BroadcastFilter: *filter,
+		Sampling:        *sampleArg,
 	}
 	runName := *workloadName
 	if *specArg != "" {
@@ -124,6 +126,14 @@ func main() {
 		float64(res.InterSocketBytes)/(1<<20), res.InterSocketMessages)
 	fmt.Printf("  broadcasts             %d (avoided by filter: %d)\n", c.Broadcasts, res.BroadcastFilterElided)
 	fmt.Printf("  directory recalls      %d\n", c.DirRecalls)
+	if s := res.Sampling; s != nil {
+		fmt.Printf("  sampled                %d windows, %.1f%% simulated in detail (%s)\n",
+			s.Windows, float64(s.DetailedAccesses)/float64(s.TotalAccesses)*100, s.Spec)
+		fmt.Printf("    CPI                  %s\n", s.Estimates.CPI.Format(3))
+		fmt.Printf("    LLC miss rate        %s\n", s.Estimates.LLCMissRate.Format(4))
+		fmt.Printf("    fabric B/access      %s\n", s.Estimates.FabricBytesPerAccess.Format(2))
+		fmt.Printf("    remote mem fraction  %s\n", s.Estimates.RemoteMemFraction.Format(4))
+	}
 }
 
 func exitOn(err error) {

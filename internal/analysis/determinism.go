@@ -16,6 +16,7 @@ var determinismScope = map[string]bool{
 	"c3d":                        true,
 	"c3d/internal/machine":       true,
 	"c3d/internal/mc":            true,
+	"c3d/internal/sample":        true,
 	"c3d/internal/sweep":         true,
 	"c3d/internal/experiments":   true,
 	"c3d/internal/stats":         true,
@@ -54,8 +55,8 @@ var DeterminismAnalyzer = &Analyzer{
 	Doc: `flag iteration-order and wall-clock nondeterminism in result-producing packages
 
 Reports, in the packages whose output is byte-compared (internal/machine, mc,
-sweep, experiments, stats, trace, workload, wspec and its presets, pkg/c3d and
-the module root):
+sample, sweep, experiments, stats, trace, workload, wspec and its presets,
+pkg/c3d and the module root):
 
   - range over a map: iteration order is random per execution; iterate a
     sorted key slice instead

@@ -35,16 +35,20 @@ type Config struct {
 	Ways int
 }
 
-// Line is the metadata stored for one cached block.
+// Line is the metadata stored for one cached block. The layout is kept at 16
+// bytes (four lines per hardware cache line) because set scans dominate the
+// simulator's profile: a narrower line means fewer host cache misses per
+// simulated access.
 type Line struct {
 	Block addr.Block
-	State State
-	Dirty bool
-
-	valid bool
-	// lastUse is the LRU timestamp (a monotonically increasing access
-	// counter private to the cache).
-	lastUse uint64
+	// lastUse is the LRU timestamp (an access counter private to the cache).
+	// It is 32-bit on purpose; the cache renormalises every timestamp in
+	// place before the counter can wrap, so LRU ordering is exact at any
+	// access count.
+	lastUse uint32
+	State   State
+	Dirty   bool
+	valid   bool
 }
 
 // Victim describes a line evicted to make room for a fill.
@@ -85,9 +89,47 @@ type Cache struct {
 	sets    int
 	ways    int
 	lines   []Line // sets*ways entries, row-major by set
-	tick    uint64
+	tick    uint32
 	stats   Stats
 	setMask uint64
+}
+
+// bump advances the LRU clock and returns the new timestamp. When the 32-bit
+// clock is about to wrap it first renormalises every line's timestamp to its
+// LRU rank within its set — an order-preserving compression, so replacement
+// decisions are unaffected — and rewinds the clock past the ranks.
+func (c *Cache) bump() uint32 {
+	if c.tick == ^uint32(0) {
+		c.renormalize()
+	}
+	c.tick++
+	return c.tick
+}
+
+// renormalize rewrites each line's lastUse as its LRU rank within its set
+// (0 = least recent). Ordering within a set is all the replacement policy
+// reads, so this is invisible to every caller.
+func (c *Cache) renormalize() {
+	ranks := make([]uint32, c.ways)
+	for s := 0; s < c.sets; s++ {
+		set := c.lines[s*c.ways : (s+1)*c.ways]
+		for i := range set {
+			r := uint32(0)
+			for j := range set {
+				// Ties (only possible between never-used invalid ways) keep
+				// their index order, matching the scan tie-break.
+				if set[j].lastUse < set[i].lastUse ||
+					(set[j].lastUse == set[i].lastUse && j < i) {
+					r++
+				}
+			}
+			ranks[i] = r
+		}
+		for i := range set {
+			set[i].lastUse = ranks[i]
+		}
+	}
+	c.tick = uint32(c.ways)
 }
 
 // New builds a cache from cfg. It panics on invalid geometry, because a
@@ -159,8 +201,7 @@ func (c *Cache) Lookup(b addr.Block) (*Line, bool) {
 	set := c.set(b)
 	for i := range set {
 		if set[i].valid && set[i].Block == b {
-			c.tick++
-			set[i].lastUse = c.tick
+			set[i].lastUse = c.bump()
 			c.stats.Hits++
 			return &set[i], true
 		}
@@ -188,6 +229,105 @@ func (c *Cache) Contains(b addr.Block) bool {
 	return ok
 }
 
+// Touch is the functional-warming accessor: one set scan that behaves like
+// Lookup-then-Fill without the second scan and without any statistics
+// updates. On a hit it refreshes the line's LRU position — state and dirty
+// bit are left untouched — and reports hit=true. On a miss it installs the
+// block clean in the given state and returns the evicted victim, if any.
+// Neither hits, misses nor fills are counted: Touch exists for fast-forward
+// warming, whose traffic must stay invisible to every measured statistic.
+func (c *Cache) Touch(b addr.Block, st State) (Victim, bool) {
+	set := c.set(b)
+	invalidIdx, lruIdx := -1, 0
+	for i := range set {
+		if set[i].valid {
+			if set[i].Block == b {
+				set[i].lastUse = c.bump()
+				return Victim{}, true
+			}
+			if set[i].lastUse < set[lruIdx].lastUse {
+				lruIdx = i
+			}
+		} else if invalidIdx < 0 {
+			invalidIdx = i
+		}
+	}
+	var victim Victim
+	victimIdx := invalidIdx
+	if victimIdx < 0 {
+		victimIdx = lruIdx
+		v := set[victimIdx]
+		victim = Victim{Block: v.Block, State: v.State, Dirty: v.Dirty, Valid: true}
+	}
+	set[victimIdx] = Line{Block: b, State: st, valid: true, lastUse: c.bump()}
+	return victim, false
+}
+
+// TouchDirty is Touch's store flavour: one statistics-free scan that on a hit
+// upgrades the line to st, sets its dirty bit and refreshes its LRU position,
+// and on a miss installs the block dirty in st, returning the victim.
+func (c *Cache) TouchDirty(b addr.Block, st State) (Victim, bool) {
+	set := c.set(b)
+	invalidIdx, lruIdx := -1, 0
+	for i := range set {
+		if set[i].valid {
+			if set[i].Block == b {
+				set[i].State = st
+				set[i].Dirty = true
+				set[i].lastUse = c.bump()
+				return Victim{}, true
+			}
+			if set[i].lastUse < set[lruIdx].lastUse {
+				lruIdx = i
+			}
+		} else if invalidIdx < 0 {
+			invalidIdx = i
+		}
+	}
+	var victim Victim
+	victimIdx := invalidIdx
+	if victimIdx < 0 {
+		victimIdx = lruIdx
+		v := set[victimIdx]
+		victim = Victim{Block: v.Block, State: v.State, Dirty: v.Dirty, Valid: true}
+	}
+	set[victimIdx] = Line{Block: b, State: st, Dirty: true, valid: true, lastUse: c.bump()}
+	return victim, false
+}
+
+// TouchState is the state-upgrading flavour of Touch: one statistics-free
+// scan that on a hit sets the line's state to st (leaving the dirty bit
+// alone), refreshes its LRU position and returns the state the line held
+// before the upgrade; on a miss it installs the block clean in st, silently
+// dropping the LRU victim. It exists for functional warming of stores, where
+// the caller needs to know whether the line was already held (and in what
+// state) without paying a separate Lookup-then-Fill pair of scans.
+func (c *Cache) TouchState(b addr.Block, st State) (State, bool) {
+	set := c.set(b)
+	invalidIdx, lruIdx := -1, 0
+	for i := range set {
+		if set[i].valid {
+			if set[i].Block == b {
+				prior := set[i].State
+				set[i].State = st
+				set[i].lastUse = c.bump()
+				return prior, true
+			}
+			if set[i].lastUse < set[lruIdx].lastUse {
+				lruIdx = i
+			}
+		} else if invalidIdx < 0 {
+			invalidIdx = i
+		}
+	}
+	victimIdx := invalidIdx
+	if victimIdx < 0 {
+		victimIdx = lruIdx
+	}
+	set[victimIdx] = Line{Block: b, State: st, valid: true, lastUse: c.bump()}
+	return StateInvalid, false
+}
+
 // Fill inserts block b with the given state and dirty flag, evicting the LRU
 // line of the set if necessary. The evicted line (if any) is returned so the
 // caller can propagate write-backs or victim-cache fills. Filling a block
@@ -202,10 +342,9 @@ func (c *Cache) Fill(b addr.Block, st State, dirty bool) Victim {
 	// Already present: update in place.
 	for i := range set {
 		if set[i].valid && set[i].Block == b {
-			c.tick++
 			set[i].State = st
 			set[i].Dirty = set[i].Dirty || dirty
-			set[i].lastUse = c.tick
+			set[i].lastUse = c.bump()
 			return Victim{}
 		}
 	}
@@ -233,8 +372,7 @@ func (c *Cache) Fill(b addr.Block, st State, dirty bool) Victim {
 			c.stats.DirtyEvict++
 		}
 	}
-	c.tick++
-	set[victimIdx] = Line{Block: b, State: st, Dirty: dirty, valid: true, lastUse: c.tick}
+	set[victimIdx] = Line{Block: b, State: st, Dirty: dirty, valid: true, lastUse: c.bump()}
 	return victim
 }
 

@@ -19,8 +19,10 @@ import (
 // at any parallelism; the determinism CI gate enforces it) and Stream (the
 // streaming and materialised trace paths are bit-identical; ditto) — so a
 // sweep re-run with different host tuning still hits. Everything else,
-// including the seed inside Params, stays verbatim: a different seed is a
-// different result.
+// including the seed and the sampling schedule inside Params, stays
+// verbatim: a different seed is a different result, and a sampled run is a
+// different result from a full run (and from a run under another schedule),
+// so sampling is semantic for the cache by construction.
 //
 // Keying on content rather than job identity is safe precisely because every
 // job is deterministic: two specs with equal keys produce equal bytes on any

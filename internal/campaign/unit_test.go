@@ -59,6 +59,7 @@ func TestCacheKeyNormalisation(t *testing.T) {
 		"kind":     func(s *api.JobSpec) { s.Kind = api.KindExperiment },
 		"workload": func(s *api.JobSpec) { s.Workload = "canneal" },
 		"design":   func(s *api.JobSpec) { s.Params.Design = "base" },
+		"sampling": func(s *api.JobSpec) { s.Params.Sampling = "stretch=1400,warm=60,win=60" },
 	} {
 		other := base
 		mutate(&other)

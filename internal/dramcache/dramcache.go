@@ -134,6 +134,12 @@ type AccessResult struct {
 	Done sim.Time
 }
 
+// presentWords sizes the one-sided presence filter at 2048 words (128 Ki
+// bits, 16 KiB). The filter is deliberately not scaled with the cache: a
+// quick-scale cache stays far below saturation, and a huge cache merely
+// saturates the filter, degrading it to a cheap always-true check.
+const presentWords = 2048
+
 // Cache is one socket's DRAM cache instance.
 type Cache struct {
 	cfg       Config
@@ -141,6 +147,32 @@ type Cache struct {
 	predictor *MissPredictor
 	channels  []*sim.Resource
 	stats     Stats
+	// present is a one-sided presence filter over the tag array: a clear bit
+	// proves the block is absent, a set bit means "maybe resident". Bits are
+	// set on every insertion and never cleared (except by Reset), which keeps
+	// the invariant trivially true under invalidations. It lets the Warm*
+	// fast-forward paths skip probing the large, cache-cold tag array for
+	// blocks that were never filled.
+	present [presentWords]uint64
+}
+
+// presentSlot maps a block to its filter word and bit.
+func presentSlot(b addr.Block) (int, uint64) {
+	h := uint64(b) * 0x9e3779b97f4a7c15
+	h >>= 64 - 17 // log2(presentWords*64) bits
+	return int(h >> 6), 1 << (h & 63)
+}
+
+// note records b as possibly resident. Called on every tag-array insertion.
+func (c *Cache) note(b addr.Block) {
+	w, bit := presentSlot(b)
+	c.present[w] |= bit
+}
+
+// mayContain reports whether b could be resident; false is exact.
+func (c *Cache) mayContain(b addr.Block) bool {
+	w, bit := presentSlot(b)
+	return c.present[w]&bit != 0
 }
 
 // New builds a DRAM cache from cfg. It panics on invalid geometry.
@@ -208,6 +240,7 @@ func (c *Cache) ResetStats() {
 // machine is reused across runs.
 func (c *Cache) Reset() {
 	c.stats = Stats{}
+	c.present = [presentWords]uint64{}
 	c.tags.Reset()
 	if c.predictor != nil {
 		c.predictor.Reset()
@@ -315,6 +348,7 @@ func (c *Cache) Fill(now sim.Time, b addr.Block, st cache.State, dirty bool) Fil
 		}
 	}
 	c.stats.Fills++
+	c.note(b)
 	victim := c.tags.Fill(b, st, dirty)
 	if victim.Valid {
 		c.stats.Evictions++
@@ -329,6 +363,61 @@ func (c *Cache) Fill(now sim.Time, b addr.Block, st cache.State, dirty bool) Fil
 		c.predictor.BlockFilled(b)
 	}
 	return FillResult{Victim: victim, Done: c.occupy(now, b)}
+}
+
+// Warm is the functional-warming fill used by sampled simulation: the tag
+// array is updated with a single statistics-free scan and the miss predictor
+// is primed exactly as a detailed fill would prime it, but no counter
+// advances and no channel bandwidth is occupied. The policy invariants of
+// Fill apply unchanged (a Clean cache stores at most a clean Shared copy).
+func (c *Cache) Warm(b addr.Block, st cache.State, dirty bool) {
+	if c.cfg.Policy == Clean {
+		dirty = false
+		if st == coherence.LineModified {
+			st = coherence.LineShared
+		}
+	}
+	c.note(b)
+	var victim cache.Victim
+	var hit bool
+	if dirty {
+		victim, hit = c.tags.TouchDirty(b, st)
+	} else {
+		victim, hit = c.tags.Touch(b, st)
+	}
+	if hit || c.predictor == nil {
+		return
+	}
+	if victim.Valid {
+		c.predictor.BlockEvicted(victim.Block)
+	}
+	c.predictor.BlockFilled(b)
+}
+
+// WarmWrite records a functionally-warmed store to a resident block: under
+// the Dirty policy the line becomes Modified and dirty — the end state a
+// detailed write hit leaves behind — while under the Clean policy stores
+// never dirty the cache, so the call is a no-op. No statistics advance.
+func (c *Cache) WarmWrite(b addr.Block) {
+	if c.cfg.Policy != Dirty || !c.mayContain(b) {
+		return
+	}
+	if l, ok := c.tags.Probe(b); ok {
+		l.State = coherence.LineModified
+		l.Dirty = true
+	}
+}
+
+// WarmInvalidate drops block b during functional warming: the predictor
+// decays exactly as on a detailed invalidation, but the cache-level
+// invalidation counter — which reaches measured results — does not advance.
+func (c *Cache) WarmInvalidate(b addr.Block) {
+	if !c.mayContain(b) {
+		return
+	}
+	if c.tags.Invalidate(b).Valid && c.predictor != nil {
+		c.predictor.BlockEvicted(b)
+	}
 }
 
 // Invalidate removes block b if present and returns the removed line

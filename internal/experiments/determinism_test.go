@@ -35,6 +35,39 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestSampledSweepDeterministicAcrossParallelism is the sampled half of the
+// parallelism contract: a sweep running under a SMARTS sampling spec — FF
+// fast path, per-core window schedules, CLT estimator and all — must stay
+// byte-identical at Parallelism=1 and Parallelism=GOMAXPROCS, and a repeat
+// run must reproduce the bytes exactly. The c3dexp-level twin of this test
+// is the CI sample-smoke gate; this one runs in-process so `go test` covers
+// it without a built binary.
+func TestSampledSweepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) []byte {
+		cfg := testConfig()
+		cfg.AccessesPerThread = 8000
+		cfg.Parallelism = parallelism
+		cfg.Sampling = "stretch=2800,warm=30,win=30"
+		res, err := Fig6(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("sampled Fig6 at parallelism %d: %v", parallelism, err)
+		}
+		out, err := json.Marshal(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("sampled results differ across parallelism levels:\n  serial: %s\nparallel: %s", serial, parallel)
+	}
+	if repeat := run(1); !bytes.Equal(serial, repeat) {
+		t.Fatalf("repeated sampled sweep produced different bytes:\n  first: %s\n repeat: %s", serial, repeat)
+	}
+}
+
 // TestSeedChangesTracesButStaysComparable checks the Seed knob regenerates
 // different traces (different absolute numbers are likely) while the same
 // seed reproduces identical results.

@@ -3,8 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"c3d/internal/machine"
+	"c3d/internal/sample"
 	"c3d/internal/stats"
 )
 
@@ -19,11 +21,30 @@ type SpeedupResult struct {
 	Sockets int
 	// Speedup maps workload -> design name -> speedup over baseline.
 	Speedup map[string]map[string]float64
+	// Bars maps workload -> design name -> the speedup's 95% confidence
+	// half-width. It is populated only for sampled runs; nil means exact
+	// full-detail results and bar-free tables.
+	Bars map[string]map[string]float64
 	// Geomean maps design name -> geometric-mean speedup.
 	Geomean map[string]float64
+	// GeomeanBars maps design name -> the geomean's 95% half-width
+	// (sampled runs only).
+	GeomeanBars map[string]float64
 }
 
-// Table renders the speedups in the paper's layout.
+// Sampled reports whether the result carries confidence half-widths.
+func (r SpeedupResult) Sampled() bool { return r.Bars != nil }
+
+// cell renders one speedup value, with its error bar when sampled.
+func (r SpeedupResult) cell(v float64, bar float64) string {
+	if r.Sampled() {
+		return sample.Estimate{Value: v, HalfWidth: bar}.Format(3)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Table renders the speedups in the paper's layout. Sampled runs render every
+// cell as "value±half", so the error bars are part of the JSON artefact.
 func (r SpeedupResult) Table() *stats.Table {
 	headers := []string{"workload"}
 	for _, d := range evaluatedDesigns {
@@ -34,13 +55,13 @@ func (r SpeedupResult) Table() *stats.Table {
 		row := r.Speedup[name]
 		cells := []string{name}
 		for _, d := range evaluatedDesigns {
-			cells = append(cells, fmt.Sprintf("%.3f", row[d.String()]))
+			cells = append(cells, r.cell(row[d.String()], r.Bars[name][d.String()]))
 		}
 		t.AddRow(cells...)
 	}
 	cells := []string{"geomean"}
 	for _, d := range evaluatedDesigns {
-		cells = append(cells, fmt.Sprintf("%.3f", r.Geomean[d.String()]))
+		cells = append(cells, r.cell(r.Geomean[d.String()], r.GeomeanBars[d.String()]))
 	}
 	t.AddRow(cells...)
 	return t
@@ -73,21 +94,56 @@ func speedupsFrom(cfg Config, tag string, results map[string]machine.RunResult, 
 		Speedup: make(map[string]map[string]float64),
 		Geomean: make(map[string]float64),
 	}
+	sampled := cfg.Sampling != ""
+	if sampled {
+		out.Bars = make(map[string]map[string]float64)
+		out.GeomeanBars = make(map[string]float64)
+	}
 	for _, name := range cfg.workloadNames() {
 		base := results[key(tag, name, machine.Baseline)]
 		row := make(map[string]float64)
+		bars := make(map[string]float64)
 		for _, d := range evaluatedDesigns {
-			row[d.String()] = results[key(tag, name, d)].SpeedupOver(base)
+			des := results[key(tag, name, d)]
+			row[d.String()] = des.SpeedupOver(base)
+			if sampled && base.Sampling != nil && des.Sampling != nil {
+				// Speedup = baseline CPI / design CPI (instruction counts are
+				// exact and shared), so its bar propagates the two CPI bars.
+				bars[d.String()] = sample.RatioOf(base.Sampling.Estimates.CPI, des.Sampling.Estimates.CPI).HalfWidth
+			}
 		}
 		out.Speedup[name] = row
+		if sampled {
+			out.Bars[name] = bars
+		}
 	}
 	for _, d := range evaluatedDesigns {
 		d := d
 		out.Geomean[d.String()] = geomeanOver(cfg.workloadNames(), func(name string) float64 {
 			return out.Speedup[name][d.String()]
 		})
+		if sampled {
+			out.GeomeanBars[d.String()] = geomeanBar(out.Geomean[d.String()], cfg.workloadNames(), func(name string) sample.Estimate {
+				return sample.Estimate{Value: out.Speedup[name][d.String()], HalfWidth: out.Bars[name][d.String()]}
+			})
+		}
 	}
 	return out
+}
+
+// geomeanBar propagates per-workload half-widths into a geometric mean's:
+// relative errors add in quadrature divided by the workload count (the
+// first-order error of an n-th root of a product).
+func geomeanBar(geomean float64, names []string, est func(name string) sample.Estimate) float64 {
+	if len(names) == 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, n := range names {
+		rel := est(n).RelError()
+		sumSq += rel * rel
+	}
+	return math.Abs(geomean) * math.Sqrt(sumSq) / float64(len(names))
 }
 
 // Fig6 runs the 4-socket (8 cores/socket) performance comparison.

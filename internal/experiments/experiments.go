@@ -22,6 +22,7 @@ import (
 	"c3d/internal/interconnect"
 	"c3d/internal/machine"
 	"c3d/internal/numa"
+	"c3d/internal/sample"
 	"c3d/internal/stats"
 	"c3d/internal/sweep"
 	"c3d/internal/trace"
@@ -58,6 +59,14 @@ type Config struct {
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS). It only
 	// affects wall-clock time: results are bit-identical at any value.
 	Parallelism int
+	// Sampling, when non-empty, runs every simulation in SMARTS-style
+	// sampled mode under this schedule spec
+	// ("stretch=N,warm=N,win=N[,seed=S]", see internal/sample): detailed
+	// simulation only inside warm-up and measured windows, functional
+	// warming between them, and per-metric 95% confidence half-widths on
+	// every result. Results remain bit-identical at any Parallelism for a
+	// fixed (config, seed, spec).
+	Sampling string
 	// Streaming drives each simulation from an incremental workload
 	// generator instead of a materialised in-memory trace: resident memory
 	// stays bounded regardless of AccessesPerThread, at the cost of
@@ -352,6 +361,11 @@ func (c Config) runOne(ctx context.Context, j job, seed int64) (machine.RunResul
 		AccessesPerThread: accesses,
 		SeedOffset:        seed,
 	}
+	sspec, err := sample.Parse(c.Sampling)
+	if err != nil {
+		return machine.RunResult{}, err
+	}
+	runOpts := machine.RunOptions{WarmupFraction: c.WarmupFraction, Sampling: sspec}
 	mcfg := j.mcfg
 	if j.mutate != nil {
 		j.mutate(&mcfg)
@@ -372,13 +386,13 @@ func (c Config) runOne(ctx context.Context, j job, seed int64) (machine.RunResul
 		if err != nil {
 			return machine.RunResult{}, err
 		}
-		return m.RunSource(ctx, src, machine.RunOptions{WarmupFraction: c.WarmupFraction})
+		return m.RunSource(ctx, src, runOpts)
 	}
 	tr, err := sharedTraces.get(j.spec, opts)
 	if err != nil {
 		return machine.RunResult{}, err
 	}
-	return m.Run(ctx, tr, machine.RunOptions{WarmupFraction: c.WarmupFraction})
+	return m.Run(ctx, tr, runOpts)
 }
 
 // machinePools reuses machines across jobs that share a configuration:

@@ -106,6 +106,11 @@ var registry = []Entry{
 		Description: "socket-scaling study: speedup and off-socket traffic vs socket count x topology x design",
 		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := Scaling(ctx, c); return r, err },
 	},
+	{
+		ID: "scaling-sampled", Paper: "§V (ext.)",
+		Description: "sampled socket-scaling study: the same sweep via SMARTS-style sampling, every metric with 95% error bars",
+		Run:         func(ctx context.Context, c Config) (Result, error) { r, err := SampledScaling(ctx, c); return r, err },
+	},
 }
 
 // IDs returns every experiment id in presentation order.

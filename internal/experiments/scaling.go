@@ -3,10 +3,12 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 
 	"c3d/internal/interconnect"
 	"c3d/internal/machine"
+	"c3d/internal/sample"
 	"c3d/internal/stats"
 )
 
@@ -79,6 +81,27 @@ type scalingShape struct {
 	topo    interconnect.Topology
 }
 
+// scalingJobs builds the (shape x workload x design) job grid shared by the
+// full and sampled variants of the study.
+func scalingJobs(cfg Config, tag string, shapes []scalingShape, names []string) []job {
+	var jobs []job
+	for _, sh := range shapes {
+		for _, name := range names {
+			spec := cfg.mustWorkload(name)
+			for _, d := range scalingDesigns {
+				mcfg := cfg.machineConfig(sh.sockets, d, spec.PreferredPolicy)
+				mcfg.Topology = sh.topo
+				jobs = append(jobs, job{
+					key:  key(tag, sh.sockets, sh.topo, name, d),
+					spec: spec,
+					mcfg: mcfg,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
 // scalingShapes enumerates the (sockets, topology) grid: every registered
 // topology that can host each socket count, in deterministic registry order.
 func scalingShapes(cfg Config) []scalingShape {
@@ -104,23 +127,7 @@ func Scaling(ctx context.Context, cfg Config) (ScalingResult, error) {
 	cfg = cfg.withDefaults()
 	shapes := scalingShapes(cfg)
 	names := cfg.workloadNames()
-
-	var jobs []job
-	for _, sh := range shapes {
-		for _, name := range names {
-			spec := cfg.mustWorkload(name)
-			for _, d := range scalingDesigns {
-				mcfg := cfg.machineConfig(sh.sockets, d, spec.PreferredPolicy)
-				mcfg.Topology = sh.topo
-				jobs = append(jobs, job{
-					key:  key("scaling", sh.sockets, sh.topo, name, d),
-					spec: spec,
-					mcfg: mcfg,
-				})
-			}
-		}
-	}
-	results, err := cfg.runJobs(ctx, jobs)
+	results, err := cfg.runJobs(ctx, scalingJobs(cfg, "scaling", shapes, names))
 	if err != nil {
 		return ScalingResult{}, err
 	}
@@ -153,4 +160,169 @@ func Scaling(ctx context.Context, cfg Config) (ScalingResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// --- sampled scaling variant ---
+
+// DefaultSamplingSpec is the schedule the sampled experiment variants use
+// when the configuration does not pin one: long enough stretches for a
+// several-fold speedup at quick scale, short enough units that even a
+// 6000-access quick stream yields a handful of measured windows (and a
+// paper-scale stream over a hundred).
+const DefaultSamplingSpec = "stretch=1400,warm=60,win=60"
+
+// defaultSamplingSpec derives the schedule for a sweep whose configuration
+// does not pin one: DefaultSamplingSpec, with the stretch shortened when the
+// shortest per-thread stream in the sweep could not otherwise host a useful
+// number of measured windows (smoke tests run streams of a few hundred
+// accesses; paper scale runs hundreds of thousands). Purely a function of the
+// configuration, so the derived spec — recorded in the result — is as
+// deterministic as a pinned one.
+func (c Config) defaultSamplingSpec() string {
+	def, err := sample.Parse(DefaultSamplingSpec)
+	if err != nil {
+		panic(err) // the constant is well-formed by construction
+	}
+	shortest := int(^uint(0) >> 1)
+	for _, name := range c.workloadNames() {
+		n := c.AccessesPerThread
+		if n <= 0 {
+			n = c.mustWorkload(name).AccessesPerThread
+		}
+		if n < shortest {
+			shortest = n
+		}
+	}
+	// In the worst case the seeded phase skips a full stretch, so w windows
+	// need w*(stretch+warm+win) records per thread; size the stretch for
+	// eight, capped at the default (longer streams keep the default detail
+	// fraction rather than growing ever-coarser).
+	const targetWindows = 8
+	stretch := shortest/targetWindows - def.Warm - def.Window
+	if stretch > def.Stretch {
+		stretch = def.Stretch
+	}
+	if stretch < 1 {
+		stretch = 1
+	}
+	def.Stretch = stretch
+	return def.String()
+}
+
+// SampledScalingPoint is one (sockets, topology, design) cell of the sampled
+// study: the same metrics as ScalingPoint, each carried as a point estimate
+// with a 95% confidence half-width, plus the number of measured windows
+// behind them.
+type SampledScalingPoint struct {
+	Sockets  int
+	Topology string
+	Design   string
+	// Windows is the total number of measured windows across the workloads
+	// aggregated into this point.
+	Windows int
+	// Speedup is the geomean speedup over the same-shape baseline with its
+	// propagated half-width.
+	Speedup sample.Estimate
+	// OffSocketBytesPerAccess is the geomean fabric traffic per access with
+	// its propagated half-width.
+	OffSocketBytesPerAccess sample.Estimate
+}
+
+// SampledScalingResult is the sampled variant of the socket-scaling study:
+// the same sweep simulated in SMARTS-style sampled mode, every metric
+// reported with explicit error bars.
+type SampledScalingResult struct {
+	// Spec is the canonical sampling spec the runs used.
+	Spec string
+	// Points holds one entry per (sockets, topology, design), in sweep order.
+	Points []SampledScalingPoint
+}
+
+// Table renders the sampled study; estimate cells are "value±half" so the
+// bars are part of the JSON artefact.
+func (r SampledScalingResult) Table() *stats.Table {
+	t := stats.NewTable("sockets", "topology", "design", "windows", "speedup", "off-socket B/acc")
+	for _, p := range r.Points {
+		t.AddRow(
+			strconv.Itoa(p.Sockets),
+			p.Topology,
+			p.Design,
+			strconv.Itoa(p.Windows),
+			p.Speedup.Format(3),
+			p.OffSocketBytesPerAccess.Format(1),
+		)
+	}
+	return t
+}
+
+// SampledScaling runs the socket-scaling study in sampled mode. The job grid
+// is identical to Scaling's; only the execution mode (and therefore the
+// wall-clock cost) differs, and every reported metric carries its 95%
+// half-width. Results are deterministic at any Config.Parallelism for a
+// fixed (config, seed, spec).
+func SampledScaling(ctx context.Context, cfg Config) (SampledScalingResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sampling == "" {
+		cfg.Sampling = cfg.defaultSamplingSpec()
+	}
+	spec, err := sample.Parse(cfg.Sampling)
+	if err != nil {
+		return SampledScalingResult{}, err
+	}
+	shapes := scalingShapes(cfg)
+	names := cfg.workloadNames()
+	results, err := cfg.runJobs(ctx, scalingJobs(cfg, "scaling-sampled", shapes, names))
+	if err != nil {
+		return SampledScalingResult{}, err
+	}
+
+	out := SampledScalingResult{Spec: spec.String()}
+	for _, sh := range shapes {
+		for _, d := range scalingDesigns {
+			windows := 0
+			speedups := make([]sample.Estimate, 0, len(names))
+			traffic := make([]sample.Estimate, 0, len(names))
+			for _, name := range names {
+				base := results[key("scaling-sampled", sh.sockets, sh.topo, name, machine.Baseline)]
+				des := results[key("scaling-sampled", sh.sockets, sh.topo, name, d)]
+				if des.Sampling == nil || base.Sampling == nil {
+					return SampledScalingResult{}, fmt.Errorf("scaling-sampled: %s/%v/%s missing sampling section", name, sh.topo, d)
+				}
+				windows += des.Sampling.Windows
+				if d == machine.Baseline {
+					// A run's speedup over itself is exactly 1.
+					speedups = append(speedups, sample.Estimate{Value: 1})
+				} else {
+					speedups = append(speedups, sample.RatioOf(base.Sampling.Estimates.CPI, des.Sampling.Estimates.CPI))
+				}
+				traffic = append(traffic, des.Sampling.Estimates.FabricBytesPerAccess)
+			}
+			out.Points = append(out.Points, SampledScalingPoint{
+				Sockets:                 sh.sockets,
+				Topology:                sh.topo.String(),
+				Design:                  d.String(),
+				Windows:                 windows,
+				Speedup:                 geomeanEstimate(speedups),
+				OffSocketBytesPerAccess: geomeanEstimate(traffic),
+			})
+		}
+	}
+	return out, nil
+}
+
+// geomeanEstimate combines per-workload estimates into their geometric mean
+// with the propagated half-width (relative errors in quadrature over n).
+func geomeanEstimate(ests []sample.Estimate) sample.Estimate {
+	vals := make([]float64, 0, len(ests))
+	sumSq := 0.0
+	for _, e := range ests {
+		vals = append(vals, e.Value)
+		rel := e.RelError()
+		sumSq += rel * rel
+	}
+	g := stats.Geomean(vals)
+	if len(ests) == 0 {
+		return sample.Estimate{}
+	}
+	return sample.Estimate{Value: g, HalfWidth: math.Abs(g) * math.Sqrt(sumSq) / float64(len(ests))}
 }

@@ -55,6 +55,11 @@ type RunResult struct {
 	// BroadcastFilterElided counts broadcasts removed by the §IV-D filter
 	// (only non-zero when the filter is enabled).
 	BroadcastFilterElided uint64
+
+	// Sampling is present only for sampled runs: the schedule used, the
+	// sampled/total access counts, and the 95% confidence half-width of each
+	// derived metric. Full-detail runs omit it, so their JSON is unchanged.
+	Sampling *SamplingResult `json:",omitempty"`
 }
 
 // IPC returns aggregate instructions per cycle (instructions across all

@@ -6,6 +6,7 @@ import (
 
 	"c3d/internal/addr"
 	"c3d/internal/cpu"
+	"c3d/internal/sample"
 	"c3d/internal/sim"
 	"c3d/internal/trace"
 )
@@ -15,7 +16,15 @@ type RunOptions struct {
 	// WarmupFraction is the fraction of each thread's parallel-region
 	// accesses executed before statistics are reset and timing restarts
 	// (mirroring the paper's warm-up of DRAM caches before measurement).
+	// It is sized per thread, so skewed ingested traces never see a short
+	// thread consumed entirely by another thread's warm-up budget.
 	WarmupFraction float64
+	// Sampling, when enabled, replaces the full detailed run (and the
+	// fractional warm-up) with the SMARTS-style sampled schedule: seeded
+	// fast-forward stretches with functional warming only, interleaved with
+	// detailed warm-up and measured windows. The result then carries a
+	// Sampling section with per-metric confidence half-widths.
+	Sampling sample.Spec
 }
 
 // DefaultRunOptions uses a 25% warm-up, enough to populate the scaled caches
@@ -60,6 +69,9 @@ func (m *Machine) RunSource(ctx context.Context, src trace.Source, opts RunOptio
 	if opts.WarmupFraction < 0 || opts.WarmupFraction >= 1 {
 		return RunResult{}, fmt.Errorf("machine: warm-up fraction %f outside [0,1)", opts.WarmupFraction)
 	}
+	if err := opts.Sampling.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("machine: %w", err)
+	}
 
 	if err := m.placePages(ctx, src); err != nil {
 		return RunResult{}, err
@@ -67,7 +79,6 @@ func (m *Machine) RunSource(ctx context.Context, src trace.Source, opts RunOptio
 
 	// Gather the cores that execute threads (thread t runs on core t).
 	cores := make([]*coreRunner, threads)
-	maxLen := 0
 	for t := 0; t < threads; t++ {
 		sock := m.socketOf(t)
 		cores[t] = &coreRunner{
@@ -75,15 +86,24 @@ func (m *Machine) RunSource(ctx context.Context, src trace.Source, opts RunOptio
 			rr:   src.OpenThread(t),
 			idx:  t,
 		}
-		if l := src.ThreadLen(t); l > maxLen {
-			maxLen = l
-		}
 	}
 
-	// Warm-up phase.
-	warmup := int(opts.WarmupFraction * float64(maxLen))
-	if warmup > 0 {
-		if err := m.execute(ctx, cores, warmup); err != nil {
+	if opts.Sampling.Enabled() {
+		return m.runSampled(ctx, src, cores, opts.Sampling)
+	}
+
+	// Warm-up phase, sized per thread: each thread warms the configured
+	// fraction of its own stream, so an ingested trace with skewed lengths
+	// keeps a measured region on its short threads.
+	warmed := false
+	for _, cr := range cores {
+		cr.limit = int(opts.WarmupFraction * float64(src.ThreadLen(cr.idx)))
+		if cr.limit > 0 {
+			warmed = true
+		}
+	}
+	if warmed {
+		if err := m.execute(ctx, cores); err != nil {
 			return RunResult{}, err
 		}
 		for _, cr := range cores {
@@ -94,7 +114,10 @@ func (m *Machine) RunSource(ctx context.Context, src trace.Source, opts RunOptio
 	}
 
 	// Measured phase.
-	if err := m.execute(ctx, cores, -1); err != nil {
+	for _, cr := range cores {
+		cr.limit = -1
+	}
+	if err := m.execute(ctx, cores); err != nil {
 		return RunResult{}, err
 	}
 	var cycles sim.Time
@@ -175,6 +198,14 @@ func (cr *coreRunner) fill() bool {
 // that concurrent first touches spread across sockets the way they would in
 // a live run.
 func (m *Machine) placePages(ctx context.Context, src trace.Source) error {
+	// Once a page is placed, every further Touch is a pure map read; a small
+	// direct-mapped memo of pages confirmed placed short-circuits it (a
+	// collision just repeats the harmless lookup). Init-section touches under
+	// FirstTouch2 do not place and are never memoised.
+	var placedMemo [4096]uint64
+	placed := func(p addr.Page) bool {
+		return placedMemo[uint64(p)&4095] == uint64(p)+1
+	}
 	rr := src.OpenInit()
 	steps := 0
 	for {
@@ -182,7 +213,11 @@ func (m *Machine) placePages(ctx context.Context, src trace.Source) error {
 		if !ok {
 			break
 		}
-		m.pageTable.Touch(addr.PageOf(rec.Addr), 0, false)
+		if p := addr.PageOf(rec.Addr); !placed(p) {
+			if _, ok := m.pageTable.Touch(p, 0, false); ok {
+				placedMemo[uint64(p)&4095] = uint64(p) + 1
+			}
+		}
 		if steps++; steps&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -214,8 +249,12 @@ func (m *Machine) placePages(ctx context.Context, src trace.Source) error {
 				active--
 				continue
 			}
-			socket := t / m.cfg.CoresPerSocket
-			m.pageTable.Touch(addr.PageOf(rec.Addr), socket, true)
+			if p := addr.PageOf(rec.Addr); !placed(p) {
+				socket := t / m.cfg.CoresPerSocket
+				if _, ok := m.pageTable.Touch(p, socket, true); ok {
+					placedMemo[uint64(p)&4095] = uint64(p) + 1
+				}
+			}
 		}
 	}
 	return nil
@@ -223,8 +262,10 @@ func (m *Machine) placePages(ctx context.Context, src trace.Source) error {
 
 // execute advances the cores through their records, always stepping the core
 // with the smallest local time so that bandwidth contention and inter-thread
-// interactions happen in a plausible global order. A non-negative limit stops
-// each core after that many records in total (used for the warm-up phase).
+// interactions happen in a plausible global order. Each runner's limit field
+// bounds its total consumed records (set by the caller before the call; -1
+// runs until the stream ends), which is how warm-up phases and sampled
+// windows stop each core at its own boundary.
 //
 // The "earliest core" selection is an indexed min-heap keyed by
 // (core local time, core index) rather than a linear scan, so one simulated
@@ -233,11 +274,10 @@ func (m *Machine) placePages(ctx context.Context, src trace.Source) error {
 // results are bit-identical to the previous implementation. Executing a
 // record only advances the picked core's clock (monotonically), so after each
 // step only the heap root needs fixing.
-func (m *Machine) execute(ctx context.Context, cores []*coreRunner, limit int) error {
+func (m *Machine) execute(ctx context.Context, cores []*coreRunner) error {
 	h := runnerHeap{runners: make([]*coreRunner, 0, len(cores))}
 	for _, cr := range cores {
-		cr.limit = limit
-		if limit >= 0 && cr.consumed >= limit {
+		if cr.limit >= 0 && cr.consumed >= cr.limit {
 			continue
 		}
 		if cr.fill() {

@@ -1,0 +1,45 @@
+// Package sample implements SMARTS-style systematic sampling for the
+// simulator: the schedule arithmetic that decides which stream positions are
+// simulated in detail, and the estimator that turns per-window counter deltas
+// into point estimates with 95% confidence half-widths.
+//
+// # Schedule format
+//
+// A sampling spec is a comma-separated key=value string:
+//
+//	stretch=<records>,warm=<records>,win=<records>[,seed=<n>]
+//
+// All lengths are per-thread record counts. One sampling unit is
+//
+//	stretch fast-forwarded records   (functional warming only)
+//	  warm  detailed records         (timing warm-up, not measured)
+//	  win   detailed records         (measured window)
+//
+// repeated until every thread's stream is exhausted. A seeded initial
+// fast-forward of SplitMix64(seed) mod (stretch+1) records offsets the first
+// unit so the schedule does not always sample the same stream positions; the
+// offset is a pure function of the spec, which is what keeps sampled results
+// byte-identical across runs and across sweep parallelism.
+//
+// During a fast-forward stretch the machine performs functional warming only:
+// page placement, the OS page classifier, TLBs and cache tags are updated
+// through a lightweight touch path, but no coherence engine, fabric or DRAM
+// cache events fire and no counters advance. Each warm phase then re-warms
+// the timing-visible state (MRU positions, store queues, fabric occupancy)
+// in full detail before its window is measured.
+//
+// # Estimator
+//
+// Every measured window contributes one delta of each counter. For each
+// derived metric (cycles/instruction, LLC miss rate, fabric bytes/access,
+// remote-memory fraction) the point estimate is the ratio of sums across all
+// windows — consistent with the extrapolated run totals — and the half-width
+// is the CLT interval of the per-window ratios (Student-t critical value at
+// n-1 degrees of freedom times the standard error), widened by the distance
+// between ratio-of-sums and mean-of-ratios so the reported interval always
+// covers its own aggregation bias. Speedups and other cross-run ratios
+// propagate relative errors in quadrature (sample.RatioOf).
+//
+// At least MinWindows (2) complete-or-partial measured windows are required;
+// shorter streams are an error, pointing at a spec whose unit is too long.
+package sample

@@ -1,0 +1,176 @@
+// Command smoketest/sample is the CI sample-smoke verifier: it drives a
+// built c3dexp binary through the fig6-quick sweep twice — once in full
+// detailed simulation, once under SMARTS sampling — and asserts the three
+// properties the sampled simulator sells:
+//
+//   - accuracy: every full-run table value lies inside the sampled run's
+//     reported 95% confidence interval (the v±h cells);
+//   - speed: the sampled sweep is at least -min-speedup times faster than
+//     the full sweep, wall-clock, same binary, same machine, back to back;
+//   - determinism: the sampled JSON is byte-identical at -parallel 1 and
+//     -parallel 8 and across a repeat run.
+//
+// The Makefile builds the binary once and hands its path in, so `go run`
+// compile time never pollutes the timing:
+//
+//	go build -o /tmp/c3dexp-sample ./cmd/c3dexp
+//	go run ./internal/smoketest/sample -bin /tmp/c3dexp-sample
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// experiment mirrors just the slice of the c3dexp -json document this gate
+// reads: the rendered table. Everything else passes through unchecked.
+type experiment struct {
+	ID    string `json:"id"`
+	Table struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	} `json:"table"`
+}
+
+func main() {
+	bin := flag.String("bin", "", "path to a built c3dexp binary (required)")
+	spec := flag.String("spec", "stretch=2800,warm=30,win=30", "sampling spec handed to -sample")
+	minSpeedup := flag.Float64("min-speedup", 2, "minimum full/sampled wall-clock ratio; the acceptance target is 5x but CI boxes are noisy, so the gate only demands a clear win")
+	flag.Parse()
+	if *bin == "" {
+		fail("-bin is required")
+	}
+
+	// Full detailed run: the ground truth and the timing baseline. Both
+	// timed runs use the binary's default parallelism so the comparison is
+	// like for like.
+	fullJSON, fullDur := run(*bin, "-exp", "fig6", "-quick", "-json")
+
+	// Sampled run at default parallelism: the timed contender and the
+	// reference bytes for the determinism comparisons below.
+	sampJSON, sampDur := run(*bin, "-exp", "fig6", "-quick", "-json", "-sample", *spec)
+
+	// Determinism: -parallel 1, -parallel 8 and a repeat run must all
+	// reproduce the reference bytes exactly.
+	for _, extra := range [][]string{
+		{"-parallel", "1"},
+		{"-parallel", "8"},
+		nil, // repeat run, default parallelism
+	} {
+		args := append([]string{"-exp", "fig6", "-quick", "-json", "-sample", *spec}, extra...)
+		out, _ := run(*bin, args...)
+		if !bytes.Equal(out, sampJSON) {
+			fail("sampled output differs from reference for args %v", args)
+		}
+	}
+	fmt.Println("sampled fig6-quick bytes identical across -parallel 1/8 and a repeat run")
+
+	// Accuracy: every full value inside the sampled bars.
+	full := parseFig6(fullJSON, "full")
+	samp := parseFig6(sampJSON, "sampled")
+	if len(full.Table.Header) != len(samp.Table.Header) || len(full.Table.Rows) != len(samp.Table.Rows) {
+		fail("full and sampled tables have different shapes")
+	}
+	cells, worst, worstCell := 0, 0.0, ""
+	for i, fr := range full.Table.Rows {
+		sr := samp.Table.Rows[i]
+		if fr[0] != sr[0] {
+			fail("row %d: full workload %q vs sampled %q", i, fr[0], sr[0])
+		}
+		for j := 1; j < len(fr); j++ {
+			v, err := strconv.ParseFloat(fr[j], 64)
+			if err != nil {
+				fail("full %s/%s: unparseable value %q: %v", fr[0], full.Table.Header[j], fr[j], err)
+			}
+			mid, half := parseInterval(sr[j], sr[0], samp.Table.Header[j])
+			dev := abs(v - mid)
+			if dev > half {
+				fail("%s/%s: full value %.4f outside sampled %.4f±%.4f (deviation %.2fx halfwidth)",
+					fr[0], full.Table.Header[j], v, mid, half, dev/half)
+			}
+			if r := dev / half; r > worst {
+				worst, worstCell = r, fr[0]+"/"+full.Table.Header[j]
+			}
+			cells++
+		}
+	}
+	fmt.Printf("all %d fig6 cells: full value inside the sampled 95%% interval (worst deviation %.2fx halfwidth at %s)\n",
+		cells, worst, worstCell)
+
+	// Speed: the sampled sweep must beat the full sweep decisively.
+	ratio := fullDur.Seconds() / sampDur.Seconds()
+	if ratio < *minSpeedup {
+		fail("sampled sweep only %.2fx faster than full (%v vs %v), want >= %.1fx",
+			ratio, sampDur.Round(time.Millisecond), fullDur.Round(time.Millisecond), *minSpeedup)
+	}
+	fmt.Printf("sampled sweep %.2fx faster than full (%v vs %v)\n",
+		ratio, sampDur.Round(time.Millisecond), fullDur.Round(time.Millisecond))
+}
+
+// run executes the binary with the given arguments and returns its stdout
+// and wall-clock duration; any failure ends the gate.
+func run(bin string, args ...string) ([]byte, time.Duration) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	out, err := cmd.Output()
+	dur := time.Since(start)
+	if err != nil {
+		fail("%s %s: %v", bin, strings.Join(args, " "), err)
+	}
+	return out, dur
+}
+
+// parseFig6 decodes a c3dexp -json document and returns its fig6 experiment.
+func parseFig6(data []byte, label string) experiment {
+	var exps []experiment
+	if err := json.Unmarshal(data, &exps); err != nil {
+		fail("parsing %s JSON: %v", label, err)
+	}
+	for _, e := range exps {
+		if e.ID == "fig6" {
+			return e
+		}
+	}
+	fail("%s JSON has no fig6 experiment", label)
+	panic("unreachable")
+}
+
+// parseInterval splits a sampled "v±h" cell into its midpoint and halfwidth.
+func parseInterval(cell, row, col string) (mid, half float64) {
+	v, h, ok := strings.Cut(cell, "±")
+	if !ok {
+		fail("sampled %s/%s: cell %q carries no ± interval", row, col, cell)
+	}
+	mid, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		fail("sampled %s/%s: unparseable midpoint in %q: %v", row, col, cell, err)
+	}
+	half, err = strconv.ParseFloat(h, 64)
+	if err != nil {
+		fail("sampled %s/%s: unparseable halfwidth in %q: %v", row, col, cell, err)
+	}
+	if half <= 0 {
+		fail("sampled %s/%s: non-positive halfwidth in %q", row, col, cell)
+	}
+	return mid, half
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sample-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

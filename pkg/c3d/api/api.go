@@ -18,6 +18,14 @@
 // rather than a silently ignored knob; old clients never emit the field and
 // are unaffected. Additive, backwards compatible.
 //
+// Wire change (2026-08): Params gained the optional "sampling" field carrying
+// a SMARTS-style sampling schedule ("stretch=N,warm=N,win=N[,seed=S]").
+// Sampling parameters are semantic — two specs differing only in sampling
+// produce different result bytes — so campaign result caches key on the field
+// like any other. As with "spec", old daemons reject it with a clean 400
+// invalid_spec (DisallowUnknownFields), old clients never send it. Additive,
+// backwards compatible.
+//
 // The package depends only on the standard library: importing it pulls in no
 // simulator code.
 package api
@@ -71,6 +79,12 @@ type Params struct {
 	// the coordinator's content-addressed result cache keys on the full spec
 	// text automatically.
 	Spec json.RawMessage `json:"spec,omitempty"`
+	// Sampling selects SMARTS-style sampled simulation under the given
+	// schedule spec ("stretch=N,warm=N,win=N[,seed=S]"); empty means full
+	// detailed simulation. Sampled results carry per-metric 95% confidence
+	// half-widths and remain byte-identical across parallelism for a fixed
+	// (config, seed, sampling) triple.
+	Sampling string `json:"sampling,omitempty"`
 }
 
 // Job kinds accepted by POST /v1/jobs.

@@ -18,7 +18,7 @@ func TestWireFieldNamesPinned(t *testing.T) {
 		"Params": {
 			"quick", "design", "policy", "topology", "sockets", "threads",
 			"accesses", "scale", "warmup", "workloads", "parallel", "stream",
-			"seed", "broadcast_filter", "spec",
+			"seed", "broadcast_filter", "spec", "sampling",
 		},
 		"JobSpec":    {"kind", "params", "experiments", "workload", "verify"},
 		"VerifySpec": {"sockets", "loads", "stores", "max_states", "base_only"},

@@ -33,6 +33,7 @@ import (
 	"c3d/internal/machine"
 	"c3d/internal/mc"
 	"c3d/internal/numa"
+	"c3d/internal/sample"
 	"c3d/internal/stats"
 	"c3d/internal/trace"
 )
@@ -66,6 +67,13 @@ type (
 	TraceStats = trace.Stats
 	// VerifyResult collects the reports of one Verify call.
 	VerifyResult = experiments.VerifyResult
+	// SamplingSpec is a SMARTS-style sampling schedule (see WithSampling).
+	SamplingSpec = sample.Spec
+	// SamplingResult is the sampling section of a sampled RunResult: window
+	// counts and per-metric 95% confidence half-widths.
+	SamplingResult = machine.SamplingResult
+	// SamplingEstimate is one sampled metric: point estimate plus half-width.
+	SamplingEstimate = sample.Estimate
 )
 
 // The evaluated coherence designs (§V-A).

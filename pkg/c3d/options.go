@@ -6,6 +6,7 @@ import (
 	"c3d/internal/experiments"
 	"c3d/internal/interconnect"
 	"c3d/internal/numa"
+	"c3d/internal/sample"
 	"c3d/internal/workload"
 	"c3d/internal/wspec"
 )
@@ -30,6 +31,8 @@ type config struct {
 
 	warmup    float64
 	warmupSet bool
+
+	sampling SamplingSpec
 
 	policy    Policy
 	policySet bool
@@ -98,6 +101,9 @@ func (c *config) validate() error {
 	case c.parallelism < 0:
 		return fmt.Errorf("c3d: negative parallelism %d", c.parallelism)
 	}
+	if err := c.sampling.Validate(); err != nil {
+		return fmt.Errorf("c3d: %w", err)
+	}
 	for _, name := range c.workloads {
 		if _, err := c.resolveWorkload(name); err != nil {
 			return err
@@ -154,6 +160,29 @@ func WithAccesses(n int) Option { return func(c *config) { c.accesses = n } }
 // 0.25).
 func WithWarmup(f float64) Option {
 	return func(c *config) { c.warmup = f; c.warmupSet = true }
+}
+
+// WithSampling switches simulations and experiment campaigns to SMARTS-style
+// sampled execution under the given schedule (parse one with ParseSampling;
+// the zero spec restores full detailed simulation). Sampled results carry a
+// Sampling section with per-metric 95% confidence half-widths, run several
+// times faster than full simulation, and remain byte-identical across
+// parallelism for a fixed (config, seed, spec). The spec is validated
+// eagerly: New reports a malformed schedule, not a mid-campaign job failure.
+func WithSampling(spec SamplingSpec) Option {
+	return func(c *config) { c.sampling = spec }
+}
+
+// ParseSampling parses a sampling schedule spec of the form
+// "stretch=N,warm=N,win=N[,seed=S]" (all lengths per-thread record counts;
+// see internal/sample for the schedule semantics). The empty string parses
+// to the zero spec, meaning full detailed simulation.
+func ParseSampling(text string) (SamplingSpec, error) {
+	spec, err := sample.Parse(text)
+	if err != nil {
+		return SamplingSpec{}, fmt.Errorf("c3d: %w", err)
+	}
+	return spec, nil
 }
 
 // WithPolicy pins the NUMA placement policy (default: the workload's
@@ -239,6 +268,7 @@ func (c config) experimentsConfig() experiments.Config {
 	cfg.Parallelism = c.parallelism
 	cfg.Streaming = c.streamingSet && c.streaming
 	cfg.Seed = c.seed
+	cfg.Sampling = c.sampling.String()
 	cfg.Progress = c.progress
 	return cfg
 }

@@ -97,6 +97,13 @@ func (p Params) Options() ([]Option, error) {
 	if len(p.Spec) > 0 {
 		opts = append(opts, WithWorkloadSpec(p.Spec))
 	}
+	if p.Sampling != "" {
+		spec, err := ParseSampling(p.Sampling)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithSampling(spec))
+	}
 	return opts, nil
 }
 

@@ -76,6 +76,7 @@ func (s *Session) Simulate(ctx context.Context, workloadName string, opts ...Opt
 	if cfg.warmupSet {
 		runOpts.WarmupFraction = cfg.warmup
 	}
+	runOpts.Sampling = cfg.sampling
 
 	// Streaming is Simulate's default long-run mode: memory stays bounded at
 	// any stream length. WithStreaming(false) opts into a materialised trace.
